@@ -1,0 +1,190 @@
+(* hidetc: command-line driver for the Hidet reproduction.
+
+   Subcommands:
+     compile  — compile a model with an engine; report latency / tuning cost
+                and optionally dump the generated CUDA C
+     bench    — compare all engines on one model
+     models   — list the model zoo
+     inspect  — print a model's computation graph *)
+
+open Cmdliner
+module M = Hidet_models.Models
+module G = Hidet_graph.Graph
+module E = Hidet_runtime.Engine
+module Plan = Hidet_runtime.Plan
+module HE = Hidet.Hidet_engine
+module Lib = Hidet_baselines.Library_engine
+module IC = Hidet_baselines.Input_centric
+
+let dev = Hidet_gpu.Device.rtx3090
+
+let engines : (string * (module E.S)) list =
+  [
+    ("hidet", (module HE));
+    ("pytorch", (module Lib.Pytorch));
+    ("onnxruntime", (module Lib.Ort));
+    ("tensorrt", (module Lib.Tensorrt));
+    ("autotvm", (module IC.Autotvm));
+    ("ansor", (module IC.Ansor));
+  ]
+
+let model_names = List.map fst M.all
+
+let model_arg =
+  let doc =
+    Printf.sprintf "Model to compile: %s." (String.concat ", " model_names)
+  in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun n -> (n, n)) model_names))) None
+    & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+
+let model_opt_arg =
+  let doc =
+    Printf.sprintf "Model to compile: %s." (String.concat ", " model_names)
+  in
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) model_names))) None
+    & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+
+let batch_arg =
+  Arg.(value & opt int 1 & info [ "batch"; "b" ] ~docv:"N" ~doc:"Batch size.")
+
+let engine_arg =
+  let doc =
+    Printf.sprintf "Engine: %s." (String.concat ", " (List.map fst engines))
+  in
+  Arg.(
+    value
+    & opt (enum (List.map (fun (n, _) -> (n, n)) engines)) "hidet"
+    & info [ "engine"; "e" ] ~docv:"ENGINE" ~doc)
+
+let dump_cuda_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-cuda" ] ~doc:"Print the generated CUDA C translation unit.")
+
+let breakdown_arg =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ]
+        ~doc:"Print the per-step latency breakdown of the compiled plan.")
+
+let report (r : E.result) =
+  Printf.printf "model:        %s\n" r.E.model;
+  Printf.printf "engine:       %s\n" r.E.engine;
+  Printf.printf "latency:      %.3f ms (predicted, %s)\n" (r.E.latency *. 1e3)
+    dev.Hidet_gpu.Device.name;
+  Printf.printf "tuning cost:  %.0f simulated seconds (%.2f h)\n" r.E.tuning_cost
+    (r.E.tuning_cost /. 3600.);
+  Printf.printf "compile wall: %.2f s on this machine\n" r.E.tuning_wall;
+  Printf.printf "kernels:      %d\n" r.E.kernel_count
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file"; "f" ] ~docv:"PATH"
+        ~doc:"Compile a graph saved in the HGF text format instead of a zoo model.")
+
+let graph_of model file batch =
+  match file with
+  | Some path -> Hidet_graph.Graph_io.load path
+  | None -> (
+    match model with
+    | Some m -> M.by_name ~batch m
+    | None -> failwith "pass --model or --file")
+
+let compile_cmd =
+  let run model batch engine dump_cuda breakdown file =
+    let g = graph_of model file batch in
+    let (module Eng : E.S) = List.assoc engine engines in
+    let r = Eng.compile dev g in
+    report r;
+    (if breakdown then
+       match r.E.plan with
+       | Some plan ->
+         print_endline "\nper-step latency breakdown (slowest first):";
+         let steps =
+           List.map
+             (fun (s : Plan.step) ->
+               (Hidet_sched.Compiled.latency dev s.Plan.compiled,
+                s.Plan.compiled.Hidet_sched.Compiled.name))
+             plan.Plan.steps
+         in
+         List.iter
+           (fun (l, n) -> Printf.printf "  %9.1f us  %s\n" (l *. 1e6) n)
+           (List.sort (fun (a, _) (b, _) -> compare b a) steps)
+       | None -> prerr_endline "engine produced no executable plan");
+    if dump_cuda then
+      match r.E.plan with
+      | Some plan -> print_string (Plan.cuda_source plan)
+      | None -> prerr_endline "engine produced no executable plan"
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile one model (or saved graph) with one engine.")
+    Term.(
+      const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
+      $ breakdown_arg $ file_arg)
+
+let bench_cmd =
+  let run model batch =
+    let header = Printf.sprintf "%-14s %12s %14s %10s" "engine" "latency(ms)"
+        "tuning(h)" "kernels" in
+    print_endline header;
+    List.iter
+      (fun (name, (module Eng : E.S)) ->
+        let r = Eng.compile dev (M.by_name ~batch model) in
+        Printf.printf "%-14s %12.3f %14.2f %10d\n%!" name (r.E.latency *. 1e3)
+          (r.E.tuning_cost /. 3600.)
+          r.E.kernel_count)
+      engines
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare every engine on one model.")
+    Term.(const run $ model_arg $ batch_arg)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun (name, mk) ->
+        let g = mk () in
+        Printf.printf "%-14s %4d nodes  %7.2f GFLOPs\n" name (G.num_nodes g)
+          (G.flops g /. 1e9))
+      M.all
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the model zoo.") Term.(const run $ const ())
+
+let export_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Output file (HGF text format).")
+  in
+  let run model batch out =
+    let g = M.by_name ~batch model in
+    Hidet_graph.Graph_io.save g out;
+    Printf.printf "wrote %s (%d nodes)\n" out (G.num_nodes g)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialize a zoo model to the HGF text format.")
+    Term.(const run $ model_arg $ batch_arg $ out_arg)
+
+let inspect_cmd =
+  let run model batch =
+    Format.printf "%a@." G.pp (M.by_name ~batch model)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print a model's computation graph.")
+    Term.(const run $ model_arg $ batch_arg)
+
+let () =
+  let info =
+    Cmd.info "hidetc" ~version:"1.0.0"
+      ~doc:
+        "OCaml reproduction of Hidet (ASPLOS 2023): task-mapping tensor \
+         program compiler on a simulated GPU."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; bench_cmd; models_cmd; inspect_cmd; export_cmd ]))

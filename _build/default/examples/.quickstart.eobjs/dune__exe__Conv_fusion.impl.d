@@ -1,0 +1,1 @@
+examples/conv_fusion.ml: Format Hidet Hidet_gpu Hidet_graph Hidet_runtime Hidet_tensor List Printf String

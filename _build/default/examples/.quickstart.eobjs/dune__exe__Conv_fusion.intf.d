@@ -1,0 +1,1 @@
+examples/conv_fusion.mli:

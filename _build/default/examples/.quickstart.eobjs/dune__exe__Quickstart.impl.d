@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hidet_gpu Hidet_sched Hidet_task Hidet_tensor List Printf String

@@ -1,0 +1,1 @@
+examples/transformer_block.ml: Format Hidet Hidet_gpu Hidet_graph Hidet_models Hidet_runtime Hidet_tensor List Printf

@@ -1,0 +1,1 @@
+examples/tuning.ml: Hidet_baselines Hidet_gpu Hidet_sched List Printf String Unix

@@ -1,0 +1,65 @@
+(* Post-scheduling fusion on the paper's flagship pattern: Conv2d-BN-ReLU
+   executed as a single implicit-GEMM kernel (sections 4.2, 5.2, 6.2.4).
+
+   The convolution lowers to  reshape(matmul(reshape(w), im2col(x))); the
+   matmul anchor is scheduled alone (template + hardware-centric tuning),
+   then im2col fuses in as a prologue and reshape/scale-shift/relu as
+   epilogues. We compare the fused plan against a fusion-disabled plan for
+   latency, kernel count, and numerical agreement with the CPU reference.
+
+   Run with: dune exec examples/conv_fusion.exe *)
+
+module G = Hidet_graph.Graph
+module HE = Hidet.Hidet_engine
+module Plan = Hidet_runtime.Plan
+module T = Hidet_tensor.Tensor
+module E = Hidet_runtime.Engine
+
+let dev = Hidet_gpu.Device.rtx3090
+
+let conv_bn_relu ~n ~c ~h ~oc ~kernel ~stride ~padding =
+  let g = G.create () in
+  G.name g "conv_bn_relu";
+  let x = G.input g [ n; c; h; h ] in
+  let w = G.constant_rand g ~seed:1 [ oc; c; kernel; kernel ] in
+  let scale = G.constant_rand g ~seed:2 [ oc ] in
+  let shift = G.constant_rand g ~seed:3 [ oc ] in
+  let conv = G.conv2d g x w ~stride ~padding in
+  let out = G.relu g (G.scale_shift g conv ~scale ~shift) in
+  G.set_outputs g [ out ];
+  g
+
+let () =
+  (* Small enough to execute exactly on the interpreter. *)
+  let n, c, h, oc, kernel, stride, padding = (1, 8, 14, 16, 3, 1, 1) in
+  let g = conv_bn_relu ~n ~c ~h ~oc ~kernel ~stride ~padding in
+  let x = T.rand ~seed:9 [ n; c; h; h ] in
+  let expect = Hidet_graph.Reference.run1 g [ x ] in
+
+  let fused_plan, fused = HE.compile_plan dev g in
+  let unfused_plan, unfused =
+    HE.compile_plan ~options:{ HE.default_options with HE.fuse = false } dev g
+  in
+  Printf.printf "fused:   %2d kernels, predicted %6.1f us\n"
+    fused.E.kernel_count (fused.E.latency *. 1e6);
+  Printf.printf "unfused: %2d kernels, predicted %6.1f us\n"
+    unfused.E.kernel_count (unfused.E.latency *. 1e6);
+  Printf.printf "fusion speedup: %.2fx\n\n" (unfused.E.latency /. fused.E.latency);
+
+  let out_fused = Plan.run1 fused_plan [ x ] in
+  let out_unfused = Plan.run1 unfused_plan [ x ] in
+  Printf.printf "fused   vs reference: max |diff| = %g\n"
+    (T.max_abs_diff expect out_fused);
+  Printf.printf "unfused vs reference: max |diff| = %g\n\n"
+    (T.max_abs_diff expect out_unfused);
+
+  print_endline "fused plan:";
+  Format.printf "%a@." Plan.pp fused_plan;
+  print_endline
+    "\nThe single fused kernel below loads x through the inlined im2col\n\
+     indexing (prologue), multiplies against the constant-folded weight\n\
+     matrix, and stores through reshape -> scale-shift -> relu (epilogues):";
+  let src = Plan.cuda_source fused_plan in
+  let lines = String.split_on_char '\n' src in
+  List.iteri (fun i l -> if i < 30 then print_endline l) lines;
+  Printf.printf "... (%d lines total)\n" (List.length lines)

@@ -1,0 +1,1 @@
+lib/baselines/input_centric.ml: Array Float Hashtbl Hidet_fusion Hidet_graph Hidet_ir Hidet_runtime Hidet_sched List Loop_sched Option Printf Random String Unix

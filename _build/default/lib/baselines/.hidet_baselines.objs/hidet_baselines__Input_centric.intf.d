@@ -1,0 +1,1 @@
+lib/baselines/input_centric.mli: Hidet_gpu Hidet_graph Hidet_runtime Hidet_sched Loop_sched Random

@@ -1,0 +1,1 @@
+lib/baselines/library_engine.ml: Float Hidet_fusion Hidet_gpu Hidet_graph Hidet_ir Hidet_runtime Hidet_sched List Loop_sched Unix

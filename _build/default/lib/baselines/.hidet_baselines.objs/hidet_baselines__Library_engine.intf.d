@@ -1,0 +1,1 @@
+lib/baselines/library_engine.mli: Hidet_gpu Hidet_runtime Hidet_sched

@@ -1,0 +1,1 @@
+lib/baselines/loop_sched.ml: Buffer Expr Hidet_ir Hidet_sched Kernel List Printf Simplify Stmt Var

@@ -1,0 +1,1 @@
+lib/baselines/loop_sched.mli: Hidet_sched

@@ -1,0 +1,88 @@
+(** Input-centric schedule spaces and tuners: the AutoTVM-like and
+    Ansor-like baselines (paper §§2.3, 3.3, 6).
+
+    Both search the loop-oriented space of {!Loop_sched}, where every tile
+    factor must divide the corresponding loop extent. The modeled template
+    splits each output dimension into 4 ordered factors (grid / virtual
+    thread / thread / register — TVM's conv2d and dense templates) and the
+    reduction into 2, so the space size is a product of ordered-factorization
+    counts — 10^4 to 10^8 for ResNet-50 convolutions (paper Fig. 7), and
+    nearly empty for prime extents (Fig. 16).
+
+    AutoTVM-like tunes by random search with a fixed budget (1000 trials);
+    Ansor-like by evolutionary search (800 trials), which finds better
+    optima in the same space. Neither space can express double buffering. *)
+
+type strategy = Random_search | Evolutionary
+
+val seconds_per_trial : float
+
+(** {1 Space cardinality (Fig. 7)} *)
+
+val ordered_factorizations : int -> int -> float
+(** [ordered_factorizations n j]: number of ways to write [n] as an ordered
+    product of [j] positive factors. *)
+
+val matmul_space_size : m:int -> n:int -> k:int -> float
+val conv_space_size : x_shape:int list -> w_shape:int list -> stride:int -> pad_h:int -> pad_w:int -> float
+val depthwise_space_size : oh:int -> ow:int -> float
+
+(** {1 Samplers} *)
+
+val random_factorization : Random.State.t -> int -> int -> int array
+(** Random ordered factorization of [n] into [j] factors (product = [n]). *)
+
+val sample_gemm_sched :
+  Random.State.t -> m:int -> n:int -> k:int -> Loop_sched.sched
+(** A uniform-ish random point of the modeled space, mapped onto the
+    realizable knobs; may fail [Loop_sched.check] (invalid candidates cost a
+    trial, as on real hardware). *)
+
+val sample_dw_sched : Random.State.t -> p:int -> Loop_sched.dw_sched
+
+(** {1 Tuners} *)
+
+type tuned = {
+  compiled : Hidet_sched.Compiled.t;
+  latency : float;
+  trials : int;
+  simulated_seconds : float;
+}
+
+val tune_gemm :
+  strategy:strategy ->
+  trials:int ->
+  device:Hidet_gpu.Device.t ->
+  seed:int ->
+  m:int ->
+  n:int ->
+  k:int ->
+  compile:(Loop_sched.sched -> Hidet_sched.Compiled.t) ->
+  tuned option
+(** [None] when no sampled candidate is feasible (e.g. prime extents). *)
+
+val tune_depthwise :
+  strategy:strategy ->
+  trials:int ->
+  device:Hidet_gpu.Device.t ->
+  seed:int ->
+  p:int ->
+  compile:(Loop_sched.dw_sched -> Hidet_sched.Compiled.t) ->
+  tuned option
+
+(** {1 Engines} *)
+
+module Autotvm : Hidet_runtime.Engine.S
+module Ansor : Hidet_runtime.Engine.S
+
+val autotvm_trials : int
+val ansor_trials : int
+
+val compile_with :
+  name:string ->
+  strategy:strategy ->
+  trials:int ->
+  Hidet_gpu.Device.t ->
+  Hidet_graph.Graph.t ->
+  Hidet_runtime.Engine.result
+(** Shared engine implementation (exposed for tests and ablations). *)

@@ -1,0 +1,1 @@
+lib/compute/def.ml: Float Format Hidet_ir Hidet_tensor List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/compute/def.mli: Format Hidet_ir Hidet_tensor

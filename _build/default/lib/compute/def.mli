@@ -1,0 +1,95 @@
+(** Computation definitions: the mathematical description of an operator,
+    decoupled from any schedule (the input of both scheduling mechanisms in
+    the paper's §5.1.3 and the currency of post-scheduling fusion, §5.2).
+
+    A definition gives, for every output element (indexed by output axes),
+    a scalar expression over the input tensors — optionally wrapped in a
+    reduction over reduction axes:
+
+    {v out[i0, ..] = reduce_{r0, ..} body(i0, .., r0, ..) v} *)
+
+(** Scalar expressions over abstract axes. *)
+type scalar =
+  | Const of float
+  | Const_int of int  (** integer literal: lowers to integer IR arithmetic *)
+  | Axis of int  (** output axis [i] *)
+  | Raxis of int  (** reduction axis [i] *)
+  | Input of int * scalar list  (** input tensor [k] at the given indices *)
+  | Bin of Hidet_ir.Expr.binop * scalar * scalar
+  | Un of Hidet_ir.Expr.unop * scalar
+  | Sel of scalar * scalar * scalar
+      (** [Sel (cond, a, b)]: [a] where [cond] is true (nonzero), else [b].
+          [cond] should be a comparison/logical [Bin]. Used for padding and
+          boundary predication (e.g. im2col, pooling). *)
+
+type reduce_kind = Sum | Max_reduce
+
+type t = {
+  name : string;
+  in_shapes : int list list;
+  out_shape : int list;
+  body : scalar;
+  reduce : (int list * reduce_kind) option;
+      (** reduction axis extents and combining operation *)
+  bijection : (Hidet_ir.Expr.t list -> Hidet_ir.Expr.t list) option;
+      (** For bijective single-input transforms: maps an {e input} element
+          index to the {e output} index it lands on. Enables epilogue fusion
+          of the operator (paper §4.2). *)
+}
+
+val create :
+  ?reduce:int list * reduce_kind ->
+  ?bijection:(Hidet_ir.Expr.t list -> Hidet_ir.Expr.t list) ->
+  name:string ->
+  in_shapes:int list list ->
+  out_shape:int list ->
+  scalar ->
+  t
+
+(** {1 Classification (paper §4.2)} *)
+
+val is_injective : t -> bool
+(** No reduction: qualified as a prologue operator. *)
+
+val is_bijective : t -> bool
+(** Injective with an index bijection, and input 0 has the same element
+    count as the output: qualified as an epilogue operator (extra inputs,
+    e.g. a residual tensor, are loaded at the fused store site). *)
+
+(** {1 Scalar helpers} *)
+
+val ( + ) : scalar -> scalar -> scalar
+val ( - ) : scalar -> scalar -> scalar
+val ( * ) : scalar -> scalar -> scalar
+val ( / ) : scalar -> scalar -> scalar
+val maxs : scalar -> scalar -> scalar
+val sel : scalar -> scalar -> scalar -> scalar
+val lts : scalar -> scalar -> scalar
+val ges : scalar -> scalar -> scalar
+val ands : scalar -> scalar -> scalar
+val input : int -> scalar list -> scalar
+val axis : int -> scalar
+val raxis : int -> scalar
+val const : float -> scalar
+val iconst : int -> scalar
+
+(** {1 Reference evaluation} *)
+
+val eval : t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+(** Evaluate on CPU tensors; the oracle for all scheduled kernels. Raises
+    [Invalid_argument] on input shape mismatch. *)
+
+(** {1 Lowering support} *)
+
+val scalar_to_expr :
+  inputs:(int -> Hidet_ir.Expr.t list -> Hidet_ir.Expr.t) ->
+  axes:Hidet_ir.Expr.t list ->
+  raxes:Hidet_ir.Expr.t list ->
+  scalar ->
+  Hidet_ir.Expr.t
+(** Instantiate a scalar expression as IR: [inputs k idx] supplies the IR
+    expression for reading input [k] at [idx] (a buffer load, or an inlined
+    producer expression during prologue fusion). *)
+
+val num_out_elems : t -> int
+val pp : Format.formatter -> t -> unit

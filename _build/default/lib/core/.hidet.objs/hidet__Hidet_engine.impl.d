@@ -1,0 +1,1 @@
+lib/core/hidet_engine.ml: Hashtbl Hidet_fusion Hidet_graph Hidet_runtime Hidet_sched List Option Printf String Unix

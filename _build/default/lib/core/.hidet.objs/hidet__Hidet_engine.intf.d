@@ -1,0 +1,1 @@
+lib/core/hidet_engine.mli: Hidet_gpu Hidet_graph Hidet_runtime

@@ -1,0 +1,200 @@
+module G = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+module Passes = Hidet_graph.Passes
+module Compiled = Hidet_sched.Compiled
+module MT = Hidet_sched.Matmul_template
+module Tuner = Hidet_sched.Tuner
+module Fuse = Hidet_fusion.Fuse
+module Plan = Hidet_runtime.Plan
+module Engine = Hidet_runtime.Engine
+module GC = Hidet_runtime.Group_compiler
+
+type options = {
+  lower_convs : bool;
+  fuse : bool;
+  allow_tensor_core : bool;
+  allow_double_buffer : bool;
+}
+
+let default_options =
+  {
+    lower_convs = true;
+    fuse = true;
+    (* The paper's end-to-end evaluation runs fp32 (TF32 tensor cores are
+       opt-in for cuDNN/cuBLAS and absent from the TVM baselines); the
+       tensor-core path is exercised by the ablation benches and examples. *)
+    allow_tensor_core = false;
+    allow_double_buffer = true;
+  }
+
+type tuning_stats = { mutable cost : float; mutable wall : float }
+
+(* Hidet compiles schedule candidates in parallel on the host CPU (the
+   paper's "enumerating all candidates within one minute"), so its
+   per-candidate cost is a fraction of the sequential measure-one-at-a-time
+   cost the loop-oriented tuners pay. *)
+let hidet_seconds_per_trial = Hidet_sched.Tuner.seconds_per_trial /. 4.
+
+(* Per-compilation tuning cache: tune once per distinct workload signature,
+   then re-instantiate fresh kernels per call site. *)
+type cache = (string, (unit -> Compiled.t) option) Hashtbl.t
+
+let tuned (cache : cache) (stats : tuning_stats) key tune_fn instantiate =
+  let maker =
+    match Hashtbl.find_opt cache key with
+    | Some m -> m
+    | None ->
+      let m =
+        match tune_fn () with
+        | Some (cfg, _, (st : Tuner.stats)) ->
+          stats.cost <- stats.cost +. st.Tuner.simulated_seconds;
+          stats.wall <- stats.wall +. st.Tuner.wall_seconds;
+          Some (fun () -> instantiate cfg)
+        | None -> None
+      in
+      Hashtbl.replace cache key m;
+      m
+  in
+  Option.map (fun f -> f ()) maker
+
+let restrict_space options space =
+  List.filter
+    (fun (c : MT.config) ->
+      (options.allow_tensor_core || not c.MT.use_tensor_core)
+      && (options.allow_double_buffer || c.MT.stages = 1))
+    space
+
+(* --- anchor scheduling ------------------------------------------------------ *)
+
+let rows_cols shape =
+  let cols = List.nth shape (List.length shape - 1) in
+  (List.fold_left ( * ) 1 shape / cols, cols)
+
+let schedule_matmul options device cache stats ~sa ~sb ~out_rank =
+  let a_batched, batch_a, m, k =
+    match sa with
+    | [ m; k ] -> (false, 1, m, k)
+    | [ b; m; k ] -> (true, b, m, k)
+    | _ -> invalid_arg "hidet: matmul A rank"
+  in
+  let b_batched, batch_b, n =
+    match sb with
+    | [ _; n ] -> (false, 1, n)
+    | [ b; _; n ] -> (true, b, n)
+    | _ -> invalid_arg "hidet: matmul B rank"
+  in
+  let batch = max batch_a batch_b in
+  let key = Printf.sprintf "matmul_%d_%b_%b_%d_%d_%d" batch a_batched b_batched m n k in
+  let space = restrict_space options (Hidet_sched.Space.matmul_with_split_k ~m ~n) in
+  let compiled =
+    tuned cache stats key
+      (fun () ->
+        Tuner.tune ~seconds_per_trial:hidet_seconds_per_trial ~device
+          ~candidates:space
+          ~compile:(fun cfg -> MT.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)
+          ())
+      (fun cfg -> MT.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)
+  in
+  match compiled with
+  | None -> failwith "hidet: no feasible matmul schedule"
+  | Some c ->
+    (* The template always produces [batch, m, n]; adapt rank-2 graphs. *)
+    if out_rank = 2 then
+      Fuse.fuse_epilogue c (Op.to_def (Op.Reshape [ m; n ]) [ [ 1; m; n ] ])
+    else c
+
+let block_candidates = [ 64; 128; 256 ]
+
+let schedule_anchor options device (cache : cache) stats g (anchor : G.node) =
+  let in_shapes = List.map (G.node_shape g) anchor.G.inputs in
+  match (anchor.G.op, in_shapes) with
+  | Op.Matmul, [ sa; sb ] ->
+    schedule_matmul options device cache stats ~sa ~sb
+      ~out_rank:(List.length anchor.G.shape)
+  | Op.Softmax, [ s ] ->
+    let rows, cols = rows_cols s in
+    Option.get
+      (tuned cache stats
+         (Printf.sprintf "softmax_%d_%d" rows cols)
+         (fun () ->
+           Tuner.tune ~seconds_per_trial:hidet_seconds_per_trial ~device
+             ~candidates:block_candidates
+             ~compile:(fun b ->
+               Hidet_sched.Row_templates.softmax ~block_size:b ~rows ~cols ())
+             ())
+         (fun b -> Hidet_sched.Row_templates.softmax ~block_size:b ~rows ~cols ()))
+  | Op.Layernorm { eps }, [ s; _; _ ] ->
+    let rows, cols = rows_cols s in
+    Option.get
+      (tuned cache stats
+         (Printf.sprintf "layernorm_%d_%d" rows cols)
+         (fun () ->
+           Tuner.tune ~seconds_per_trial:hidet_seconds_per_trial ~device
+             ~candidates:block_candidates
+             ~compile:(fun b ->
+               Hidet_sched.Row_templates.layernorm ~block_size:b ~eps ~rows ~cols ())
+             ())
+         (fun b ->
+           Hidet_sched.Row_templates.layernorm ~block_size:b ~eps ~rows ~cols ()))
+  | Op.Global_avg_pool, [ s ] ->
+    let def = Op.to_def anchor.G.op [ s ] in
+    let key =
+      Printf.sprintf "gap_%s" (String.concat "x" (List.map string_of_int s))
+    in
+    let compiled =
+      tuned cache stats key
+        (fun () ->
+          Tuner.tune ~seconds_per_trial:hidet_seconds_per_trial ~device
+            ~candidates:Hidet_sched.Reduce_template.space
+            ~compile:(fun cfg ->
+              Hidet_sched.Reduce_template.schedule ~config:cfg def)
+            ())
+        (fun cfg -> Hidet_sched.Reduce_template.schedule ~config:cfg def)
+    in
+    Option.value compiled ~default:(Hidet_sched.Rule_based.schedule def)
+  | _ ->
+    (* Direct convolutions, depthwise, pooling, leftover injective chains,
+       concat: rule-based scheduling from the computation definition. *)
+    Hidet_sched.Rule_based.schedule (Op.to_def anchor.G.op in_shapes)
+
+(* --- the engine ---------------------------------------------------------------- *)
+
+let compile_plan ?(options = default_options) device g =
+  let t0 = Unix.gettimeofday () in
+  let g = if options.lower_convs then Passes.lower_conv_to_gemm g else g in
+  let g = Passes.optimize g in
+  let cache : cache = Hashtbl.create 32 in
+  let stats = { cost = 0.; wall = 0. } in
+  let gc_config =
+    {
+      GC.schedule_anchor = (fun g n -> schedule_anchor options device cache stats g n);
+      may_fuse_prologue = (fun _ -> options.fuse);
+      may_fuse_epilogue = (fun _ -> options.fuse);
+    }
+  in
+  let plan = GC.compile_graph gc_config g in
+  let wall = Unix.gettimeofday () -. t0 in
+  let result =
+    {
+      Engine.engine = "hidet";
+      model = G.get_name g;
+      latency = Plan.latency device plan;
+      tuning_cost = stats.cost;
+      tuning_wall = wall;
+      kernel_count = Plan.kernel_count plan;
+      plan = Some plan;
+    }
+  in
+  (plan, result)
+
+let name = "hidet"
+
+let caps =
+  {
+    Engine.graph_opt = Engine.High;
+    kernel_opt = Engine.High;
+    tuning_time = Engine.High;
+    engineering_effort = Engine.Medium;
+  }
+
+let compile device g = snd (compile_plan device g)

@@ -1,0 +1,34 @@
+(** The Hidet compilation pipeline (the paper's Fig. 10):
+
+    1. graph-level optimizations (constant folding, dead-code elimination)
+       plus lowering of convolutions to implicit GEMM;
+    2. fusion partitioning (anchor + injective prologues + bijective
+       epilogues);
+    3. anchor scheduling — template-based for matmul (hardware-centric
+       space, exhaustively tuned, workload-cached), row templates for
+       softmax/layernorm, block-parallel reduction for global pooling,
+       rule-based for everything else;
+    4. post-scheduling fusion of the group into the scheduled program
+       (falling back to standalone rule-based kernels when a neighbor
+       cannot be fused, e.g. rank-incompatible transforms);
+    5. lowering to CUDA C text + executable plan on the simulator. *)
+
+type options = {
+  lower_convs : bool;  (** implicit-GEMM lowering (default true) *)
+  fuse : bool;  (** post-scheduling fusion (default true; off = ablation) *)
+  allow_tensor_core : bool;  (** default true; off = ablation *)
+  allow_double_buffer : bool;  (** default true; off = ablation *)
+}
+
+val default_options : options
+
+val compile_plan :
+  ?options:options ->
+  Hidet_gpu.Device.t ->
+  Hidet_graph.Graph.t ->
+  Hidet_runtime.Plan.t * Hidet_runtime.Engine.result
+(** Compile to an executable plan plus the engine result record (latency,
+    tuning cost, kernel count). Tuning is cached per workload signature
+    within one call. *)
+
+include Hidet_runtime.Engine.S

@@ -1,0 +1,1 @@
+lib/fusion/fuse.ml: Buffer Expr Hidet_compute Hidet_ir Hidet_sched Kernel List Option Printf Simplify Stmt String

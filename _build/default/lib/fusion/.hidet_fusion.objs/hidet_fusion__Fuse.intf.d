@@ -1,0 +1,1 @@
+lib/fusion/fuse.mli: Hidet_compute Hidet_sched

@@ -1,0 +1,40 @@
+(** Post-scheduling fusion (the paper's §4.2/§5.2).
+
+    The anchor operator is scheduled {e alone} (template- or rule-based);
+    surrounding operators are then fused into the already-scheduled tensor
+    program:
+
+    - a {b prologue} (injective operator producing anchor input [i]) replaces
+      every load of that input with the prologue's defining expression,
+      inlined at the loaded index;
+    - an {b epilogue} (bijective operator consuming the anchor output)
+      rewrites every store of the output: the stored value flows through the
+      epilogue's scalar body, and the store index through its index
+      bijection.
+
+    Both rewrites operate on the scheduled IR directly, so the anchor's
+    schedule — tiling, task mappings, double buffering, split-k — is
+    untouched; tuning measures the fused program (the paper's "the
+    decoupling does not hurt the final performance").
+
+    Shape discipline: the prologue's output shape must equal the anchor
+    input buffer's shape, and the epilogue's input shape the anchor output
+    buffer's shape. The graph layer arranges ranks accordingly. *)
+
+val fuse_prologue :
+  Hidet_sched.Compiled.t ->
+  input_index:int ->
+  Hidet_compute.Def.t ->
+  Hidet_sched.Compiled.t
+(** [fuse_prologue anchor ~input_index def] inlines [def] into every load of
+    input [input_index]. The fused operator's input list replaces that slot
+    with [def]'s own inputs. Raises [Invalid_argument] if [def] is not
+    injective or shapes disagree. *)
+
+val fuse_epilogue :
+  Hidet_sched.Compiled.t -> Hidet_compute.Def.t -> Hidet_sched.Compiled.t
+(** [fuse_epilogue anchor def] pushes every store of the anchor output
+    through [def]. [def]'s input 0 is the anchor output; any further inputs
+    (e.g. a residual tensor) are appended to the fused operator's inputs.
+    Raises [Invalid_argument] if [def] is not bijective w.r.t. input 0 or
+    shapes disagree. *)

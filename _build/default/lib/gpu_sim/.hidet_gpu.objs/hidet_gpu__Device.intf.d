@@ -1,0 +1,1 @@
+lib/gpu_sim/device.mli: Format

@@ -1,0 +1,1 @@
+lib/gpu_sim/interp.ml: Array Buffer Effect Expr Hashtbl Hidet_ir Int Kernel List Map Option Printf Stmt Var Verify

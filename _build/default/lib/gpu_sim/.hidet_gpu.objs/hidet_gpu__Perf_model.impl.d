@@ -1,0 +1,1 @@
+lib/gpu_sim/perf_model.ml: Device Float Format Hidet_ir Kernel Pipeline Printf Traffic

@@ -1,0 +1,1 @@
+lib/gpu_sim/perf_model.mli: Device Format Hidet_ir

@@ -1,0 +1,1 @@
+lib/gpu_sim/pipeline.ml: Buffer Expr Hidet_ir Kernel List Stmt

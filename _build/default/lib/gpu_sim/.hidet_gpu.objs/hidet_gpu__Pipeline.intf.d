@@ -1,0 +1,1 @@
+lib/gpu_sim/pipeline.mli: Hidet_ir

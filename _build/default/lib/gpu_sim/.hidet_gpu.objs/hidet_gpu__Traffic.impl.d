@@ -1,0 +1,1 @@
+lib/gpu_sim/traffic.ml: Buffer Dtype Expr Float Hashtbl Hidet_ir Kernel List Stmt Var

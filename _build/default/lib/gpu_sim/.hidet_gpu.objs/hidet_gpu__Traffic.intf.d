@@ -1,0 +1,1 @@
+lib/gpu_sim/traffic.mli: Hidet_ir

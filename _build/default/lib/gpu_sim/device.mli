@@ -1,0 +1,39 @@
+(** GPU device models.
+
+    The simulator is parameterized by a device description so experiments can
+    be re-run on hypothetical hardware. {!rtx3090} mirrors the paper's
+    evaluation platform (NVIDIA GeForce RTX 3090, Ampere GA102). *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  shared_mem_per_sm : int;  (** bytes *)
+  shared_mem_per_block : int;  (** bytes, architectural per-block cap *)
+  registers_per_sm : int;  (** 32-bit registers *)
+  max_registers_per_thread : int;
+  warp_size : int;
+  mem_bandwidth : float;  (** bytes / second *)
+  fp32_tflops : float;  (** CUDA-core FP32 peak *)
+  tensor_tflops : float;  (** tensor-core TF32 peak *)
+  shared_bandwidth_per_sm : float;  (** bytes / second per SM *)
+  kernel_launch_overhead : float;  (** seconds *)
+  sync_latency : float;  (** seconds per __syncthreads per block *)
+  saturation_threads_per_sm : int;
+      (** resident threads needed to reach peak issue rate *)
+}
+
+val rtx3090 : t
+(** The paper's evaluation GPU (Ampere GA102). *)
+
+val a100 : t
+(** Datacenter Ampere (GA100): more SMs and bandwidth, lower FP32 clock
+    throughput, far higher tensor throughput. Used by the device-sweep
+    ablation to show the hardware-centric space retargeting. *)
+
+val fp32_flops : t -> float
+(** Peak CUDA-core throughput in FLOP/s. *)
+
+val tensor_flops : t -> float
+val pp : Format.formatter -> t -> unit

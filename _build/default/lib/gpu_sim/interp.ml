@@ -1,0 +1,206 @@
+open Hidet_ir
+
+exception Barrier_divergence of string
+exception Invalid_access of string
+
+type _ Effect.t += Sync : unit Effect.t
+
+let warp_size = 32
+
+module Int_map = Map.Make (Int)
+
+(* Storage for one buffer: a flat float array (all dtypes are stored as
+   floats; integer tensors do not occur in the generated kernels). *)
+type store = (int, float array) Hashtbl.t
+
+let alloc_into (tbl : store) (bufs : Hidet_ir.Buffer.t list) =
+  List.iter
+    (fun (b : Hidet_ir.Buffer.t) ->
+      Hashtbl.replace tbl b.Buffer.id (Array.make (Buffer.num_elems b) 0.))
+    bufs
+
+let flat (b : Hidet_ir.Buffer.t) (idx : int list) =
+  try Buffer.flat_index b idx
+  with Invalid_argument msg -> raise (Invalid_access msg)
+
+(* Execution context of one thread. *)
+type thread_ctx = {
+  tid : int;
+  bid : int;
+  globals : store;
+  shared : store;  (** per block *)
+  warps : store array;  (** per warp of the block *)
+  regs : store;  (** per thread *)
+}
+
+let locate ctx (b : Hidet_ir.Buffer.t) : float array =
+  let tbl =
+    match b.Buffer.scope with
+    | Buffer.Global -> ctx.globals
+    | Buffer.Shared -> ctx.shared
+    | Buffer.Warp -> ctx.warps.(ctx.tid / warp_size)
+    | Buffer.Register -> ctx.regs
+  in
+  match Hashtbl.find_opt tbl b.Buffer.id with
+  | Some arr -> arr
+  | None ->
+    raise
+      (Invalid_access
+         (Printf.sprintf "buffer %s (%s) not allocated" b.Buffer.name
+            (Buffer.scope_name b.Buffer.scope)))
+
+let load_value ctx b idx = Expr.V_float (locate ctx b).(flat b idx)
+
+let env_of ctx (vars : Expr.value Int_map.t) : Expr.env =
+  {
+    Expr.lookup =
+      (fun v ->
+        match Int_map.find_opt v.Var.id vars with
+        | Some value -> value
+        | None ->
+          raise (Invalid_access (Printf.sprintf "unbound variable %s" (Var.name v))));
+    load = (fun b idx -> load_value ctx b idx);
+    thread_idx = ctx.tid;
+    block_idx = ctx.bid;
+  }
+
+let exec_mma ctx vars (m : Stmt.mma) =
+  (* Executed cooperatively by the warp; simulated once, by lane 0. *)
+  if ctx.tid mod warp_size = 0 then begin
+    let env = env_of ctx vars in
+    let off l = List.map (Expr.eval_int env) l in
+    let a_off = off m.a_off and b_off = off m.b_off and c_off = off m.c_off in
+    let a = locate ctx m.a and b = locate ctx m.b and c = locate ctx m.c in
+    let tile_index (buf : Hidet_ir.Buffer.t) base i j =
+      (* base locates the tile origin; i, j offset the two trailing dims. *)
+      let n = List.length base in
+      let adjusted =
+        List.mapi
+          (fun p x -> if p = n - 2 then x + i else if p = n - 1 then x + j else x)
+          base
+      in
+      flat buf adjusted
+    in
+    for i = 0 to m.m - 1 do
+      for j = 0 to m.n - 1 do
+        let acc = ref c.(tile_index m.c c_off i j) in
+        for k = 0 to m.k - 1 do
+          acc :=
+            !acc
+            +. (a.(tile_index m.a a_off i k) *. b.(tile_index m.b b_off k j))
+        done;
+        c.(tile_index m.c c_off i j) <- !acc
+      done
+    done
+  end
+
+let rec exec_stmt ctx vars (s : Stmt.t) : unit =
+  match s with
+  | Stmt.Seq ss -> List.iter (exec_stmt ctx vars) ss
+  | For { var; extent; body; _ } ->
+    let n = Expr.eval_int (env_of ctx vars) extent in
+    for i = 0 to n - 1 do
+      exec_stmt ctx (Int_map.add var.Var.id (Expr.V_int i) vars) body
+    done
+  | If { cond; then_; else_ } ->
+    if Expr.eval_bool (env_of ctx vars) cond then exec_stmt ctx vars then_
+    else Option.iter (exec_stmt ctx vars) else_
+  | Let { var; value; body } ->
+    let v = Expr.eval (env_of ctx vars) value in
+    exec_stmt ctx (Int_map.add var.Var.id v vars) body
+  | Store { buf; indices; value } ->
+    let env = env_of ctx vars in
+    let idx = List.map (Expr.eval_int env) indices in
+    let v = Expr.eval_float env value in
+    (locate ctx buf).(flat buf idx) <- v
+  | Mma m -> exec_mma ctx vars m
+  | Sync_threads -> Effect.perform Sync
+  | Comment _ -> ()
+
+type status = Finished | Blocked of (unit, status) Effect.Deep.continuation
+
+let start_thread body : status =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sync ->
+            Some
+              (fun (k : (a, status) Effect.Deep.continuation) -> Blocked k)
+          | _ -> None);
+    }
+
+let run_block (k : Kernel.t) globals bid =
+  let shared : store = Hashtbl.create 4 in
+  alloc_into shared k.shared;
+  let num_warps = (k.block_dim + warp_size - 1) / warp_size in
+  let warps =
+    Array.init num_warps (fun _ ->
+        let tbl : store = Hashtbl.create 4 in
+        alloc_into tbl k.warp_bufs;
+        tbl)
+  in
+  let make_ctx tid =
+    let regs : store = Hashtbl.create 4 in
+    alloc_into regs k.regs;
+    { tid; bid; globals; shared; warps; regs }
+  in
+  let statuses =
+    Array.init k.block_dim (fun tid ->
+        start_thread (fun () -> exec_stmt (make_ctx tid) Int_map.empty k.body))
+  in
+  (* Barrier loop: advance all blocked threads phase by phase. *)
+  let rec phases statuses =
+    let blocked = Array.exists (function Blocked _ -> true | Finished -> false) statuses in
+    if blocked then begin
+      let finished =
+        Array.exists (function Finished -> true | Blocked _ -> false) statuses
+      in
+      if finished then
+        raise
+          (Barrier_divergence
+             (Printf.sprintf
+                "kernel %s, block %d: some threads exited while others wait at \
+                 a barrier"
+                k.name bid));
+      phases
+        (Array.map
+           (function
+             | Blocked cont -> Effect.Deep.continue cont ()
+             | Finished -> Finished)
+           statuses)
+    end
+  in
+  phases statuses
+
+let run (k : Kernel.t) bindings =
+  Verify.kernel_exn k;
+  let globals : store = Hashtbl.create 8 in
+  List.iter
+    (fun ((b : Hidet_ir.Buffer.t), arr) ->
+      if Array.length arr <> Buffer.num_elems b then
+        invalid_arg
+          (Printf.sprintf "Interp.run: binding for %s has %d elements, expected %d"
+             b.Buffer.name (Array.length arr) (Buffer.num_elems b));
+      Hashtbl.replace globals b.Buffer.id arr)
+    bindings;
+  List.iter
+    (fun (b : Hidet_ir.Buffer.t) ->
+      if not (Hashtbl.mem globals b.Buffer.id) then
+        invalid_arg
+          (Printf.sprintf "Interp.run: missing binding for parameter %s"
+             b.Buffer.name))
+    k.params;
+  for bid = 0 to k.grid_dim - 1 do
+    run_block k globals bid
+  done
+
+let run_alloc k ~inputs ~outputs =
+  let out_arrays =
+    List.map (fun b -> Array.make (Buffer.num_elems b) 0.) outputs
+  in
+  run k (inputs @ List.combine outputs out_arrays);
+  out_arrays

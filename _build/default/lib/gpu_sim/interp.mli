@@ -1,0 +1,31 @@
+(** Functional interpreter for IR kernels.
+
+    Executes a kernel exactly as a GPU would, block by block: every block
+    runs its threads as cooperative fibers (OCaml 5 effects) that advance in
+    lockstep between [__syncthreads] barriers, with per-scope memory (global,
+    shared per block, warp-distributed, per-thread registers). MMA statements
+    execute once per warp.
+
+    This engine is for correctness (small shapes); latency comes from
+    {!Perf_model}. *)
+
+exception Barrier_divergence of string
+(** Raised when some threads of a block reach a barrier while others have
+    already exited — undefined behaviour on real hardware. *)
+
+exception Invalid_access of string
+(** Out-of-bounds or wrong-scope access detected during execution. *)
+
+val run : Hidet_ir.Kernel.t -> (Hidet_ir.Buffer.t * float array) list -> unit
+(** [run kernel bindings] executes the kernel. [bindings] must provide one
+    array per kernel parameter, each of length [Buffer.num_elems]; output
+    arrays are mutated in place. Raises [Invalid_argument] on missing or
+    mis-sized bindings. *)
+
+val run_alloc :
+  Hidet_ir.Kernel.t ->
+  inputs:(Hidet_ir.Buffer.t * float array) list ->
+  outputs:Hidet_ir.Buffer.t list ->
+  float array list
+(** Convenience wrapper: allocates zero-filled arrays for [outputs], runs,
+    and returns them in order. *)

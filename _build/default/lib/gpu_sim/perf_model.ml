@@ -1,0 +1,158 @@
+open Hidet_ir
+
+type estimate = {
+  latency : float;
+  mem_time : float;
+  compute_time : float;
+  waves : int;
+  blocks_per_sm : int;
+  occupancy : float;
+  pipelined : bool;
+  feasible : bool;
+  note : string;
+}
+
+let infeasible note =
+  {
+    latency = infinity;
+    mem_time = infinity;
+    compute_time = infinity;
+    waves = 0;
+    blocks_per_sm = 0;
+    occupancy = 0.;
+    pipelined = false;
+    feasible = false;
+    note;
+  }
+
+let ceil_div a b = (a + b - 1) / b
+
+let occupancy_limits (d : Device.t) (k : Kernel.t) =
+  let smem = Kernel.shared_bytes k in
+  let regs = Kernel.regs_per_thread k in
+  if k.block_dim > 1024 then Error "block_dim exceeds 1024"
+  else if smem > d.shared_mem_per_block then
+    Error (Printf.sprintf "shared memory %d B exceeds per-block cap %d B" smem d.shared_mem_per_block)
+  else if regs > d.max_registers_per_thread then
+    Error (Printf.sprintf "%d registers/thread exceeds cap %d" regs d.max_registers_per_thread)
+  else begin
+    let by_threads = d.max_threads_per_sm / k.block_dim in
+    let by_smem = if smem = 0 then d.max_blocks_per_sm else d.shared_mem_per_sm / smem in
+    let by_regs = d.registers_per_sm / (regs * k.block_dim) in
+    let bps = min (min by_threads by_smem) (min by_regs d.max_blocks_per_sm) in
+    if bps <= 0 then Error "zero resident blocks per SM" else Ok bps
+  end
+
+let kernel (d : Device.t) (k : Kernel.t) =
+  match occupancy_limits d k with
+  | Error note -> infeasible note
+  | Ok blocks_per_sm ->
+    let c = Traffic.kernel k in
+    let stages = Pipeline.effective_stages k in
+    let pipelined = stages >= 2 in
+    let warps_per_block = Kernel.num_warps_per_block k in
+    let concurrent = d.num_sms * blocks_per_sm in
+    let active_blocks = min k.grid_dim concurrent in
+    let waves = ceil_div k.grid_dim concurrent in
+    let blocks_on_sm = ceil_div active_blocks d.num_sms in
+    let resident_threads = float_of_int (k.block_dim * blocks_on_sm) in
+    let occupancy =
+      Float.min 1.
+        (float_of_int (k.block_dim * blocks_per_sm)
+        /. float_of_int d.max_threads_per_sm)
+    in
+    (* Per-block memory traffic: weight raw bytes by the transaction factor
+       so strided access pays for wasted cache-line sectors. *)
+    let ld_eff =
+      if c.global_load_bytes > 0. then
+        c.global_ld_transactions *. 4. /. c.global_load_bytes
+      else 1.
+    in
+    let bytes_block =
+      ((c.global_load_bytes *. Float.max 1. ld_eff) +. c.global_store_bytes)
+      *. float_of_int k.block_dim
+    in
+    (* Bandwidth share per block, capped by what one SM's LSUs can pull and
+       degraded when too few threads are resident to hide DRAM latency. *)
+    (* Sublinear saturation: latency hiding degrades gracefully below the
+       saturation point rather than proportionally. *)
+    let sat_curve x = Float.min 1. (Float.pow x 0.6) in
+    let mem_saturation =
+      sat_curve (resident_threads /. (0.75 *. float_of_int d.saturation_threads_per_sm))
+    in
+    let bw_per_block =
+      Float.min
+        (d.mem_bandwidth /. float_of_int active_blocks)
+        (1.5 *. d.mem_bandwidth /. float_of_int d.num_sms)
+      *. mem_saturation
+    in
+    let mem_time = bytes_block /. bw_per_block in
+    (* Compute: peak per SM shared among co-resident blocks, degraded when
+       the SM has too few threads to saturate issue ports. *)
+    let comp_saturation =
+      sat_curve (resident_threads /. float_of_int d.saturation_threads_per_sm)
+    in
+    let cuda_per_block =
+      Device.fp32_flops d /. float_of_int d.num_sms
+      /. float_of_int blocks_on_sm *. comp_saturation
+    in
+    let tensor_saturation =
+      Float.min 1. (float_of_int (warps_per_block * blocks_on_sm) /. 8.)
+    in
+    let tensor_per_block =
+      Device.tensor_flops d /. float_of_int d.num_sms
+      /. float_of_int blocks_on_sm *. tensor_saturation
+    in
+    let shared_per_block =
+      d.shared_bandwidth_per_sm /. float_of_int blocks_on_sm
+    in
+    let flops_block = c.flops *. float_of_int k.block_dim in
+    let mma_block = c.mma_flops *. float_of_int warps_per_block in
+    let shared_block = c.shared_bytes *. float_of_int k.block_dim in
+    let compute_time =
+      (flops_block /. cuda_per_block)
+      +. (mma_block /. Float.max tensor_per_block 1.)
+      +. (shared_block /. shared_per_block)
+    in
+    let sync_time = c.syncs *. d.sync_latency in
+    (* Pipelined kernels overlap memory and compute; the barrier at each
+       stage boundary still exposes a residue of the shorter phase, smaller
+       for deeper pipelines (3-stage multistage vs double buffering). *)
+    let block_time =
+      if pipelined then
+        let residue = if stages >= 3 then 0.05 else 0.15 in
+        Float.max mem_time compute_time
+        +. (residue *. Float.min mem_time compute_time)
+        +. sync_time
+      else mem_time +. compute_time +. sync_time
+    in
+    let latency =
+      d.kernel_launch_overhead +. (float_of_int waves *. block_time)
+    in
+    {
+      latency;
+      mem_time;
+      compute_time;
+      waves;
+      blocks_per_sm;
+      occupancy;
+      pipelined;
+      feasible = true;
+      note = "";
+    }
+
+let latency_exn d k =
+  let e = kernel d k in
+  if not e.feasible then
+    failwith (Printf.sprintf "kernel %s infeasible: %s" k.name e.note)
+  else e.latency
+
+let pp fmt e =
+  if not e.feasible then Format.fprintf fmt "infeasible (%s)" e.note
+  else
+    Format.fprintf fmt
+      "%.1f us (mem %.1f us, compute %.1f us, %d waves, %d blocks/SM, occ \
+       %.0f%%%s)"
+      (e.latency *. 1e6) (e.mem_time *. 1e6) (e.compute_time *. 1e6) e.waves
+      e.blocks_per_sm (e.occupancy *. 100.)
+      (if e.pipelined then ", pipelined" else "")

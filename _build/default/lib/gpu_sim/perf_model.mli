@@ -1,0 +1,41 @@
+(** Analytic latency model.
+
+    Latency is estimated from structural resource counts ({!Traffic}),
+    occupancy, wave quantization and pipeline overlap:
+
+    - Occupancy: resident blocks per SM are limited by threads, shared
+      memory, registers, and the architectural block cap. A kernel whose
+      block exceeds any per-block resource is infeasible.
+    - Waves: blocks are dispatched in waves of [num_sms * blocks_per_sm]; a
+      partially filled final wave costs a full wave (wave quantization).
+    - Per-block time: memory time (bandwidth shared among active blocks,
+      degraded by poor coalescing and low thread counts) and compute time
+      (CUDA-core + tensor-core + shared-memory throughput). With a validated
+      pipelined main loop (stages >= 2) the two overlap:
+      [max(mem, compute)]; otherwise they serialize: [mem + compute].
+    - Fixed costs: kernel launch overhead and per-barrier latency.
+
+    The model is calibrated to RTX 3090 peaks; absolute values are plausible
+    but the goal is ordinal fidelity across schedules (see DESIGN.md §3). *)
+
+type estimate = {
+  latency : float;  (** seconds, including launch overhead *)
+  mem_time : float;  (** per-wave memory component *)
+  compute_time : float;  (** per-wave compute component *)
+  waves : int;
+  blocks_per_sm : int;
+  occupancy : float;  (** resident threads / max threads per SM *)
+  pipelined : bool;
+  feasible : bool;
+  note : string;  (** reason when infeasible *)
+}
+
+val infeasible : string -> estimate
+
+val kernel : Device.t -> Hidet_ir.Kernel.t -> estimate
+(** Estimate one kernel launch. *)
+
+val latency_exn : Device.t -> Hidet_ir.Kernel.t -> float
+(** Latency in seconds; raises [Failure] if the kernel is infeasible. *)
+
+val pp : Format.formatter -> estimate -> unit

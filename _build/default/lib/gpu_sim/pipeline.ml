@@ -1,0 +1,68 @@
+open Hidet_ir
+
+type event =
+  | Prefetch  (** global memory loaded into registers *)
+  | Compute  (** MMA or accumulation reading shared memory *)
+  | Stage  (** registers stored to shared memory *)
+
+let rec contains_load_from scope (e : Expr.t) =
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> false
+  | Binop (_, a, b) -> contains_load_from scope a || contains_load_from scope b
+  | Unop (_, a) -> contains_load_from scope a
+  | Select (c, a, b) ->
+    contains_load_from scope c || contains_load_from scope a
+    || contains_load_from scope b
+  | Load (buf, idx) ->
+    buf.Buffer.scope = scope || List.exists (contains_load_from scope) idx
+
+(* Flatten a statement into its ordered event sequence. *)
+let rec events (s : Stmt.t) : event list =
+  match s with
+  | Seq ss -> List.concat_map events ss
+  | For { body; _ } -> events body
+  | If { then_; else_; _ } -> (
+    events then_ @ match else_ with Some e -> events e | None -> [])
+  | Let { body; _ } -> events body
+  | Store { buf; value; _ } -> (
+    match buf.Buffer.scope with
+    | Buffer.Register | Buffer.Warp ->
+      let g = contains_load_from Buffer.Global value in
+      let c = contains_load_from Buffer.Shared value in
+      (if g then [ Prefetch ] else []) @ if c then [ Compute ] else []
+    | Buffer.Shared ->
+      if contains_load_from Buffer.Global value then []
+        (* direct global->shared copy: not a pipelined pattern *)
+      else [ Stage ]
+    | Buffer.Global -> [])
+  | Mma _ -> [ Compute ]
+  | Sync_threads | Comment _ -> []
+
+let loop_has_pattern body =
+  let evs = events body in
+  (* Ordered subsequence Prefetch ... Compute ... Stage. *)
+  let rec scan state = function
+    | [] -> false
+    | ev :: rest -> (
+      match (state, ev) with
+      | `Want_prefetch, Prefetch -> scan `Want_compute rest
+      | `Want_compute, Compute -> scan `Want_stage rest
+      | `Want_stage, Stage -> true
+      | _ -> scan state rest)
+  in
+  scan `Want_prefetch evs
+
+let rec has_overlap_pattern (s : Stmt.t) =
+  match s with
+  | Stmt.Seq ss -> List.exists has_overlap_pattern ss
+  | For { body; _ } -> loop_has_pattern body || has_overlap_pattern body
+  | If { then_; else_; _ } -> (
+    has_overlap_pattern then_
+    || match else_ with Some e -> has_overlap_pattern e | None -> false)
+  | Let { body; _ } -> has_overlap_pattern body
+  | Store _ | Mma _ | Sync_threads | Comment _ -> false
+
+let effective_stages (k : Kernel.t) =
+  if k.pipeline_stages <= 1 then 1
+  else if has_overlap_pattern k.body then k.pipeline_stages
+  else 1

@@ -1,0 +1,22 @@
+(** Structural validation of a kernel's claimed software-pipelining depth.
+
+    A kernel claiming [pipeline_stages >= 2] (double buffering or deeper)
+    must actually contain the pattern that lets global loads overlap
+    computation — the optimization of the paper's Fig. 5 that loop-oriented
+    scheduling cannot express. The check looks for a loop whose body, in
+    order, (1) issues global-memory loads, (2) computes (MMA or an
+    accumulation reading shared memory), and (3) only then stores the
+    prefetched data to shared memory — i.e. the load of tile [k+1] is in
+    flight during the computation of tile [k].
+
+    {!Perf_model} only grants overlap credit when this check passes, so a
+    scheduler cannot obtain double-buffering speedups by merely setting the
+    flag. *)
+
+val has_overlap_pattern : Hidet_ir.Stmt.t -> bool
+(** True if some loop in the statement exhibits the load → compute →
+    shared-store pattern. *)
+
+val effective_stages : Hidet_ir.Kernel.t -> int
+(** The claimed [pipeline_stages], downgraded to 1 when the structural
+    pattern is absent. *)

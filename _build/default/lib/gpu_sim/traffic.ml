@@ -1,0 +1,174 @@
+open Hidet_ir
+
+type counts = {
+  global_load_bytes : float;
+  global_store_bytes : float;
+  global_ld_transactions : float;
+  shared_bytes : float;
+  flops : float;
+  mma_flops : float;
+  syncs : float;
+}
+
+let zero =
+  {
+    global_load_bytes = 0.;
+    global_store_bytes = 0.;
+    global_ld_transactions = 0.;
+    shared_bytes = 0.;
+    flops = 0.;
+    mma_flops = 0.;
+    syncs = 0.;
+  }
+
+let add a b =
+  {
+    global_load_bytes = a.global_load_bytes +. b.global_load_bytes;
+    global_store_bytes = a.global_store_bytes +. b.global_store_bytes;
+    global_ld_transactions = a.global_ld_transactions +. b.global_ld_transactions;
+    shared_bytes = a.shared_bytes +. b.shared_bytes;
+    flops = a.flops +. b.flops;
+    mma_flops = a.mma_flops +. b.mma_flops;
+    syncs = a.syncs +. b.syncs;
+  }
+
+let scale s a =
+  {
+    global_load_bytes = s *. a.global_load_bytes;
+    global_store_bytes = s *. a.global_store_bytes;
+    global_ld_transactions = s *. a.global_ld_transactions;
+    shared_bytes = s *. a.shared_bytes;
+    flops = s *. a.flops;
+    mma_flops = s *. a.mma_flops;
+    syncs = s *. a.syncs;
+  }
+
+(* Numeric probe environment: [Let]-bound variables evaluate through
+   [bindings]; other free variables and loads read as zero so index
+   expressions can still be evaluated to estimate strides and extents. *)
+let probe_env ?(bindings = fun _ -> None) tid =
+  {
+    Expr.lookup =
+      (fun v ->
+        match bindings v with Some value -> value | None -> Expr.V_int 0);
+    load = (fun _ _ -> Expr.V_float 0.);
+    thread_idx = tid;
+    block_idx = 0;
+  }
+
+let flatten_index (b : Hidet_ir.Buffer.t) indices =
+  List.fold_left2
+    (fun acc idx dim -> Expr.add (Expr.mul acc (Expr.int dim)) idx)
+    (Expr.int 0) indices b.Buffer.dims
+
+let coalescing_stride e =
+  try
+    let v0 = Expr.eval_int (probe_env 0) e in
+    let v1 = Expr.eval_int (probe_env 1) e in
+    abs (v1 - v0)
+  with _ -> 1
+
+let effective_factor stride =
+  if stride = 0 then 0.25 (* broadcast: one transaction serves the warp *)
+  else if stride = 1 then 1.0
+  else Float.min 8.0 (float_of_int stride)
+
+(* Count loads appearing anywhere in an expression, and FLOPs appearing in
+   value position. [in_value] is false inside index computations. *)
+let rec expr_counts ~in_value (e : Expr.t) : counts =
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> zero
+  | Binop (op, a, b) ->
+    let c = add (expr_counts ~in_value a) (expr_counts ~in_value b) in
+    let is_arith =
+      match op with
+      | Add | Sub | Mul | Div | Mod | Min | Max -> true
+      | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> false
+    in
+    if in_value && is_arith then { c with flops = c.flops +. 1. } else c
+  | Unop (op, a) ->
+    let c = expr_counts ~in_value a in
+    let cost =
+      match op with
+      | Neg | Not | Abs -> 1.
+      | Exp | Log | Sqrt | Tanh | Erf -> 4. (* SFU-class instruction *)
+    in
+    if in_value then { c with flops = c.flops +. cost } else c
+  | Select (cond, a, b) ->
+    add
+      (expr_counts ~in_value:false cond)
+      (add (expr_counts ~in_value a) (expr_counts ~in_value b))
+  | Load (buf, indices) ->
+    let c =
+      List.fold_left
+        (fun acc i -> add acc (expr_counts ~in_value:false i))
+        zero indices
+    in
+    let bytes = float_of_int (Dtype.size_bytes buf.Buffer.elt) in
+    (match buf.Buffer.scope with
+    | Buffer.Global ->
+      let stride = coalescing_stride (flatten_index buf indices) in
+      {
+        c with
+        global_load_bytes = c.global_load_bytes +. bytes;
+        global_ld_transactions =
+          c.global_ld_transactions +. effective_factor stride;
+      }
+    | Buffer.Shared | Buffer.Warp ->
+      { c with shared_bytes = c.shared_bytes +. bytes }
+    | Buffer.Register -> c)
+
+let rec stmt_counts env (s : Stmt.t) : counts =
+  let bindings v = Hashtbl.find_opt env v.Var.id in
+  match s with
+  | Seq ss -> List.fold_left (fun acc x -> add acc (stmt_counts env x)) zero ss
+  | For { var; extent; body; _ } ->
+    let n =
+      match Expr.const_int extent with
+      | Some n -> float_of_int (max n 0)
+      | None -> (
+        (* Variable extents (e.g. split-k trip counts) evaluate through the
+           Let bindings collected so far, with block 0 as the probe. *)
+        try float_of_int (max (Expr.eval_int (probe_env ~bindings 0) extent) 1)
+        with _ -> 1.)
+    in
+    (* A loop index averages n/2 over the iterations; probe with 0. *)
+    Hashtbl.replace env var.Var.id (Expr.V_int 0);
+    let c = add (expr_counts ~in_value:false extent) (scale n (stmt_counts env body)) in
+    Hashtbl.remove env var.Var.id;
+    c
+  | If { cond; then_; else_ } ->
+    (* Divergent warps execute both paths serially: count both. *)
+    let c = expr_counts ~in_value:false cond in
+    let c = add c (stmt_counts env then_) in
+    (match else_ with Some e -> add c (stmt_counts env e) | None -> c)
+  | Let { var; value; body } ->
+    let in_value = Dtype.is_float var.Var.dtype in
+    (try Hashtbl.replace env var.Var.id (Expr.eval (probe_env ~bindings 0) value)
+     with _ -> ());
+    let c = add (expr_counts ~in_value value) (stmt_counts env body) in
+    Hashtbl.remove env var.Var.id;
+    c
+  | Store { buf; indices; value } ->
+    let c =
+      List.fold_left
+        (fun acc i -> add acc (expr_counts ~in_value:false i))
+        (expr_counts ~in_value:true value)
+        indices
+    in
+    let bytes = float_of_int (Dtype.size_bytes buf.Buffer.elt) in
+    (match buf.Buffer.scope with
+    | Buffer.Global -> { c with global_store_bytes = c.global_store_bytes +. bytes }
+    | Buffer.Shared | Buffer.Warp -> { c with shared_bytes = c.shared_bytes +. bytes }
+    | Buffer.Register -> c)
+  | Mma m ->
+    let flops = 2. *. float_of_int (m.m * m.n * m.k) in
+    (* The warp streams the A and B operand tiles from shared memory; the C
+       fragment stays in registers. Fragments are reused across adjacent MMA
+       tiles (ldmatrix amortization), modeled as a 0.5 factor. *)
+    let tile_bytes = 4. *. float_of_int ((m.m * m.k) + (m.k * m.n)) *. 0.5 in
+    { zero with mma_flops = flops; shared_bytes = tile_bytes /. 32. }
+  | Sync_threads -> { zero with syncs = 1. }
+  | Comment _ -> zero
+
+let kernel (k : Kernel.t) = stmt_counts (Hashtbl.create 16) k.body

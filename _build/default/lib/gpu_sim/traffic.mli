@@ -1,0 +1,33 @@
+(** Structural resource extraction from kernels.
+
+    Walks the statement tree once, multiplying by (constant) loop extents, to
+    count per-thread memory traffic and arithmetic. Loads and stores under
+    predication are counted fully: on real hardware a warp issues the
+    instruction for all lanes of a partial tile, which is exactly the
+    partial-tile waste the hardware-centric schedule space pays for.
+
+    Index arithmetic is free (it overlaps with memory latency); only
+    operations in value position count as FLOPs. *)
+
+type counts = {
+  global_load_bytes : float;  (** per thread *)
+  global_store_bytes : float;  (** per thread *)
+  global_ld_transactions : float;
+      (** per thread, weighted by coalescing factor: 1.0 = fully coalesced *)
+  shared_bytes : float;  (** per thread *)
+  flops : float;  (** scalar CUDA-core FLOPs per thread *)
+  mma_flops : float;  (** tensor-core FLOPs per warp *)
+  syncs : float;  (** per block *)
+}
+
+val zero : counts
+val kernel : Hidet_ir.Kernel.t -> counts
+
+val coalescing_stride : Hidet_ir.Expr.t -> int
+(** Estimated |d(index)/d(threadIdx.x)| of the innermost index expression
+    (evaluated numerically with other variables at zero): 1 means consecutive
+    threads touch consecutive elements. *)
+
+val effective_factor : int -> float
+(** Memory-traffic multiplier for a given stride: 1.0 when coalesced, up to
+    8.0 for badly strided access (cache lines partially wasted). *)

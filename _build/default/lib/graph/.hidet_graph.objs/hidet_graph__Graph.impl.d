@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Format Hashtbl Hidet_tensor List Op Printf String

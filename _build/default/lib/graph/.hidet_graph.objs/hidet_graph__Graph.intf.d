@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Format Hidet_tensor Lazy Op

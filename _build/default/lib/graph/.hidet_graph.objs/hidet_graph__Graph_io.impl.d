@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Fun Graph Hashtbl Hidet_tensor Lazy List Op Printf String

@@ -1,0 +1,1 @@
+lib/graph/graph_io.mli: Graph

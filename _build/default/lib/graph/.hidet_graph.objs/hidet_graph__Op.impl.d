@@ -1,0 +1,1 @@
+lib/graph/op.ml: Float Fun Hidet_compute Hidet_ir Hidet_tensor Lazy List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/graph/op.mli: Hidet_compute Hidet_tensor Lazy

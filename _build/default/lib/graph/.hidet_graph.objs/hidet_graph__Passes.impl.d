@@ -1,0 +1,1 @@
+lib/graph/passes.ml: Graph Hashtbl Hidet_tensor Lazy List Op

@@ -1,0 +1,1 @@
+lib/graph/reference.ml: Graph Hashtbl Hidet_tensor List Op Printf

@@ -1,0 +1,1 @@
+lib/graph/reference.mli: Graph Hidet_tensor

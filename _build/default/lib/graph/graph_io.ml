@@ -1,0 +1,283 @@
+module Tensor = Hidet_tensor.Tensor
+
+let inline_data_threshold = 4096
+
+(* --- tiny s-expression layer ---------------------------------------------- *)
+
+type sexp = Atom of string | List of sexp list
+
+let rec print_sexp buf = function
+  | Atom s -> Buffer.add_string buf s
+  | List items ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ' ';
+        print_sexp buf item)
+      items;
+    Buffer.add_char buf ')'
+
+exception Parse_error of int * string
+
+let parse_sexps (s : string) : sexp list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | ';' ->
+        while !pos < n && s.[!pos] <> '\n' do incr pos done;
+        skip_ws ()
+      | _ -> ()
+  in
+  let atom () =
+    if s.[!pos] = '"' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && s.[!pos] <> '"' do incr pos done;
+      if !pos >= n then fail "unterminated string";
+      let a = String.sub s start (!pos - start) in
+      incr pos;
+      Atom a
+    end
+    else begin
+      let start = !pos in
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' | '(' | ')' -> false | _ -> true
+      do
+        incr pos
+      done;
+      if start = !pos then fail "empty atom";
+      Atom (String.sub s start (!pos - start))
+    end
+  in
+  let rec expr () =
+    skip_ws ();
+    if !pos >= n then fail "unexpected end of input";
+    if s.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then fail "unterminated list";
+        if s.[!pos] = ')' then incr pos
+        else begin
+          items := expr () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else atom ()
+  in
+  let out = ref [] in
+  skip_ws ();
+  while !pos < n do
+    out := expr () :: !out;
+    skip_ws ()
+  done;
+  List.rev !out
+
+(* --- op <-> sexp ----------------------------------------------------------- *)
+
+let f2s f = Printf.sprintf "%h" f
+let s2f s = try float_of_string s with _ -> failwith ("bad float " ^ s)
+let i2a i = Atom (string_of_int i)
+let ints_of = List.map (fun i -> i2a i)
+
+let op_to_sexp (op : Op.t) : sexp =
+  let l name args = List (Atom name :: args) in
+  match op with
+  | Op.Input -> l "input" []
+  | Op.Constant { value } ->
+    let t = Lazy.force value in
+    if Tensor.numel t <= inline_data_threshold then
+      l "constant"
+        [ List (Atom "data" :: Array.to_list (Array.map (fun v -> Atom (f2s v)) (Tensor.data t))) ]
+    else l "constant" [ Atom "random" ]
+  | Op.Matmul -> l "matmul" []
+  | Op.Conv2d { stride; pad_h; pad_w } -> l "conv2d" (ints_of [ stride; pad_h; pad_w ])
+  | Op.Depthwise_conv2d { stride; padding } -> l "dwconv2d" (ints_of [ stride; padding ])
+  | Op.Pool2d { kind; kernel; stride; padding } ->
+    l "pool2d"
+      (Atom (match kind with Op.Max_pool -> "max" | Op.Avg_pool -> "avg")
+      :: ints_of [ kernel; stride; padding ])
+  | Op.Global_avg_pool -> l "global_avg_pool" []
+  | Op.Unary Op.Relu -> l "relu" []
+  | Op.Unary Op.Gelu -> l "gelu" []
+  | Op.Unary Op.Tanh_act -> l "tanh" []
+  | Op.Unary Op.Sigmoid -> l "sigmoid" []
+  | Op.Unary (Op.Scale_by f) -> l "scale" [ Atom (f2s f) ]
+  | Op.Unary (Op.Clip (lo, hi)) -> l "clip" [ Atom (f2s lo); Atom (f2s hi) ]
+  | Op.Binary Op.Add -> l "add" []
+  | Op.Binary Op.Sub -> l "sub" []
+  | Op.Binary Op.Mul -> l "mul" []
+  | Op.Bias_add -> l "bias_add" []
+  | Op.Scale_shift -> l "scale_shift" []
+  | Op.Softmax -> l "softmax" []
+  | Op.Layernorm { eps } -> l "layernorm" [ Atom (f2s eps) ]
+  | Op.Reshape target -> l "reshape" (ints_of target)
+  | Op.Transpose perm -> l "transpose" (ints_of perm)
+  | Op.Concat { axis } -> l "concat" [ i2a axis ]
+  | Op.Im2col { kh; kw; stride; pad_h; pad_w } ->
+    l "im2col" (ints_of [ kh; kw; stride; pad_h; pad_w ])
+  | Op.Embedding -> l "embedding" []
+
+let int_of = function Atom a -> (try int_of_string a with _ -> failwith ("bad int " ^ a)) | List _ -> failwith "expected int"
+let ints_from = List.map int_of
+
+(* [shape] and [node id] supply context for constants. *)
+let op_of_sexp ~shape ~node_id (s : sexp) : Op.t =
+  match s with
+  | List (Atom name :: args) -> (
+    match (name, args) with
+    | "input", [] -> Op.Input
+    | "constant", [ Atom "random" ] ->
+      Op.Constant
+        { value = lazy (Tensor.rand ~seed:(node_id + 0x517e) shape) }
+    | "constant", [ List (Atom "data" :: values) ] ->
+      let data =
+        Array.of_list
+          (List.map (function Atom a -> s2f a | List _ -> failwith "bad data") values)
+      in
+      Op.Constant { value = lazy (Tensor.of_array shape data) }
+    | "matmul", [] -> Op.Matmul
+    | "conv2d", [ a; b; c ] ->
+      Op.Conv2d { stride = int_of a; pad_h = int_of b; pad_w = int_of c }
+    | "dwconv2d", [ a; b ] ->
+      Op.Depthwise_conv2d { stride = int_of a; padding = int_of b }
+    | "pool2d", [ Atom kind; a; b; c ] ->
+      Op.Pool2d
+        {
+          kind = (match kind with "max" -> Op.Max_pool | "avg" -> Op.Avg_pool | _ -> failwith "bad pool kind");
+          kernel = int_of a;
+          stride = int_of b;
+          padding = int_of c;
+        }
+    | "global_avg_pool", [] -> Op.Global_avg_pool
+    | "relu", [] -> Op.Unary Op.Relu
+    | "gelu", [] -> Op.Unary Op.Gelu
+    | "tanh", [] -> Op.Unary Op.Tanh_act
+    | "sigmoid", [] -> Op.Unary Op.Sigmoid
+    | "scale", [ Atom f ] -> Op.Unary (Op.Scale_by (s2f f))
+    | "clip", [ Atom lo; Atom hi ] -> Op.Unary (Op.Clip (s2f lo, s2f hi))
+    | "add", [] -> Op.Binary Op.Add
+    | "sub", [] -> Op.Binary Op.Sub
+    | "mul", [] -> Op.Binary Op.Mul
+    | "bias_add", [] -> Op.Bias_add
+    | "scale_shift", [] -> Op.Scale_shift
+    | "softmax", [] -> Op.Softmax
+    | "layernorm", [ Atom eps ] -> Op.Layernorm { eps = s2f eps }
+    | "reshape", target -> Op.Reshape (ints_from target)
+    | "transpose", perm -> Op.Transpose (ints_from perm)
+    | "concat", [ a ] -> Op.Concat { axis = int_of a }
+    | "im2col", [ a; b; c; d; e ] ->
+      Op.Im2col
+        { kh = int_of a; kw = int_of b; stride = int_of c; pad_h = int_of d; pad_w = int_of e }
+    | "embedding", [] -> Op.Embedding
+    | _ -> failwith (Printf.sprintf "unknown operator %s" name))
+  | _ -> failwith "expected operator list"
+
+(* --- graph <-> text --------------------------------------------------------- *)
+
+let to_string (g : Graph.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "(graph \"%s\"\n" (Graph.get_name g));
+  List.iter
+    (fun (n : Graph.node) ->
+      let fields =
+        [ i2a n.Graph.id; op_to_sexp n.Graph.op ]
+        @ (if n.Graph.inputs = [] then []
+           else [ List (Atom "inputs" :: ints_of n.Graph.inputs) ])
+        @ [ List (Atom "shape" :: ints_of n.Graph.shape) ]
+      in
+      Buffer.add_string buf "  ";
+      print_sexp buf (List (Atom "node" :: fields));
+      Buffer.add_char buf '\n')
+    (Graph.nodes g);
+  Buffer.add_string buf "  ";
+  print_sexp buf (List (Atom "outputs" :: ints_of (Graph.outputs g)));
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+let field name items =
+  List.find_map
+    (function List (Atom n :: rest) when n = name -> Some rest | _ -> None)
+    items
+
+let of_string s =
+  let top =
+    match parse_sexps s with
+    | [ List (Atom "graph" :: Atom name :: rest) ] -> (name, rest)
+    | _ -> failwith "Graph_io.of_string: expected (graph \"name\" ...)"
+  in
+  let name, items = top in
+  let g = Graph.create () in
+  Graph.name g name;
+  let remap = Hashtbl.create 64 in
+  let outputs = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | List (Atom "node" :: i2a_id :: op_sexp :: fields) ->
+        let id = int_of i2a_id in
+        let inputs =
+          match field "inputs" fields with Some l -> ints_from l | None -> []
+        in
+        let shape =
+          match field "shape" fields with
+          | Some l -> ints_from l
+          | None -> failwith "node without shape"
+        in
+        let op = op_of_sexp ~shape ~node_id:id op_sexp in
+        let new_id =
+          match op with
+          | Op.Input -> Graph.input g shape
+          | Op.Constant { value } -> Graph.constant_lazy g shape value
+          | op ->
+            let mapped =
+              List.map
+                (fun i ->
+                  match Hashtbl.find_opt remap i with
+                  | Some x -> x
+                  | None -> failwith (Printf.sprintf "forward reference to node %d" i))
+                inputs
+            in
+            let nid = Graph.add_op g op mapped in
+            let got = Graph.node_shape g nid in
+            if got <> shape then
+              failwith
+                (Printf.sprintf "node %d: recorded shape disagrees with inference" id);
+            nid
+        in
+        Hashtbl.replace remap id new_id
+      | List (Atom "outputs" :: ids) ->
+        outputs := List.map (fun i -> Hashtbl.find remap (int_of i)) ids
+      | _ -> failwith "unexpected item in graph")
+    items;
+  if !outputs = [] then failwith "graph without outputs";
+  Graph.set_outputs g !outputs;
+  g
+
+let of_string s =
+  try of_string s with
+  | Parse_error (pos, msg) ->
+    failwith (Printf.sprintf "Graph_io.of_string: parse error at %d: %s" pos msg)
+  | Failure msg -> failwith ("Graph_io.of_string: " ^ msg)
+  | Invalid_argument msg -> failwith ("Graph_io.of_string: invalid graph: " ^ msg)
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,45 @@
+(** Graph-level optimization passes (step 2 of the paper's Fig. 10) and the
+    fusion partitioning that feeds post-scheduling fusion. *)
+
+val constant_fold : Graph.t -> Graph.t
+(** Evaluate operators whose inputs are all constants (lazily — weights are
+    only materialized if someone forces them). Typical win: reshaping or
+    transposing weight tensors at compile time (e.g. OIHW conv weights to
+    the [oc, c*k*k] matrix of implicit-GEMM). *)
+
+val dead_code_elim : Graph.t -> Graph.t
+(** Drop nodes not reachable from the outputs. *)
+
+val optimize : Graph.t -> Graph.t
+(** [constant_fold] then [dead_code_elim]. *)
+
+val lower_conv_to_gemm : Graph.t -> Graph.t
+(** Rewrite every [Conv2d] as
+    [reshape(matmul(reshape(w), im2col(x)))] — implicit-GEMM convolution
+    (paper §5.2). The weight reshape constant-folds away; the [im2col] and
+    output [reshape] fuse into the scheduled matmul. Depthwise convolutions
+    are untouched. *)
+
+(** A fusion group: one anchor plus the injective prologues and bijective
+    epilogues absorbed around it (paper §5.2 step 1). Anchor-less groups
+    (a leftover injective chain) use the chain head as [anchor]. *)
+type group = {
+  anchor : int;
+  prologues : int list;  (** absorbed producer ids, topological order *)
+  epilogues : int list;  (** absorbed consumer chain, in application order *)
+  output : int;  (** final node of the group *)
+}
+
+val partition : Graph.t -> group list
+(** Partition all non-[Input]/[Constant] nodes into fusion groups, in
+    topological order of their outputs. Absorption rules:
+    - a producer is absorbed as prologue if it is injective and the group is
+      its only consumer;
+    - a consumer is absorbed as epilogue if it is bijective, consumes the
+      group output as its first operand, and is that output's only consumer.
+    Every node belongs to exactly one group. *)
+
+val group_inputs : Graph.t -> group -> int list
+(** External node ids feeding the group, in deterministic order: the
+    (prologue-substituted) operand order of the anchor followed by extra
+    epilogue operands. *)

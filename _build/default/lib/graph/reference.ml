@@ -1,0 +1,34 @@
+module Tensor = Hidet_tensor.Tensor
+
+let run g bindings =
+  let values = Hashtbl.create 64 in
+  List.iter
+    (fun (id, t) ->
+      let n = Graph.node g id in
+      (match n.Graph.op with
+      | Op.Input -> ()
+      | _ -> invalid_arg "Reference.run: binding a non-input node");
+      if Tensor.shape t <> n.Graph.shape then
+        invalid_arg
+          (Printf.sprintf "Reference.run: input %d shape mismatch" id);
+      Hashtbl.replace values id t)
+    bindings;
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.op with
+      | Op.Input ->
+        if not (Hashtbl.mem values n.Graph.id) then
+          invalid_arg (Printf.sprintf "Reference.run: input %d unbound" n.Graph.id)
+      | op ->
+        let args = List.map (Hashtbl.find values) n.Graph.inputs in
+        Hashtbl.replace values n.Graph.id (Op.eval op args))
+    (Graph.nodes g);
+  List.map (Hashtbl.find values) (Graph.outputs g)
+
+let run1 g inputs =
+  let ids = Graph.input_ids g in
+  if List.length ids <> List.length inputs then
+    invalid_arg "Reference.run1: input count mismatch";
+  match run g (List.combine ids inputs) with
+  | [ out ] -> out
+  | _ -> invalid_arg "Reference.run1: graph has multiple outputs"

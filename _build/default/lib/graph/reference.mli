@@ -1,0 +1,11 @@
+(** Reference (CPU) execution of a whole graph: the end-to-end oracle that
+    engine outputs are validated against in the test suite. *)
+
+val run :
+  Graph.t -> (int * Hidet_tensor.Tensor.t) list -> Hidet_tensor.Tensor.t list
+(** [run g bindings] evaluates the graph with input node ids bound to
+    tensors, returning the output tensors in [Graph.outputs] order. Raises
+    [Invalid_argument] on missing bindings or shape mismatch. *)
+
+val run1 : Graph.t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+(** Bind [Graph.input_ids] positionally; return the single output. *)

@@ -1,0 +1,1 @@
+lib/ir/buffer.ml: Dtype Format Int List Printf String

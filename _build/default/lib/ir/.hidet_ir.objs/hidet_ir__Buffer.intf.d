@@ -1,0 +1,1 @@
+lib/ir/buffer.mli: Dtype Format

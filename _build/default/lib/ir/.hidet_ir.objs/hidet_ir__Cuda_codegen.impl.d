@@ -1,0 +1,1 @@
+lib/ir/cuda_codegen.ml: Buffer Dtype Expr Kernel List Printf Stmt String Var

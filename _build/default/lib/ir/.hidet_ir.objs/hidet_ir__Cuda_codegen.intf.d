@@ -1,0 +1,1 @@
+lib/ir/cuda_codegen.mli: Expr Kernel Stmt

@@ -1,0 +1,1 @@
+lib/ir/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Buffer Float Format Hashtbl List Printf Stdlib Var

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Buffer Format List Printf Stmt String

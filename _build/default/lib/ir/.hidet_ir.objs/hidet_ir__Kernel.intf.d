@@ -1,0 +1,1 @@
+lib/ir/kernel.mli: Buffer Format Stmt

@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Expr Kernel List Option Stmt

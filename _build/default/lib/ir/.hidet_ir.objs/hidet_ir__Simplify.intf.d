@@ -1,0 +1,1 @@
+lib/ir/simplify.mli: Expr Kernel Stmt

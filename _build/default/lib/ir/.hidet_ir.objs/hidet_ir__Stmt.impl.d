@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Buffer Expr Format List Option Printf Var

@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Buffer Expr Format Var

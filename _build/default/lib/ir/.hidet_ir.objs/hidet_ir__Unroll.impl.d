@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Expr Kernel List Option Simplify Stmt

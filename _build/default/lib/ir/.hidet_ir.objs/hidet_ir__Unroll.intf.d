@@ -1,0 +1,1 @@
+lib/ir/unroll.mli: Kernel Stmt

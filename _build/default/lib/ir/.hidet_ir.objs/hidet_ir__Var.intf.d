@@ -1,0 +1,1 @@
+lib/ir/var.mli: Dtype Format

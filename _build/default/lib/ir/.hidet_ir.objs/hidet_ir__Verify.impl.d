@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Buffer Expr Format Int Kernel List Option Printf Set Stmt String Var

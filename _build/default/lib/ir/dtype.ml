@@ -1,0 +1,18 @@
+type t = F16 | F32 | I32 | Bool
+
+let size_bytes = function F16 -> 2 | F32 -> 4 | I32 -> 4 | Bool -> 1
+let is_float = function F16 | F32 -> true | I32 | Bool -> false
+
+let to_string = function
+  | F16 -> "f16"
+  | F32 -> "f32"
+  | I32 -> "i32"
+  | Bool -> "bool"
+
+let cuda_name = function
+  | F16 -> "half"
+  | F32 -> "float"
+  | I32 -> "int"
+  | Bool -> "bool"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,21 @@
+(** Scalar data types of the tensor-program IR. *)
+
+type t =
+  | F16  (** IEEE half precision (storage only; arithmetic is in f32) *)
+  | F32  (** IEEE single precision *)
+  | I32  (** 32-bit signed integer *)
+  | Bool (** predicate type *)
+
+val size_bytes : t -> int
+(** Storage size of one element in bytes. *)
+
+val is_float : t -> bool
+(** [true] for [F16] and [F32]. *)
+
+val to_string : t -> string
+(** Short name, e.g. ["f32"]. *)
+
+val cuda_name : t -> string
+(** The CUDA C type name, e.g. ["float"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,418 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Min
+  | Max
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type unop = Neg | Not | Exp | Log | Sqrt | Tanh | Erf | Abs
+
+type t =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Var of Var.t
+  | Thread_idx
+  | Block_idx
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Select of t * t * t
+  | Load of Buffer.t * t list
+
+type value = V_int of int | V_float of float | V_bool of bool
+
+let int n = Int n
+let float f = Float f
+let bool b = Bool b
+let var v = Var v
+
+(* Integer division/modulo with truncation toward zero, matching CUDA C
+   semantics for the non-negative indices the IR manipulates. *)
+let idiv a b = a / b
+let imod a b = a mod b
+
+let add a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Int 0, e | e, Int 0 -> e
+  | Float 0., e | e, Float 0. -> e
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x - y)
+  | Float x, Float y -> Float (x -. y)
+  | e, Int 0 -> e
+  | e, Float 0. -> e
+  | _ -> Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x * y)
+  | Float x, Float y -> Float (x *. y)
+  | Int 0, _ | _, Int 0 -> Int 0
+  | Int 1, e | e, Int 1 -> e
+  | Float 1., e | e, Float 1. -> e
+  | _ -> Binop (Mul, a, b)
+
+let div a b =
+  match (a, b) with
+  | Int x, Int y when y <> 0 -> Int (idiv x y)
+  | Float x, Float y when y <> 0. -> Float (x /. y)
+  | e, Int 1 -> e
+  | e, Float 1. -> e
+  | _ -> Binop (Div, a, b)
+
+let modulo a b =
+  match (a, b) with
+  | Int x, Int y when y <> 0 -> Int (imod x y)
+  | _, Int 1 -> Int 0
+  | _ -> Binop (Mod, a, b)
+
+let min_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (min x y)
+  | Float x, Float y -> Float (Float.min x y)
+  | _ -> Binop (Min, a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (max x y)
+  | Float x, Float y -> Float (Float.max x y)
+  | _ -> Binop (Max, a, b)
+
+let cmp op fi ff a b =
+  match (a, b) with
+  | Int x, Int y -> Bool (fi x y)
+  | Float x, Float y -> Bool (ff x y)
+  | _ -> Binop (op, a, b)
+
+let lt a b = cmp Lt ( < ) ( < ) a b
+let le a b = cmp Le ( <= ) ( <= ) a b
+let gt a b = cmp Gt ( > ) ( > ) a b
+let ge a b = cmp Ge ( >= ) ( >= ) a b
+let eq a b = cmp Eq ( = ) ( = ) a b
+let ne a b = cmp Ne ( <> ) ( <> ) a b
+
+let and_ a b =
+  match (a, b) with
+  | Bool true, e | e, Bool true -> e
+  | Bool false, _ | _, Bool false -> Bool false
+  | _ -> Binop (And, a, b)
+
+let or_ a b =
+  match (a, b) with
+  | Bool false, e | e, Bool false -> e
+  | Bool true, _ | _, Bool true -> Bool true
+  | _ -> Binop (Or, a, b)
+
+let not_ = function
+  | Bool b -> Bool (not b)
+  | Unop (Not, e) -> e
+  | e -> Unop (Not, e)
+
+let neg = function
+  | Int n -> Int (-n)
+  | Float f -> Float (-.f)
+  | e -> Unop (Neg, e)
+
+let select c a b =
+  match c with Bool true -> a | Bool false -> b | _ -> Select (c, a, b)
+
+let load buf indices =
+  if List.length indices <> Buffer.rank buf then
+    invalid_arg (Printf.sprintf "Expr.load: rank mismatch on %s" buf.Buffer.name);
+  Load (buf, indices)
+
+let binop op a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Mod -> modulo a b
+  | Min -> min_ a b
+  | Max -> max_ a b
+  | Lt -> lt a b
+  | Le -> le a b
+  | Gt -> gt a b
+  | Ge -> ge a b
+  | Eq -> eq a b
+  | Ne -> ne a b
+  | And -> and_ a b
+  | Or -> or_ a b
+
+let unop op a =
+  match (op, a) with
+  | Neg, _ -> neg a
+  | Not, _ -> not_ a
+  | Exp, Float f -> Float (Stdlib.exp f)
+  | Log, Float f -> Float (Stdlib.log f)
+  | Sqrt, Float f -> Float (Stdlib.sqrt f)
+  | Tanh, Float f -> Float (Stdlib.tanh f)
+  | Abs, Float f -> Float (Float.abs f)
+  | Abs, Int n -> Int (Stdlib.abs n)
+  | (Exp | Log | Sqrt | Tanh | Erf | Abs), _ -> Unop (op, a)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( % ) = modulo
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( && ) = and_
+end
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Bool x, Bool y -> x = y
+  | Var x, Var y -> Var.equal x y
+  | Thread_idx, Thread_idx | Block_idx, Block_idx -> true
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal a1 a2
+  | Select (c1, a1, b1), Select (c2, a2, b2) ->
+    equal c1 c2 && equal a1 a2 && equal b1 b2
+  | Load (buf1, idx1), Load (buf2, idx2) ->
+    Buffer.equal buf1 buf2
+    && List.length idx1 = List.length idx2
+    && List.for_all2 equal idx1 idx2
+  | ( ( Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx | Binop _
+      | Unop _ | Select _ | Load _ ),
+      _ ) ->
+    false
+
+let rec subst v e body =
+  match body with
+  | Var v' when Var.equal v v' -> e
+  | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> body
+  | Binop (op, a, b) -> binop op (subst v e a) (subst v e b)
+  | Unop (op, a) -> unop op (subst v e a)
+  | Select (c, a, b) -> select (subst v e c) (subst v e a) (subst v e b)
+  | Load (buf, idx) -> Load (buf, List.map (subst v e) idx)
+
+let free_vars e =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | Var v ->
+      if not (Hashtbl.mem seen v.Var.id) then begin
+        Hashtbl.add seen v.Var.id ();
+        acc := v :: !acc
+      end
+    | Int _ | Float _ | Bool _ | Thread_idx | Block_idx -> ()
+    | Binop (_, a, b) ->
+      go a;
+      go b
+    | Unop (_, a) -> go a
+    | Select (c, a, b) ->
+      go c;
+      go a;
+      go b
+    | Load (_, idx) -> List.iter go idx
+  in
+  go e;
+  List.rev !acc
+
+let rec map_loads f e =
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> e
+  | Binop (op, a, b) -> binop op (map_loads f a) (map_loads f b)
+  | Unop (op, a) -> unop op (map_loads f a)
+  | Select (c, a, b) -> select (map_loads f c) (map_loads f a) (map_loads f b)
+  | Load (buf, idx) -> f buf (List.map (map_loads f) idx)
+
+let const_int = function Int n -> Some n | _ -> None
+
+let rec is_pure_of_thread = function
+  | Thread_idx -> true
+  | Int _ | Float _ | Bool _ | Var _ | Block_idx -> false
+  | Binop (_, a, b) -> is_pure_of_thread a || is_pure_of_thread b
+  | Unop (_, a) -> is_pure_of_thread a
+  | Select (c, a, b) ->
+    is_pure_of_thread c || is_pure_of_thread a || is_pure_of_thread b
+  | Load (_, idx) -> List.exists is_pure_of_thread idx
+
+type env = {
+  lookup : Var.t -> value;
+  load : Buffer.t -> int list -> value;
+  thread_idx : int;
+  block_idx : int;
+}
+
+let float_of_value = function
+  | V_float f -> f
+  | V_int n -> float_of_int n
+  | V_bool b -> if b then 1. else 0.
+
+let int_of_value = function
+  | V_int n -> n
+  | V_float f -> int_of_float f
+  | V_bool b -> if b then 1 else 0
+
+let bool_of_value = function
+  | V_bool b -> b
+  | V_int n -> n <> 0
+  | V_float f -> f <> 0.
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26 approximation; accurate to ~1.5e-7, enough
+     for GELU activations in tests and benches. *)
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let y =
+    1.
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+        -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. Stdlib.exp (-.x *. x)
+  in
+  sign *. y
+
+let rec eval env e =
+  match e with
+  | Int n -> V_int n
+  | Float f -> V_float f
+  | Bool b -> V_bool b
+  | Var v -> env.lookup v
+  | Thread_idx -> V_int env.thread_idx
+  | Block_idx -> V_int env.block_idx
+  | Select (c, a, b) -> if eval_bool env c then eval env a else eval env b
+  | Load (buf, idx) -> env.load buf (List.map (eval_int env) idx)
+  | Unop (op, a) -> eval_unop env op a
+  | Binop (op, a, b) -> eval_binop env op a b
+
+and eval_unop env op a =
+  match op with
+  | Not -> V_bool (not (eval_bool env a))
+  | Neg -> (
+    match eval env a with
+    | V_int n -> V_int (-n)
+    | V_float f -> V_float (-.f)
+    | V_bool _ -> invalid_arg "Expr.eval: neg of bool")
+  | Exp -> V_float (Stdlib.exp (eval_float env a))
+  | Log -> V_float (Stdlib.log (eval_float env a))
+  | Sqrt -> V_float (Stdlib.sqrt (eval_float env a))
+  | Tanh -> V_float (Stdlib.tanh (eval_float env a))
+  | Erf -> V_float (erf (eval_float env a))
+  | Abs -> (
+    match eval env a with
+    | V_int n -> V_int (Stdlib.abs n)
+    | V_float f -> V_float (Float.abs f)
+    | V_bool _ -> invalid_arg "Expr.eval: abs of bool")
+
+and eval_binop env op a b =
+  match op with
+  | And -> V_bool (eval_bool env a && eval_bool env b)
+  | Or -> V_bool (eval_bool env a || eval_bool env b)
+  | _ -> (
+    let va = eval env a and vb = eval env b in
+    match (va, vb) with
+    | V_int x, V_int y -> eval_int_binop op x y
+    | (V_float _ | V_int _), (V_float _ | V_int _) ->
+      eval_float_binop op (float_of_value va) (float_of_value vb)
+    | _ -> invalid_arg "Expr.eval: bool operand to arithmetic binop")
+
+and eval_int_binop op x y =
+  match op with
+  | Add -> V_int (x + y)
+  | Sub -> V_int (x - y)
+  | Mul -> V_int (x * y)
+  | Div -> V_int (idiv x y)
+  | Mod -> V_int (imod x y)
+  | Min -> V_int (min x y)
+  | Max -> V_int (max x y)
+  | Lt -> V_bool (x < y)
+  | Le -> V_bool (x <= y)
+  | Gt -> V_bool (x > y)
+  | Ge -> V_bool (x >= y)
+  | Eq -> V_bool (x = y)
+  | Ne -> V_bool (x <> y)
+  | And | Or -> assert false
+
+and eval_float_binop op x y =
+  match op with
+  | Add -> V_float (x +. y)
+  | Sub -> V_float (x -. y)
+  | Mul -> V_float (x *. y)
+  | Div -> V_float (x /. y)
+  | Mod -> V_float (Float.rem x y)
+  | Min -> V_float (Float.min x y)
+  | Max -> V_float (Float.max x y)
+  | Lt -> V_bool (x < y)
+  | Le -> V_bool (x <= y)
+  | Gt -> V_bool (x > y)
+  | Ge -> V_bool (x >= y)
+  | Eq -> V_bool (x = y)
+  | Ne -> V_bool (x <> y)
+  | And | Or -> assert false
+
+and eval_int env e = int_of_value (eval env e)
+and eval_float env e = float_of_value (eval env e)
+and eval_bool env e = bool_of_value (eval env e)
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_name = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Exp -> "expf"
+  | Log -> "logf"
+  | Sqrt -> "sqrtf"
+  | Tanh -> "tanhf"
+  | Erf -> "erff"
+  | Abs -> "fabsf"
+
+let rec pp fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Float f -> Format.fprintf fmt "%g" f
+  | Bool b -> Format.pp_print_bool fmt b
+  | Var v -> Var.pp fmt v
+  | Thread_idx -> Format.pp_print_string fmt "threadIdx.x"
+  | Block_idx -> Format.pp_print_string fmt "blockIdx.x"
+  | Binop (((Min | Max) as op), a, b) ->
+    Format.fprintf fmt "%s(%a, %a)" (binop_symbol op) pp a pp b
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Unop (((Neg | Not) as op), a) -> Format.fprintf fmt "%s%a" (unop_name op) pp a
+  | Unop (op, a) -> Format.fprintf fmt "%s(%a)" (unop_name op) pp a
+  | Select (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp c pp a pp b
+  | Load (buf, idx) ->
+    Format.fprintf fmt "%s%a" buf.Buffer.name
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ()) (fun fmt e ->
+           Format.fprintf fmt "[%a]" pp e))
+      idx
+
+let to_string e = Format.asprintf "%a" pp e

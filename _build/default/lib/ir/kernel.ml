@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  params : Buffer.t list;
+  grid_dim : int;
+  block_dim : int;
+  shared : Buffer.t list;
+  warp_bufs : Buffer.t list;
+  regs : Buffer.t list;
+  body : Stmt.t;
+  pipeline_stages : int;
+}
+
+let warp_size = 32
+
+let check_scope expected bufs what =
+  List.iter
+    (fun b ->
+      if b.Buffer.scope <> expected then
+        invalid_arg
+          (Printf.sprintf "Kernel.create: buffer %s has scope %s, expected %s (%s)"
+             b.Buffer.name
+             (Buffer.scope_name b.Buffer.scope)
+             (Buffer.scope_name expected) what))
+    bufs
+
+let create ?(shared = []) ?(warp_bufs = []) ?(regs = []) ?(pipeline_stages = 1)
+    ~name ~params ~grid_dim ~block_dim body =
+  if grid_dim <= 0 || block_dim <= 0 then
+    invalid_arg "Kernel.create: non-positive launch dimension";
+  if pipeline_stages < 1 then invalid_arg "Kernel.create: pipeline_stages < 1";
+  check_scope Buffer.Global params "params";
+  check_scope Buffer.Shared shared "shared";
+  check_scope Buffer.Warp warp_bufs "warp_bufs";
+  check_scope Buffer.Register regs "regs";
+  {
+    name;
+    params;
+    grid_dim;
+    block_dim;
+    shared;
+    warp_bufs;
+    regs;
+    body;
+    pipeline_stages;
+  }
+
+let num_threads k = k.grid_dim * k.block_dim
+let num_warps_per_block k = (k.block_dim + warp_size - 1) / warp_size
+
+let shared_bytes k =
+  List.fold_left (fun acc b -> acc + Buffer.size_bytes b) 0 k.shared
+
+let regs_per_thread k =
+  let reg_words =
+    List.fold_left (fun acc b -> acc + Buffer.num_elems b) 0 k.regs
+  in
+  let warp_words =
+    List.fold_left
+      (fun acc b -> acc + ((Buffer.num_elems b + warp_size - 1) / warp_size))
+      0 k.warp_bufs
+  in
+  (* 24: fixed overhead for address arithmetic, loop counters, predicates. *)
+  reg_words + warp_words + 24
+
+let map_body f k = { k with body = f k.body }
+
+let pp fmt k =
+  Format.fprintf fmt
+    "@[<v>kernel %s<<<%d, %d>>>(%s)  # stages=%d@,%a@]" k.name k.grid_dim
+    k.block_dim
+    (String.concat ", " (List.map (fun b -> b.Buffer.name) k.params))
+    k.pipeline_stages Stmt.pp k.body

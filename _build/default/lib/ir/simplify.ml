@@ -1,0 +1,52 @@
+let rec expr (e : Expr.t) : Expr.t =
+  match e with
+  | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> e
+  | Binop (op, a, b) -> binop op (expr a) (expr b)
+  | Unop (op, a) -> Expr.unop op (expr a)
+  | Select (c, a, b) ->
+    let c = expr c and a = expr a and b = expr b in
+    if Expr.equal a b then a else Expr.select c a b
+  | Load (buf, idx) -> Expr.Load (buf, List.map expr idx)
+
+and binop op a b =
+  match (op, a, b) with
+  | Expr.Sub, a, b when Expr.equal a b -> Expr.Int 0
+  | (Expr.Min | Expr.Max), a, b when Expr.equal a b -> a
+  (* (x * c + r) reassociation: fold constants across nested adds. *)
+  | Expr.Add, Expr.Binop (Add, x, Expr.Int c1), Expr.Int c2 ->
+    Expr.add x (Expr.Int (c1 + c2))
+  | Expr.Mul, Expr.Binop (Mul, x, Expr.Int c1), Expr.Int c2 ->
+    Expr.mul x (Expr.Int (c1 * c2))
+  (* (x % c) % c = x % c  and  (x % c1) / c1 = 0 only when c1 = c; keep the
+     safe same-divisor cases. *)
+  | Expr.Mod, (Expr.Binop (Mod, _, Expr.Int c1) as inner), Expr.Int c2
+    when c1 = c2 ->
+    inner
+  | _ -> Expr.binop op a b
+
+let rec stmt (s : Stmt.t) : Stmt.t =
+  match s with
+  | Seq ss -> Stmt.seq (List.map stmt ss)
+  | For { var; extent; unroll; body } ->
+    Stmt.for_ ~unroll var (expr extent) (stmt body)
+  | If { cond; then_; else_ } ->
+    Stmt.if_ ?else_:(Option.map stmt else_) (expr cond) (stmt then_)
+  | Let { var; value; body } -> (
+    let value = expr value in
+    match value with
+    | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx ->
+      stmt (Stmt.subst var value body)
+    | _ -> Stmt.let_ var value (stmt body))
+  | Store { buf; indices; value } ->
+    Stmt.store buf (List.map expr indices) (expr value)
+  | Mma m ->
+    Mma
+      {
+        m with
+        a_off = List.map expr m.a_off;
+        b_off = List.map expr m.b_off;
+        c_off = List.map expr m.c_off;
+      }
+  | Sync_threads | Comment _ -> s
+
+let kernel k = Kernel.map_body stmt k

@@ -1,0 +1,18 @@
+(** Simplification passes over expressions and statements.
+
+    These are semantics-preserving rewrites: constant folding, algebraic
+    identities, dead-branch elimination, trivial-let inlining and trivial-loop
+    collapsing. The property tests in [test/test_ir.ml] check preservation on
+    random expressions. *)
+
+val expr : Expr.t -> Expr.t
+(** Bottom-up resimplification through the smart constructors, plus
+    identities requiring structural comparison (x - x = 0, min x x = x,
+    select c a a = a, etc.). *)
+
+val stmt : Stmt.t -> Stmt.t
+(** Applies {!expr} everywhere, collapses constant control flow, flattens
+    sequences and inlines lets whose bound value is a literal or a
+    variable. *)
+
+val kernel : Kernel.t -> Kernel.t

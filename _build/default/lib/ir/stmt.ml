@@ -1,0 +1,145 @@
+type t =
+  | Seq of t list
+  | For of { var : Var.t; extent : Expr.t; unroll : bool; body : t }
+  | If of { cond : Expr.t; then_ : t; else_ : t option }
+  | Let of { var : Var.t; value : Expr.t; body : t }
+  | Store of { buf : Buffer.t; indices : Expr.t list; value : Expr.t }
+  | Mma of mma
+  | Sync_threads
+  | Comment of string
+
+and mma = {
+  m : int;
+  n : int;
+  k : int;
+  a : Buffer.t;
+  a_off : Expr.t list;
+  b : Buffer.t;
+  b_off : Expr.t list;
+  c : Buffer.t;
+  c_off : Expr.t list;
+}
+
+let nop = Seq []
+
+let seq stmts =
+  let rec flatten acc = function
+    | [] -> acc
+    | Seq inner :: rest -> flatten (flatten acc inner) rest
+    | s :: rest -> flatten (s :: acc) rest
+  in
+  match List.rev (flatten [] stmts) with [ s ] -> s | ss -> Seq ss
+
+let rec subst v e stmt =
+  match stmt with
+  | Seq ss -> Seq (List.map (subst v e) ss)
+  | For f -> For { f with extent = Expr.subst v e f.extent; body = subst v e f.body }
+  | If { cond; then_; else_ } ->
+    If
+      {
+        cond = Expr.subst v e cond;
+        then_ = subst v e then_;
+        else_ = Option.map (subst v e) else_;
+      }
+  | Let l ->
+    Let { l with value = Expr.subst v e l.value; body = subst v e l.body }
+  | Store { buf; indices; value } ->
+    Store
+      {
+        buf;
+        indices = List.map (Expr.subst v e) indices;
+        value = Expr.subst v e value;
+      }
+  | Mma m ->
+    Mma
+      {
+        m with
+        a_off = List.map (Expr.subst v e) m.a_off;
+        b_off = List.map (Expr.subst v e) m.b_off;
+        c_off = List.map (Expr.subst v e) m.c_off;
+      }
+  | Sync_threads | Comment _ -> stmt
+
+let for_ ?(unroll = false) var extent body =
+  match extent with
+  | Expr.Int 0 -> nop
+  | Expr.Int 1 -> subst var (Expr.Int 0) body
+  | _ -> For { var; extent; unroll; body }
+
+let if_ ?else_ cond then_ =
+  match cond with
+  | Expr.Bool true -> then_
+  | Expr.Bool false -> ( match else_ with Some s -> s | None -> nop)
+  | _ -> If { cond; then_; else_ }
+
+let let_ var value body = Let { var; value; body }
+
+let store buf indices value =
+  if List.length indices <> Buffer.rank buf then
+    invalid_arg (Printf.sprintf "Stmt.store: rank mismatch on %s" buf.Buffer.name);
+  Store { buf; indices; value }
+
+let sync = Sync_threads
+let comment s = Comment s
+
+let rec map_exprs f stmt =
+  match stmt with
+  | Seq ss -> seq (List.map (map_exprs f) ss)
+  | For fr ->
+    for_ ~unroll:fr.unroll fr.var (f fr.extent) (map_exprs f fr.body)
+  | If { cond; then_; else_ } ->
+    if_ ?else_:(Option.map (map_exprs f) else_) (f cond) (map_exprs f then_)
+  | Let l -> let_ l.var (f l.value) (map_exprs f l.body)
+  | Store { buf; indices; value } -> store buf (List.map f indices) (f value)
+  | Mma m ->
+    Mma
+      {
+        m with
+        a_off = List.map f m.a_off;
+        b_off = List.map f m.b_off;
+        c_off = List.map f m.c_off;
+      }
+  | Sync_threads | Comment _ -> stmt
+
+let rec fold f acc stmt =
+  let acc = f acc stmt in
+  match stmt with
+  | Seq ss -> List.fold_left (fold f) acc ss
+  | For { body; _ } -> fold f acc body
+  | If { then_; else_; _ } -> (
+    let acc = fold f acc then_ in
+    match else_ with Some e -> fold f acc e | None -> acc)
+  | Let { body; _ } -> fold f acc body
+  | Store _ | Mma _ | Sync_threads | Comment _ -> acc
+
+let count pred stmt = fold (fun n s -> if pred s then n + 1 else n) 0 stmt
+
+let rec pp fmt stmt =
+  match stmt with
+  | Seq [] -> Format.fprintf fmt "pass"
+  | Seq ss ->
+    Format.pp_print_list ~pp_sep:Format.pp_print_cut pp fmt ss
+  | For { var; extent; unroll; body } ->
+    Format.fprintf fmt "@[<v 2>for %a in range(%a)%s:@,%a@]" Var.pp var Expr.pp
+      extent
+      (if unroll then "  # unroll" else "")
+      pp body
+  | If { cond; then_; else_ = None } ->
+    Format.fprintf fmt "@[<v 2>if %a:@,%a@]" Expr.pp cond pp then_
+  | If { cond; then_; else_ = Some e } ->
+    Format.fprintf fmt "@[<v 2>if %a:@,%a@]@,@[<v 2>else:@,%a@]" Expr.pp cond pp
+      then_ pp e
+  | Let { var; value; body } ->
+    Format.fprintf fmt "@[<v>let %a = %a@,%a@]" Var.pp var Expr.pp value pp body
+  | Store { buf; indices; value } ->
+    Format.fprintf fmt "%s%a = %a" buf.Buffer.name
+      (Format.pp_print_list ~pp_sep:(fun _ () -> ()) (fun fmt e ->
+           Format.fprintf fmt "[%a]" Expr.pp e))
+      indices Expr.pp value
+  | Mma m ->
+    Format.fprintf fmt "mma_%dx%dx%d(%s, %s, %s)" m.m m.n m.k m.c.Buffer.name
+      m.a.Buffer.name m.b.Buffer.name
+  | Sync_threads -> Format.fprintf fmt "sync_threads()"
+  | Comment s -> Format.fprintf fmt "# %s" s
+
+let to_string s = Format.asprintf "@[<v>%a@]" pp s

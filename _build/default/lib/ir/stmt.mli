@@ -1,0 +1,55 @@
+(** Statements of the tensor-program IR. *)
+
+type t =
+  | Seq of t list
+  | For of { var : Var.t; extent : Expr.t; unroll : bool; body : t }
+  | If of { cond : Expr.t; then_ : t; else_ : t option }
+  | Let of { var : Var.t; value : Expr.t; body : t }
+  | Store of { buf : Buffer.t; indices : Expr.t list; value : Expr.t }
+  | Mma of mma
+      (** Warp-level matrix-multiply-accumulate via tensor cores:
+          [c\[m,n\] += sum_k a\[m,k\] * b\[k,n\]], executed cooperatively by
+          one warp. Offsets locate the tile inside each buffer. *)
+  | Sync_threads  (** __syncthreads(): block-wide barrier *)
+  | Comment of string
+
+and mma = {
+  m : int;
+  n : int;
+  k : int;
+  a : Buffer.t;
+  a_off : Expr.t list;
+  b : Buffer.t;
+  b_off : Expr.t list;
+  c : Buffer.t;
+  c_off : Expr.t list;
+}
+
+val nop : t
+val seq : t list -> t
+(** Flattens nested [Seq] and drops empty ones. *)
+
+val for_ : ?unroll:bool -> Var.t -> Expr.t -> t -> t
+(** Extent 0 becomes {!nop}; extent 1 substitutes the index with 0. *)
+
+val if_ : ?else_:t -> Expr.t -> t -> t
+(** Constant conditions select a branch statically. *)
+
+val let_ : Var.t -> Expr.t -> t -> t
+val store : Buffer.t -> Expr.t list -> Expr.t -> t
+val sync : t
+val comment : string -> t
+
+val subst : Var.t -> Expr.t -> t -> t
+(** Capture is impossible because every [Var.t] is globally unique. *)
+
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+(** Apply [f] to every expression in the statement tree (loop extents,
+    conditions, indices, stored values, let bindings, MMA offsets). *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over every statement node. *)
+
+val count : (t -> bool) -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,12 @@
+type t = { id : int; name : string; dtype : Dtype.t }
+
+let counter = ref 0
+
+let fresh ?(dtype = Dtype.I32) name =
+  incr counter;
+  { id = !counter; name; dtype }
+
+let name v = Printf.sprintf "%s_%d" v.name v.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp fmt v = Format.pp_print_string fmt (name v)

@@ -1,0 +1,17 @@
+(** Scalar variables with globally unique identities.
+
+    Two variables are the same binding iff their [id]s are equal; the [name]
+    is only a printing hint. *)
+
+type t = private { id : int; name : string; dtype : Dtype.t }
+
+val fresh : ?dtype:Dtype.t -> string -> t
+(** [fresh name] creates a new variable with a unique id. [dtype] defaults to
+    {!Dtype.I32} since most IR variables are loop indices. *)
+
+val name : t -> string
+(** Printing name suffixed with the unique id, e.g. ["i_42"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

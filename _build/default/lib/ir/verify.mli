@@ -1,0 +1,20 @@
+(** Well-formedness checking for kernels.
+
+    A kernel that passes verification can be interpreted and timed safely.
+    Checked properties:
+    - every variable used is bound by an enclosing [For], [Let] or is a
+      launch index;
+    - every buffer accessed is declared (a parameter or a scope buffer of the
+      kernel) and accessed with the right rank;
+    - [Sync_threads] does not occur under thread-divergent control flow
+      (a condition or loop extent mentioning [threadIdx]);
+    - MMA tile shapes fit inside the referenced buffers' trailing dims;
+    - block size does not exceed the architectural maximum (1024). *)
+
+type error = { where : string; message : string }
+
+val kernel : Kernel.t -> (unit, error list) result
+val kernel_exn : Kernel.t -> unit
+(** Raises [Failure] with a readable message listing all errors. *)
+
+val pp_error : Format.formatter -> error -> unit

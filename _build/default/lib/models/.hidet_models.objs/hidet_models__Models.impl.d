@@ -1,0 +1,1 @@
+lib/models/models.ml: Hidet_graph List Printf

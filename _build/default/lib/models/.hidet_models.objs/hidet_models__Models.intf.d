@@ -1,0 +1,1 @@
+lib/models/models.mli: Hidet_graph

@@ -1,0 +1,363 @@
+module G = Hidet_graph.Graph
+
+(* Weight seeds are derived from a per-model counter so graphs are
+   deterministic and distinct layers get distinct weights. *)
+type ctx = { g : G.t; mutable seed : int }
+
+let fresh_seed ctx =
+  ctx.seed <- ctx.seed + 1;
+  ctx.seed
+
+let weight ctx shape = G.constant_rand ctx.g ~seed:(fresh_seed ctx) shape
+
+type act = No_act | Relu_act | Relu6_act
+
+let activate ctx act x =
+  match act with
+  | No_act -> x
+  | Relu_act -> G.relu ctx.g x
+  | Relu6_act -> G.add_op ctx.g (Hidet_graph.Op.Unary (Hidet_graph.Op.Clip (0., 6.))) [ x ]
+
+(* Convolution + folded batch norm (+ optional activation). *)
+let conv_bn ?(act = Relu_act) ?(stride = 1) ?(padding = 0) ctx x ~in_ch ~out_ch
+    ~kernel =
+  let w = weight ctx [ out_ch; in_ch; kernel; kernel ] in
+  let c = G.conv2d ctx.g x w ~stride ~padding in
+  let scale = weight ctx [ out_ch ] and shift = weight ctx [ out_ch ] in
+  activate ctx act (G.scale_shift ctx.g c ~scale ~shift)
+
+let conv_bn_asym ?(act = Relu_act) ctx x ~in_ch ~out_ch ~kh ~kw ~pad_h ~pad_w =
+  let w = weight ctx [ out_ch; in_ch; kh; kw ] in
+  let c = G.conv2d_asym ctx.g x w ~stride:1 ~pad_h ~pad_w in
+  let scale = weight ctx [ out_ch ] and shift = weight ctx [ out_ch ] in
+  activate ctx act (G.scale_shift ctx.g c ~scale ~shift)
+
+let classifier ctx x ~in_ch ~classes =
+  let pooled = G.global_avgpool ctx.g x in
+  let flat = G.reshape ctx.g pooled [ -1; in_ch ] in
+  let w = weight ctx [ in_ch; classes ] in
+  let b = weight ctx [ classes ] in
+  G.bias_add ctx.g (G.matmul ctx.g flat w) b
+
+(* --- ResNet-50 ----------------------------------------------------------------- *)
+
+let bottleneck ctx x ~in_ch ~mid ~out_ch ~stride =
+  let c1 = conv_bn ctx x ~in_ch ~out_ch:mid ~kernel:1 in
+  let c2 = conv_bn ctx c1 ~stride ~padding:1 ~in_ch:mid ~out_ch:mid ~kernel:3 in
+  let c3 = conv_bn ~act:No_act ctx c2 ~in_ch:mid ~out_ch ~kernel:1 in
+  let shortcut =
+    if stride = 1 && in_ch = out_ch then x
+    else conv_bn ~act:No_act ~stride ctx x ~in_ch ~out_ch ~kernel:1
+  in
+  G.relu ctx.g (G.add ctx.g c3 shortcut)
+
+let resnet_stage ctx x ~in_ch ~mid ~out_ch ~blocks ~stride =
+  let x = ref (bottleneck ctx x ~in_ch ~mid ~out_ch ~stride) in
+  for _ = 2 to blocks do
+    x := bottleneck ctx !x ~in_ch:out_ch ~mid ~out_ch ~stride:1
+  done;
+  !x
+
+let resnet50 ?(batch = 1) () =
+  let g = G.create () in
+  G.name g (if batch = 1 then "resnet50" else Printf.sprintf "resnet50_b%d" batch);
+  let ctx = { g; seed = 0 } in
+  let x = G.input g [ batch; 3; 224; 224 ] in
+  let stem = conv_bn ~stride:2 ~padding:3 ctx x ~in_ch:3 ~out_ch:64 ~kernel:7 in
+  let pooled = G.maxpool g stem ~kernel:3 ~stride:2 ~padding:1 in
+  let s1 = resnet_stage ctx pooled ~in_ch:64 ~mid:64 ~out_ch:256 ~blocks:3 ~stride:1 in
+  let s2 = resnet_stage ctx s1 ~in_ch:256 ~mid:128 ~out_ch:512 ~blocks:4 ~stride:2 in
+  let s3 = resnet_stage ctx s2 ~in_ch:512 ~mid:256 ~out_ch:1024 ~blocks:6 ~stride:2 in
+  let s4 = resnet_stage ctx s3 ~in_ch:1024 ~mid:512 ~out_ch:2048 ~blocks:3 ~stride:2 in
+  let out = classifier ctx s4 ~in_ch:2048 ~classes:1000 in
+  G.set_outputs g [ out ];
+  g
+
+(* --- Inception-V3 ----------------------------------------------------------------- *)
+
+let inception_a ctx x ~in_ch ~pool_features =
+  let b1 = conv_bn ctx x ~in_ch ~out_ch:64 ~kernel:1 in
+  let b5 = conv_bn ctx x ~in_ch ~out_ch:48 ~kernel:1 in
+  let b5 = conv_bn ~padding:2 ctx b5 ~in_ch:48 ~out_ch:64 ~kernel:5 in
+  let b3 = conv_bn ctx x ~in_ch ~out_ch:64 ~kernel:1 in
+  let b3 = conv_bn ~padding:1 ctx b3 ~in_ch:64 ~out_ch:96 ~kernel:3 in
+  let b3 = conv_bn ~padding:1 ctx b3 ~in_ch:96 ~out_ch:96 ~kernel:3 in
+  let bp = G.avgpool ctx.g x ~kernel:3 ~stride:1 ~padding:1 in
+  let bp = conv_bn ctx bp ~in_ch ~out_ch:pool_features ~kernel:1 in
+  G.concat ctx.g [ b1; b5; b3; bp ] ~axis:1
+
+let inception_b ctx x ~in_ch =
+  let b3 = conv_bn ~stride:2 ctx x ~in_ch ~out_ch:384 ~kernel:3 in
+  let bd = conv_bn ctx x ~in_ch ~out_ch:64 ~kernel:1 in
+  let bd = conv_bn ~padding:1 ctx bd ~in_ch:64 ~out_ch:96 ~kernel:3 in
+  let bd = conv_bn ~stride:2 ctx bd ~in_ch:96 ~out_ch:96 ~kernel:3 in
+  let bp = G.maxpool ctx.g x ~kernel:3 ~stride:2 ~padding:0 in
+  G.concat ctx.g [ b3; bd; bp ] ~axis:1
+
+let inception_c ctx x ~in_ch ~c7 =
+  let b1 = conv_bn ctx x ~in_ch ~out_ch:192 ~kernel:1 in
+  let b7 = conv_bn ctx x ~in_ch ~out_ch:c7 ~kernel:1 in
+  let b7 = conv_bn_asym ctx b7 ~in_ch:c7 ~out_ch:c7 ~kh:1 ~kw:7 ~pad_h:0 ~pad_w:3 in
+  let b7 = conv_bn_asym ctx b7 ~in_ch:c7 ~out_ch:192 ~kh:7 ~kw:1 ~pad_h:3 ~pad_w:0 in
+  let bd = conv_bn ctx x ~in_ch ~out_ch:c7 ~kernel:1 in
+  let bd = conv_bn_asym ctx bd ~in_ch:c7 ~out_ch:c7 ~kh:7 ~kw:1 ~pad_h:3 ~pad_w:0 in
+  let bd = conv_bn_asym ctx bd ~in_ch:c7 ~out_ch:c7 ~kh:1 ~kw:7 ~pad_h:0 ~pad_w:3 in
+  let bd = conv_bn_asym ctx bd ~in_ch:c7 ~out_ch:c7 ~kh:7 ~kw:1 ~pad_h:3 ~pad_w:0 in
+  let bd = conv_bn_asym ctx bd ~in_ch:c7 ~out_ch:192 ~kh:1 ~kw:7 ~pad_h:0 ~pad_w:3 in
+  let bp = G.avgpool ctx.g x ~kernel:3 ~stride:1 ~padding:1 in
+  let bp = conv_bn ctx bp ~in_ch ~out_ch:192 ~kernel:1 in
+  G.concat ctx.g [ b1; b7; bd; bp ] ~axis:1
+
+let inception_d ctx x ~in_ch =
+  let b3 = conv_bn ctx x ~in_ch ~out_ch:192 ~kernel:1 in
+  let b3 = conv_bn ~stride:2 ctx b3 ~in_ch:192 ~out_ch:320 ~kernel:3 in
+  let b7 = conv_bn ctx x ~in_ch ~out_ch:192 ~kernel:1 in
+  let b7 = conv_bn_asym ctx b7 ~in_ch:192 ~out_ch:192 ~kh:1 ~kw:7 ~pad_h:0 ~pad_w:3 in
+  let b7 = conv_bn_asym ctx b7 ~in_ch:192 ~out_ch:192 ~kh:7 ~kw:1 ~pad_h:3 ~pad_w:0 in
+  let b7 = conv_bn ~stride:2 ctx b7 ~in_ch:192 ~out_ch:192 ~kernel:3 in
+  let bp = G.maxpool ctx.g x ~kernel:3 ~stride:2 ~padding:0 in
+  G.concat ctx.g [ b3; b7; bp ] ~axis:1
+
+let inception_e ctx x ~in_ch =
+  let b1 = conv_bn ctx x ~in_ch ~out_ch:320 ~kernel:1 in
+  let b3 = conv_bn ctx x ~in_ch ~out_ch:384 ~kernel:1 in
+  let b3a = conv_bn_asym ctx b3 ~in_ch:384 ~out_ch:384 ~kh:1 ~kw:3 ~pad_h:0 ~pad_w:1 in
+  let b3b = conv_bn_asym ctx b3 ~in_ch:384 ~out_ch:384 ~kh:3 ~kw:1 ~pad_h:1 ~pad_w:0 in
+  let b3 = G.concat ctx.g [ b3a; b3b ] ~axis:1 in
+  let bd = conv_bn ctx x ~in_ch ~out_ch:448 ~kernel:1 in
+  let bd = conv_bn ~padding:1 ctx bd ~in_ch:448 ~out_ch:384 ~kernel:3 in
+  let bda = conv_bn_asym ctx bd ~in_ch:384 ~out_ch:384 ~kh:1 ~kw:3 ~pad_h:0 ~pad_w:1 in
+  let bdb = conv_bn_asym ctx bd ~in_ch:384 ~out_ch:384 ~kh:3 ~kw:1 ~pad_h:1 ~pad_w:0 in
+  let bd = G.concat ctx.g [ bda; bdb ] ~axis:1 in
+  let bp = G.avgpool ctx.g x ~kernel:3 ~stride:1 ~padding:1 in
+  let bp = conv_bn ctx bp ~in_ch ~out_ch:192 ~kernel:1 in
+  G.concat ctx.g [ b1; b3; bd; bp ] ~axis:1
+
+let inception_v3 ?(batch = 1) () =
+  let g = G.create () in
+  G.name g
+    (if batch = 1 then "inception_v3" else Printf.sprintf "inception_v3_b%d" batch);
+  let ctx = { g; seed = 1000 } in
+  let x = G.input g [ batch; 3; 299; 299 ] in
+  let x = conv_bn ~stride:2 ctx x ~in_ch:3 ~out_ch:32 ~kernel:3 in
+  let x = conv_bn ctx x ~in_ch:32 ~out_ch:32 ~kernel:3 in
+  let x = conv_bn ~padding:1 ctx x ~in_ch:32 ~out_ch:64 ~kernel:3 in
+  let x = G.maxpool g x ~kernel:3 ~stride:2 ~padding:0 in
+  let x = conv_bn ctx x ~in_ch:64 ~out_ch:80 ~kernel:1 in
+  let x = conv_bn ctx x ~in_ch:80 ~out_ch:192 ~kernel:3 in
+  let x = G.maxpool g x ~kernel:3 ~stride:2 ~padding:0 in
+  let x = inception_a ctx x ~in_ch:192 ~pool_features:32 in
+  let x = inception_a ctx x ~in_ch:256 ~pool_features:64 in
+  let x = inception_a ctx x ~in_ch:288 ~pool_features:64 in
+  let x = inception_b ctx x ~in_ch:288 in
+  let x = inception_c ctx x ~in_ch:768 ~c7:128 in
+  let x = inception_c ctx x ~in_ch:768 ~c7:160 in
+  let x = inception_c ctx x ~in_ch:768 ~c7:160 in
+  let x = inception_c ctx x ~in_ch:768 ~c7:192 in
+  let x = inception_d ctx x ~in_ch:768 in
+  let x = inception_e ctx x ~in_ch:1280 in
+  let x = inception_e ctx x ~in_ch:2048 in
+  let out = classifier ctx x ~in_ch:2048 ~classes:1000 in
+  G.set_outputs g [ out ];
+  g
+
+(* --- MobileNet-V2 ------------------------------------------------------------------ *)
+
+let depthwise_bn ?(act = Relu6_act) ctx x ~ch ~stride =
+  let w = weight ctx [ ch; 1; 3; 3 ] in
+  let c = G.depthwise_conv2d ctx.g x w ~stride ~padding:1 in
+  let scale = weight ctx [ ch ] and shift = weight ctx [ ch ] in
+  activate ctx act (G.scale_shift ctx.g c ~scale ~shift)
+
+let inverted_residual ctx x ~in_ch ~out_ch ~stride ~expand =
+  let hidden = in_ch * expand in
+  let h =
+    if expand = 1 then x
+    else conv_bn ~act:Relu6_act ctx x ~in_ch ~out_ch:hidden ~kernel:1
+  in
+  let h = depthwise_bn ctx h ~ch:hidden ~stride in
+  let h = conv_bn ~act:No_act ctx h ~in_ch:hidden ~out_ch ~kernel:1 in
+  if stride = 1 && in_ch = out_ch then G.add ctx.g h x else h
+
+let mobilenet_v2 ?(batch = 1) () =
+  let g = G.create () in
+  G.name g
+    (if batch = 1 then "mobilenet_v2" else Printf.sprintf "mobilenet_v2_b%d" batch);
+  let ctx = { g; seed = 2000 } in
+  let x = G.input g [ batch; 3; 224; 224 ] in
+  let x =
+    ref (conv_bn ~act:Relu6_act ~stride:2 ~padding:1 ctx x ~in_ch:3 ~out_ch:32 ~kernel:3)
+  in
+  let in_ch = ref 32 in
+  List.iter
+    (fun (expand, out_ch, blocks, stride) ->
+      for b = 1 to blocks do
+        let s = if b = 1 then stride else 1 in
+        x := inverted_residual ctx !x ~in_ch:!in_ch ~out_ch ~stride:s ~expand;
+        in_ch := out_ch
+      done)
+    [
+      (1, 16, 1, 1);
+      (6, 24, 2, 2);
+      (6, 32, 3, 2);
+      (6, 64, 4, 2);
+      (6, 96, 3, 1);
+      (6, 160, 3, 2);
+      (6, 320, 1, 1);
+    ];
+  let x = conv_bn ~act:Relu6_act ctx !x ~in_ch:320 ~out_ch:1280 ~kernel:1 in
+  let out = classifier ctx x ~in_ch:1280 ~classes:1000 in
+  G.set_outputs g [ out ];
+  g
+
+(* --- Transformers --------------------------------------------------------------------- *)
+
+let dense ctx x ~d_in ~d_out =
+  let w = weight ctx [ d_in; d_out ] in
+  let b = weight ctx [ d_out ] in
+  G.bias_add ctx.g (G.matmul ctx.g x w) b
+
+let layer_norm ctx x ~d =
+  let gamma = weight ctx [ d ] and beta = weight ctx [ d ] in
+  G.layernorm ctx.g x ~gamma ~beta
+
+(* Multi-head self-attention on [batch, seq, d]. *)
+let attention ctx x ~batch ~seq ~d ~heads =
+  let dh = d / heads in
+  let q = dense ctx x ~d_in:d ~d_out:d in
+  let k = dense ctx x ~d_in:d ~d_out:d in
+  let v = dense ctx x ~d_in:d ~d_out:d in
+  let split t =
+    (* [b, s, d] -> [b*h, s, dh] *)
+    let r = G.reshape ctx.g t [ batch; seq; heads; dh ] in
+    let p = G.transpose ctx.g r [ 0; 2; 1; 3 ] in
+    G.reshape ctx.g p [ batch * heads; seq; dh ]
+  in
+  let qh = split q and kh = split k and vh = split v in
+  let kt = G.transpose ctx.g kh [ 0; 2; 1 ] in
+  let scores = G.matmul ctx.g qh kt in
+  let scaled =
+    G.add_op ctx.g
+      (Hidet_graph.Op.Unary (Hidet_graph.Op.Scale_by (1. /. sqrt (float_of_int dh))))
+      [ scores ]
+  in
+  let probs = G.softmax ctx.g scaled in
+  let context = G.matmul ctx.g probs vh in
+  let merged =
+    let r = G.reshape ctx.g context [ batch; heads; seq; dh ] in
+    let p = G.transpose ctx.g r [ 0; 2; 1; 3 ] in
+    G.reshape ctx.g p [ batch; seq; d ]
+  in
+  dense ctx merged ~d_in:d ~d_out:d
+
+let ffn ctx x ~d ~d_ff =
+  let h = dense ctx x ~d_in:d ~d_out:d_ff in
+  let h = G.gelu ctx.g h in
+  dense ctx h ~d_in:d_ff ~d_out:d
+
+(* Post-LN encoder layer (BERT). *)
+let bert_layer ctx x ~batch ~seq ~d ~heads ~d_ff =
+  let att = attention ctx x ~batch ~seq ~d ~heads in
+  let x = layer_norm ctx (G.add ctx.g x att) ~d in
+  let ff = ffn ctx x ~d ~d_ff in
+  layer_norm ctx (G.add ctx.g x ff) ~d
+
+(* Pre-LN decoder layer (GPT-2). *)
+let gpt2_layer ctx x ~batch ~seq ~d ~heads ~d_ff =
+  let att = attention ctx (layer_norm ctx x ~d) ~batch ~seq ~d ~heads in
+  let x = G.add ctx.g x att in
+  let ff = ffn ctx (layer_norm ctx x ~d) ~d ~d_ff in
+  G.add ctx.g x ff
+
+let transformer ~name ~layer ?(batch = 1) ?(seq = 128) ?(embed = false)
+    ?(vocab = 30522) () =
+  let g = G.create () in
+  G.name g (if batch = 1 then name else Printf.sprintf "%s_b%d" name batch);
+  let ctx = { g; seed = 3000 } in
+  let d = 768 and heads = 12 and d_ff = 3072 and layers = 12 in
+  let x =
+    ref
+      (if embed then begin
+         (* Token ids enter as integral floats; the embedding gather
+            produces the hidden states. *)
+         let ids = G.input g [ batch; seq ] in
+         let table = weight ctx [ vocab; d ] in
+         G.add_op g Hidet_graph.Op.Embedding [ ids; table ]
+       end
+       else G.input g [ batch; seq; d ])
+  in
+  for _ = 1 to layers do
+    x := layer ctx !x ~batch ~seq ~d ~heads ~d_ff
+  done;
+  let out = layer_norm ctx !x ~d in
+  G.set_outputs g [ out ];
+  g
+
+let bert_base ?batch ?seq ?embed () =
+  transformer ~name:"bert" ~layer:bert_layer ?batch ?seq ?embed ~vocab:30522 ()
+
+let gpt2 ?batch ?seq ?embed () =
+  transformer ~name:"gpt2" ~layer:gpt2_layer ?batch ?seq ?embed ~vocab:50257 ()
+
+let all =
+  [
+    ("resnet50", fun () -> resnet50 ());
+    ("inception_v3", fun () -> inception_v3 ());
+    ("mobilenet_v2", fun () -> mobilenet_v2 ());
+    ("bert", fun () -> bert_base ());
+    ("gpt2", fun () -> gpt2 ());
+  ]
+
+let by_name ?(batch = 1) = function
+  | "resnet50" -> resnet50 ~batch ()
+  | "inception_v3" -> inception_v3 ~batch ()
+  | "mobilenet_v2" -> mobilenet_v2 ~batch ()
+  | "bert" -> bert_base ~batch ()
+  | "gpt2" -> gpt2 ~batch ()
+  | other -> invalid_arg (Printf.sprintf "Models.by_name: unknown model %s" other)
+
+module Tiny = struct
+  let cnn () =
+    let g = G.create () in
+    G.name g "tiny_cnn";
+    let ctx = { g; seed = 100 } in
+    let x = G.input g [ 1; 3; 16; 16 ] in
+    let stem = conv_bn ~stride:1 ~padding:1 ctx x ~in_ch:3 ~out_ch:8 ~kernel:3 in
+    let b = bottleneck ctx stem ~in_ch:8 ~mid:4 ~out_ch:16 ~stride:2 in
+    let out = classifier ctx b ~in_ch:16 ~classes:10 in
+    G.set_outputs g [ out ];
+    g
+
+  let separable () =
+    let g = G.create () in
+    G.name g "tiny_separable";
+    let ctx = { g; seed = 200 } in
+    let x = G.input g [ 1; 4; 12; 12 ] in
+    let h = conv_bn ctx x ~in_ch:4 ~out_ch:8 ~kernel:1 in
+    let out = inverted_residual ctx h ~in_ch:8 ~out_ch:8 ~stride:1 ~expand:2 in
+    G.set_outputs g [ out ];
+    g
+
+  let transformer () =
+    let g = G.create () in
+    G.name g "tiny_transformer";
+    let ctx = { g; seed = 300 } in
+    let batch = 1 and seq = 8 and d = 32 and heads = 2 and d_ff = 64 in
+    let x = G.input g [ batch; seq; d ] in
+    let out = bert_layer ctx x ~batch ~seq ~d ~heads ~d_ff in
+    G.set_outputs g [ out ];
+    g
+
+  let inception_module () =
+    let g = G.create () in
+    G.name g "tiny_inception";
+    let ctx = { g; seed = 400 } in
+    let x = G.input g [ 1; 8; 10; 10 ] in
+    let b1 = conv_bn ctx x ~in_ch:8 ~out_ch:4 ~kernel:1 in
+    let b3 = conv_bn ~padding:1 ctx x ~in_ch:8 ~out_ch:6 ~kernel:3 in
+    let bp = G.avgpool g x ~kernel:3 ~stride:1 ~padding:1 in
+    let bp = conv_bn ctx bp ~in_ch:8 ~out_ch:2 ~kernel:1 in
+    let out = G.concat g [ b1; b3; bp ] ~axis:1 in
+    G.set_outputs g [ out ];
+    g
+end

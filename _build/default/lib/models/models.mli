@@ -1,0 +1,56 @@
+(** The paper's evaluation workloads (§6, "Workloads"), with faithful layer
+    configurations and randomly initialized weights (latency is
+    shape-dependent, not value-dependent; weights materialize lazily and are
+    never forced by latency benchmarks).
+
+    Deviations from the originals, chosen to fit the operator set and
+    documented in DESIGN.md: the transformer models consume pre-embedded
+    hidden states by default (pass [~embed:true] to prepend the token
+    embedding gather) and GPT-2 omits the causal mask addition (shape- and
+    latency-neutral at this granularity). *)
+
+val resnet50 : ?batch:int -> unit -> Hidet_graph.Graph.t
+(** ImageNet configuration: input [batch, 3, 224, 224], 53 convolutions in
+    bottleneck blocks, global average pooling, 1000-way classifier. *)
+
+val inception_v3 : ?batch:int -> unit -> Hidet_graph.Graph.t
+(** Input [batch, 3, 299, 299]; the full A/B/C/D/E module structure with
+    asymmetric 1x7/7x1 convolutions. *)
+
+val mobilenet_v2 : ?batch:int -> unit -> Hidet_graph.Graph.t
+(** Input [batch, 3, 224, 224]; inverted residual blocks with depthwise
+    convolutions. *)
+
+val bert_base :
+  ?batch:int -> ?seq:int -> ?embed:bool -> unit -> Hidet_graph.Graph.t
+(** 12 layers, hidden 768, 12 heads, FFN 3072, post-layer-norm; [seq]
+    defaults to 128. Default input: [batch, seq, 768] hidden states; with
+    [~embed:true] the input is integral token ids [batch, seq] and a
+    30522-entry WordPiece embedding table is gathered first. *)
+
+val gpt2 : ?batch:int -> ?seq:int -> ?embed:bool -> unit -> Hidet_graph.Graph.t
+(** GPT-2 small: 12 layers, hidden 768, 12 heads, pre-layer-norm; 50257-entry
+    BPE vocabulary with [~embed:true]. *)
+
+val all : (string * (unit -> Hidet_graph.Graph.t)) list
+(** The five benchmark models at batch 1, by paper name. *)
+
+val by_name : ?batch:int -> string -> Hidet_graph.Graph.t
+(** ["resnet50" | "inception_v3" | "mobilenet_v2" | "bert" | "gpt2"].
+    Raises [Invalid_argument] otherwise. *)
+
+(** Small configurations of the same architectures for correctness tests
+    (a few blocks, tiny spatial sizes — runnable on the interpreter). *)
+module Tiny : sig
+  val cnn : unit -> Hidet_graph.Graph.t
+  (** Stem + one bottleneck + head, input [1, 3, 16, 16]. *)
+
+  val separable : unit -> Hidet_graph.Graph.t
+  (** One inverted-residual (depthwise) block. *)
+
+  val transformer : unit -> Hidet_graph.Graph.t
+  (** One BERT-style layer: hidden 32, 2 heads, seq 8. *)
+
+  val inception_module : unit -> Hidet_graph.Graph.t
+  (** One Inception-A-style multi-branch module with concat. *)
+end

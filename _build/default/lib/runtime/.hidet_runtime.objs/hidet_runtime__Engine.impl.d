@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Hidet_gpu Hidet_graph Plan

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Hidet_gpu Hidet_graph Plan

@@ -1,0 +1,1 @@
+lib/runtime/group_compiler.ml: Array Hashtbl Hidet_compute Hidet_fusion Hidet_graph Hidet_ir Hidet_sched List Plan

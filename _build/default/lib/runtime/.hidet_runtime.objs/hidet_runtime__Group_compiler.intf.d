@@ -1,0 +1,1 @@
+lib/runtime/group_compiler.mli: Hidet_graph Hidet_sched Plan

@@ -1,0 +1,1 @@
+lib/runtime/plan.ml: Format Hashtbl Hidet_graph Hidet_ir Hidet_sched Hidet_tensor Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/runtime/plan.mli: Format Hidet_gpu Hidet_graph Hidet_sched Hidet_tensor

@@ -1,0 +1,26 @@
+type capability = Low | Medium | High
+
+type caps = {
+  graph_opt : capability;
+  kernel_opt : capability;
+  tuning_time : capability;
+  engineering_effort : capability;
+}
+
+type result = {
+  engine : string;
+  model : string;
+  latency : float;
+  tuning_cost : float;
+  tuning_wall : float;
+  kernel_count : int;
+  plan : Plan.t option;
+}
+
+module type S = sig
+  val name : string
+  val caps : caps
+  val compile : Hidet_gpu.Device.t -> Hidet_graph.Graph.t -> result
+end
+
+let capability_dots = function Low -> "o" | Medium -> "oo" | High -> "ooo"

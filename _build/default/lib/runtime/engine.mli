@@ -1,0 +1,34 @@
+(** The common interface of all inference engines compared in the paper's
+    evaluation: Hidet itself, the loop-oriented tuners (AutoTVM-like,
+    Ansor-like) and the kernel-library engines (PyTorch-, ONNX-Runtime- and
+    TensorRT-like). *)
+
+(** Qualitative capability levels, for the Table 1 reproduction. *)
+type capability = Low | Medium | High
+
+type caps = {
+  graph_opt : capability;
+  kernel_opt : capability;
+  tuning_time : capability;  (** High = little tuning time needed *)
+  engineering_effort : capability;  (** High = little effort per new op *)
+}
+
+type result = {
+  engine : string;
+  model : string;
+  latency : float;  (** end-to-end seconds per the performance model *)
+  tuning_cost : float;  (** simulated tuning seconds (paper Fig. 14 axis) *)
+  tuning_wall : float;  (** actual seconds this compilation took here *)
+  kernel_count : int;
+  plan : Plan.t option;
+      (** executable plan when the engine generates real kernels *)
+}
+
+module type S = sig
+  val name : string
+  val caps : caps
+  val compile : Hidet_gpu.Device.t -> Hidet_graph.Graph.t -> result
+end
+
+val capability_dots : capability -> string
+(** Render as the paper's Table 1 dots. *)

@@ -1,0 +1,29 @@
+(** Shared machinery for compiling fusion groups into plan steps.
+
+    Every engine — Hidet and the baselines — compiles a partitioned graph
+    the same way: schedule the anchor, then fuse as many surrounding
+    operators as the engine's capability allows; whatever cannot (or may
+    not) be fused runs as a standalone rule-based kernel. Engines differ in
+    [schedule_anchor] (which template/space/tuner) and in the fusion
+    predicates (kernel libraries fuse little; compilers fuse everything). *)
+
+type config = {
+  schedule_anchor :
+    Hidet_graph.Graph.t -> Hidet_graph.Graph.node -> Hidet_sched.Compiled.t;
+  may_fuse_prologue : Hidet_graph.Graph.node -> bool;
+  may_fuse_epilogue : Hidet_graph.Graph.node -> bool;
+}
+
+val compile_group :
+  config ->
+  Hidet_graph.Graph.t ->
+  Hidet_graph.Passes.group ->
+  Plan.step list
+(** Steps in execution order; the last step produces the group output.
+    Prologue/epilogue fusions that fail structurally (rank-incompatible
+    shapes) or are disallowed by the predicates become standalone
+    rule-based steps. *)
+
+val compile_graph : config -> Hidet_graph.Graph.t -> Plan.t
+(** Partition (assumes the graph is already optimized) and compile every
+    group. *)

@@ -1,0 +1,33 @@
+(** Execution plans: the artifact every engine produces for a graph.
+
+    A plan is an ordered list of steps; each step launches one compiled
+    operator (one or more kernels) whose arguments are graph node values —
+    inputs, constants, or outputs of earlier steps. Plans support latency
+    accounting (analytic model) and functional execution (interpreter). *)
+
+type step = {
+  compiled : Hidet_sched.Compiled.t;
+  args : int list;  (** graph node ids bound to [compiled.ins], in order *)
+  out_node : int;  (** graph node whose value this step produces *)
+}
+
+type t = { graph : Hidet_graph.Graph.t; steps : step list }
+
+val latency : Hidet_gpu.Device.t -> t -> float
+(** Sum of per-step estimates (serial kernel launches, as in single-stream
+    inference); [infinity] if any kernel is infeasible. *)
+
+val kernel_count : t -> int
+
+val run :
+  t -> (int * Hidet_tensor.Tensor.t) list -> Hidet_tensor.Tensor.t list
+(** Execute on the interpreter: bind graph inputs, force constants on
+    demand, run every step, return the graph outputs. Intended for
+    correctness tests on small graphs. *)
+
+val run1 : t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+
+val cuda_source : t -> string
+(** Concatenated CUDA C for every kernel in the plan. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sched/compiled.ml: Array Buffer Cuda_codegen Hidet_gpu Hidet_ir Hidet_tensor Kernel List Printf Verify

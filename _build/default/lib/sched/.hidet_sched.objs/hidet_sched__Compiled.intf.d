@@ -1,0 +1,1 @@
+lib/sched/compiled.mli: Hidet_gpu Hidet_ir Hidet_tensor

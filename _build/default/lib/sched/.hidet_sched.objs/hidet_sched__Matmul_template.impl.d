@@ -1,0 +1,1 @@
+lib/sched/matmul_template.ml: Buffer Compiled Expr Hidet_ir Hidet_task Kernel List Option Printf Simplify Stmt Var

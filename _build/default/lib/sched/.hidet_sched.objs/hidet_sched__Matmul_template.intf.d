@@ -1,0 +1,1 @@
+lib/sched/matmul_template.mli: Compiled

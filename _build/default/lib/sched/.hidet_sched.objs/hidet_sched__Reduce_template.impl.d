@@ -1,0 +1,1 @@
+lib/sched/reduce_template.ml: Buffer Compiled Expr Hidet_compute Hidet_ir Kernel List Printf Rule_based Simplify Stmt Var

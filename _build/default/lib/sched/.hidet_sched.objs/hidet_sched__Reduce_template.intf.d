@@ -1,0 +1,1 @@
+lib/sched/reduce_template.mli: Compiled Hidet_compute

@@ -1,0 +1,1 @@
+lib/sched/row_templates.ml: Buffer Compiled Expr Hidet_ir Kernel List Printf Simplify Stmt Var

@@ -1,0 +1,1 @@
+lib/sched/row_templates.mli: Compiled

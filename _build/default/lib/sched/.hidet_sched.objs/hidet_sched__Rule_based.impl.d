@@ -1,0 +1,1 @@
+lib/sched/rule_based.ml: Buffer Compiled Expr Hidet_compute Hidet_ir Kernel List Printf Simplify Stmt Var

@@ -1,0 +1,1 @@
+lib/sched/rule_based.mli: Compiled Hidet_compute Hidet_ir

@@ -1,0 +1,1 @@
+lib/sched/space.ml: List Matmul_template Result

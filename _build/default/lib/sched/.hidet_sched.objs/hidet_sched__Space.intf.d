@@ -1,0 +1,1 @@
+lib/sched/space.mli: Matmul_template

@@ -1,0 +1,1 @@
+lib/sched/tuner.ml: Compiled List Matmul_template Option Space Unix

@@ -1,0 +1,1 @@
+lib/sched/tuner.mli: Compiled Hidet_gpu Matmul_template

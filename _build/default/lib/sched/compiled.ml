@@ -1,0 +1,59 @@
+open Hidet_ir
+module Tensor = Hidet_tensor.Tensor
+
+type t = {
+  name : string;
+  kernels : Kernel.t list;
+  ins : Buffer.t list;
+  out : Buffer.t;
+  temps : Buffer.t list;
+}
+
+let latency device c =
+  List.fold_left
+    (fun acc k ->
+      let e = Hidet_gpu.Perf_model.kernel device k in
+      if e.Hidet_gpu.Perf_model.feasible then acc +. e.Hidet_gpu.Perf_model.latency
+      else infinity)
+    0. c.kernels
+
+let feasible device c = latency device c < infinity
+
+let verify c = List.iter Verify.kernel_exn c.kernels
+
+let run c inputs =
+  if List.length inputs <> List.length c.ins then
+    invalid_arg (Printf.sprintf "Compiled.run %s: input count mismatch" c.name);
+  let bindings =
+    List.map2
+      (fun (b : Buffer.t) t ->
+        if Tensor.numel t <> Buffer.num_elems b then
+          invalid_arg
+            (Printf.sprintf "Compiled.run %s: %s expects %d elements, got %d"
+               c.name b.Buffer.name (Buffer.num_elems b) (Tensor.numel t));
+        (b, Array.copy (Tensor.data t)))
+      c.ins inputs
+  in
+  let temp_bindings =
+    List.map (fun b -> (b, Array.make (Buffer.num_elems b) 0.)) c.temps
+  in
+  let out_arr = Array.make (Buffer.num_elems c.out) 0. in
+  let all = ((c.out, out_arr) :: bindings) @ temp_bindings in
+  List.iter
+    (fun (k : Kernel.t) ->
+      let kernel_bindings =
+        List.map
+          (fun (p : Buffer.t) ->
+            match List.find_opt (fun (b, _) -> Buffer.equal b p) all with
+            | Some binding -> binding
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Compiled.run %s: kernel %s parameter %s unbound"
+                   c.name k.Kernel.name p.Buffer.name))
+          k.Kernel.params
+      in
+      Hidet_gpu.Interp.run k kernel_bindings)
+    c.kernels;
+  Tensor.of_array c.out.Buffer.dims out_arr
+
+let cuda_source c = Cuda_codegen.program c.kernels

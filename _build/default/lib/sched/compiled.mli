@@ -1,0 +1,29 @@
+(** A compiled operator: one or more kernels plus its I/O buffers.
+
+    Most operators compile to a single kernel; split-k matrix multiplication
+    compiles to a partial-product kernel followed by a reduction kernel. *)
+
+type t = {
+  name : string;
+  kernels : Hidet_ir.Kernel.t list;  (** in launch order *)
+  ins : Hidet_ir.Buffer.t list;  (** bind input tensors to these *)
+  out : Hidet_ir.Buffer.t;  (** final output *)
+  temps : Hidet_ir.Buffer.t list;  (** intermediate global buffers *)
+}
+
+val latency : Hidet_gpu.Device.t -> t -> float
+(** Sum of per-kernel estimates (each includes launch overhead); [infinity]
+    if any kernel is infeasible. *)
+
+val feasible : Hidet_gpu.Device.t -> t -> bool
+
+val run : t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+(** Execute on the functional interpreter. Input tensors are bound to [ins]
+    positionally (matched by element count — layouts are row-major on both
+    sides, so ranks may differ, e.g. a [m,k] tensor binding a [1,m,k]
+    buffer). Returns the output with the buffer's shape. *)
+
+val verify : t -> unit
+(** Verifies every kernel; raises [Failure] on the first invalid one. *)
+
+val cuda_source : t -> string

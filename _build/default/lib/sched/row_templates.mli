@@ -1,0 +1,16 @@
+(** Row-wise normalization templates built on the block-parallel reduction
+    pattern of {!Reduce_template}: one thread block per row, strided
+    accumulation, shared-memory trees for the row statistics, then a strided
+    elementwise write.
+
+    These cover softmax and layer normalization — reduction-bearing
+    operators that need two or three passes over the row and therefore do
+    not fit a single computation definition. *)
+
+val softmax : ?block_size:int -> rows:int -> cols:int -> unit -> Compiled.t
+(** Input/output [rows, cols]; softmax over the columns (numerically stable:
+    subtracts the row maximum). *)
+
+val layernorm :
+  ?block_size:int -> ?eps:float -> rows:int -> cols:int -> unit -> Compiled.t
+(** Inputs: x [rows, cols], gamma [cols], beta [cols]. *)

@@ -1,0 +1,15 @@
+(** Rule-based scheduling (paper §5.1.3): generate a tensor program directly
+    from a computation definition, with no schedule template.
+
+    The rule is the generic one: one worker per output element via a
+    [spatial] task mapping over the flattened output grid, a sequential
+    register-accumulated loop for reductions, and predication for the tail
+    block. Used for every operator without a dedicated template (elementwise
+    arithmetic, transforms, pooling, normalization, ...). *)
+
+val schedule : ?block_dim:int -> Hidet_compute.Def.t -> Compiled.t
+(** [block_dim] defaults to 256. *)
+
+val decode_axes : Hidet_ir.Expr.t -> int list -> Hidet_ir.Expr.t list
+(** [decode_axes flat shape]: row-major decomposition of a flat index into
+    per-dimension indices (shared with {!Reduce_template}). *)

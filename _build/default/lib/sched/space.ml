@@ -1,0 +1,92 @@
+module MT = Matmul_template
+
+let cartesian_configs () =
+  let block_ms = [ 16; 32; 64; 128 ] in
+  let block_ns = [ 16; 32; 64; 128 ] in
+  let block_ks = [ 8; 16; 32 ] in
+  let warp_fracs = [ 1; 2 ] in
+  (* warp tile = block tile / frac *)
+  let stage_opts = [ 1; 2 ] in
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun block_m ->
+      List.concat_map
+        (fun block_n ->
+          List.concat_map
+            (fun block_k ->
+              List.concat_map
+                (fun fm ->
+                  List.concat_map
+                    (fun fn ->
+                      List.concat_map
+                        (fun stages ->
+                          List.map
+                            (fun use_tensor_core ->
+                              {
+                                MT.block_m;
+                                block_n;
+                                block_k;
+                                warp_m = block_m / fm;
+                                warp_n = block_n / fn;
+                                stages;
+                                split_k = 1;
+                                use_tensor_core;
+                                swizzle = false;
+                              })
+                            bools)
+                        stage_opts)
+                    warp_fracs)
+                warp_fracs)
+            block_ks)
+        block_ns)
+    block_ms
+
+(* Curation: drop degenerate aspect ratios and register-starved tiles so the
+   space stays under ~200 entries while covering the useful corners. *)
+let keep (c : MT.config) =
+  let aspect = max (c.MT.block_m / c.MT.block_n) (c.MT.block_n / c.MT.block_m) in
+  let threads = MT.block_dim c in
+  aspect <= 4 && (min c.MT.block_m c.MT.block_n > 16 || aspect <= 2)
+  && threads >= 32 && threads <= 256
+  && c.MT.block_m * c.MT.block_k >= threads
+  && c.MT.block_k * c.MT.block_n >= threads
+  &&
+  if c.MT.use_tensor_core then c.MT.block_k = 16 && c.MT.block_m >= 32
+  else c.MT.warp_m * c.MT.warp_n >= 512 && c.MT.block_k <= 16
+
+let matmul =
+  let base =
+    List.filter (fun c -> keep c && Result.is_ok (MT.check c)) (cartesian_configs ())
+  in
+  (* A few 3-stage (CUTLASS-multistage-style) pipelines for the largest
+     tensor-core tiles, where the deeper pipeline pays for its shared
+     memory. *)
+  let multistage =
+    List.filter_map
+      (fun (c : MT.config) ->
+        if c.MT.use_tensor_core && c.MT.stages = 2 && c.MT.block_m >= 64
+           && c.MT.block_n >= 64
+        then Some { c with MT.stages = 3 }
+        else None)
+      base
+  in
+  base @ multistage
+
+let size () = List.length matmul
+
+let matmul_with_split_k ~m ~n =
+  (* When the m x n tile grid cannot fill the SMs with mid-size tiles, add
+     split-k variants of the smaller tiles (parallel k reduction). *)
+  let tiles64 = (m + 63) / 64 * ((n + 63) / 64) in
+  if tiles64 >= 256 then matmul
+  else
+    matmul
+    @ List.concat_map
+        (fun sk ->
+          List.filter_map
+            (fun c ->
+              if c.MT.block_m <= 64 && c.MT.block_n <= 64 && c.MT.stages = 2 then
+                Some { c with MT.split_k = sk }
+              else None)
+            matmul)
+        [ 4; 8 ]

@@ -1,0 +1,20 @@
+(** The hardware-centric schedule space (paper §4.3).
+
+    Tile sizes are chosen from hardware-friendly powers of two, independent
+    of the problem size — partial tiles are handled by predicated loads and
+    stores in the template. The resulting space has under 200 schedules
+    (the paper reports 180 for matmul), small enough to enumerate
+    exhaustively, versus the 10^5–10^8 candidate input-centric spaces of
+    AutoTVM/Ansor (their Fig. 7). *)
+
+val matmul : Matmul_template.config list
+(** The full matmul space; every element passes
+    [Matmul_template.check]. Independent of problem size. *)
+
+val matmul_with_split_k : m:int -> n:int -> Matmul_template.config list
+(** {!matmul}, extended with split-k variants when the output grid is too
+    small to saturate the device (the parallel-k-reduction optimization of
+    §6.2.4) — still a property of tile shapes versus the device, not of
+    divisibility. *)
+
+val size : unit -> int

@@ -1,0 +1,48 @@
+type stats = {
+  trials : int;
+  simulated_seconds : float;
+  wall_seconds : float;
+  best_latency : float;
+}
+
+let seconds_per_trial = 1.5
+
+let default_seconds_per_trial = seconds_per_trial
+
+let tune ?(seconds_per_trial = default_seconds_per_trial) ~device ~candidates
+    ~compile () =
+  let t0 = Unix.gettimeofday () in
+  let trials = List.length candidates in
+  let best =
+    List.fold_left
+      (fun best cand ->
+        match compile cand with
+        | exception Invalid_argument _ -> best
+        | compiled ->
+          let lat = Compiled.latency device compiled in
+          if lat < infinity then
+            match best with
+            | Some (_, _, b) when b <= lat -> best
+            | _ -> Some (cand, compiled, lat)
+          else best)
+      None candidates
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Option.map
+    (fun (cand, compiled, lat) ->
+      ( cand,
+        compiled,
+        {
+          trials;
+          simulated_seconds = float_of_int trials *. seconds_per_trial;
+          wall_seconds = wall;
+          best_latency = lat;
+        } ))
+    best
+
+let tune_matmul ~device ?(batch = 1) ?(a_batched = true) ?(b_batched = false) ~m ~n ~k () =
+  tune ~device
+    ~candidates:(Space.matmul_with_split_k ~m ~n)
+    ~compile:(fun cfg ->
+      Matmul_template.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)
+    ()

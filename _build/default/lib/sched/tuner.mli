@@ -1,0 +1,45 @@
+(** Exhaustive tuning over the hardware-centric schedule space.
+
+    Because the space is tiny (paper: 180 schedules, "simply enumerating all
+    schedules ... can be done within one minute"), Hidet needs no cost model
+    or evolutionary search: every candidate is compiled and measured; the
+    best feasible one wins.
+
+    Tuning cost accounting: real measurement on the paper's platform costs
+    roughly [seconds_per_trial] per candidate (compile + benchmark); we
+    report [trials * seconds_per_trial] as the simulated tuning cost used in
+    the Fig. 14 reproduction, alongside the actual wall-clock the OCaml
+    enumeration took. *)
+
+type stats = {
+  trials : int;
+  simulated_seconds : float;  (** trials x seconds_per_trial *)
+  wall_seconds : float;  (** actual enumeration time on this machine *)
+  best_latency : float;  (** seconds, per the performance model *)
+}
+
+val seconds_per_trial : float
+(** 1.5 s: compile + on-device measurement of one schedule candidate. *)
+
+val tune :
+  ?seconds_per_trial:float ->
+  device:Hidet_gpu.Device.t ->
+  candidates:'a list ->
+  compile:('a -> Compiled.t) ->
+  unit ->
+  ('a * Compiled.t * stats) option
+(** Generic exhaustive tuner; [None] if no candidate is feasible.
+    Candidates whose compilation raises [Invalid_argument] are skipped but
+    still counted as trials (a real tuner pays for failed candidates too). *)
+
+val tune_matmul :
+  device:Hidet_gpu.Device.t ->
+  ?batch:int ->
+  ?a_batched:bool ->
+  ?b_batched:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  (Matmul_template.config * Compiled.t * stats) option
+(** Tune over {!Space.matmul_with_split_k}. *)

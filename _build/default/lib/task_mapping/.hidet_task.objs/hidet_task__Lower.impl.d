@@ -1,0 +1,1 @@
+lib/task_mapping/lower.ml: Array Expr Hidet_ir List Mapping Printf Stmt Var

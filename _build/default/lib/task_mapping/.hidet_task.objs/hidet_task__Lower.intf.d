@@ -1,0 +1,1 @@
+lib/task_mapping/lower.mli: Hidet_ir Mapping

@@ -1,0 +1,1 @@
+lib/task_mapping/mapping.ml: Array Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/task_mapping/mapping.mli: Format

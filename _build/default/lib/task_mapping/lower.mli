@@ -1,0 +1,46 @@
+(** Symbolic lowering of task mappings into the tensor-program IR.
+
+    This implements step (2) of the paper's paradigm (its Fig. 8): iterating
+    the tasks assigned to a worker by calling the task mapping with the
+    worker's index expression. [spatial] atoms become index arithmetic on the
+    worker expression; [repeat] atoms become (unrolled) loops; the task index
+    handed to the body is the composed index per the composition formula. *)
+
+val on_workers :
+  Mapping.t ->
+  worker:Hidet_ir.Expr.t ->
+  (Hidet_ir.Expr.t list -> Hidet_ir.Stmt.t) ->
+  Hidet_ir.Stmt.t
+(** [on_workers m ~worker body] produces the statement executed by worker
+    [worker] (typically [Thread_idx], or an expression combining block and
+    thread indices). [body] receives one IR expression per task dimension.
+
+    Custom atoms are lowered to select-chains over the worker id and require
+    [workers <= 256]; raises [Invalid_argument] otherwise. *)
+
+(** One instantiation site of the body inside the lowered loop nest. *)
+type instance = {
+  global : Hidet_ir.Expr.t list;
+      (** task index in the full task domain (the composed mapping) *)
+  local : Hidet_ir.Expr.t list;
+      (** per-worker coordinates: the composition restricted to [repeat]
+          atoms (spatial contributions collapse to 0). Useful for indexing
+          per-thread register tiles whose shape is the repeat product. *)
+  wrap : Hidet_ir.Stmt.t -> Hidet_ir.Stmt.t;  (** enclosing loop nest *)
+}
+
+val tasks_of :
+  Mapping.t -> worker:Hidet_ir.Expr.t -> instance list
+(** Lower-level interface; {!on_workers} is map + sequencing over this. *)
+
+val on_workers_local :
+  Mapping.t ->
+  worker:Hidet_ir.Expr.t ->
+  (global:Hidet_ir.Expr.t list -> local:Hidet_ir.Expr.t list -> Hidet_ir.Stmt.t) ->
+  Hidet_ir.Stmt.t
+(** Like {!on_workers} but the body also receives the local (repeat-only)
+    coordinates. *)
+
+val local_shape : Mapping.t -> int list
+(** Shape of the local coordinate space (element-wise product of the repeat
+    atoms' shapes): the natural shape for a per-worker register tile. *)

@@ -1,0 +1,252 @@
+type atom =
+  | Spatial of { shape : int array; order : int array }
+  | Repeat of { shape : int array; order : int array }
+  | Custom of {
+      name : string;
+      shape : int array;
+      workers : int;
+      f : int -> int list list;
+    }
+
+type t = { dims : int; atoms : atom list (* outermost first *) }
+
+let prod = Array.fold_left ( * ) 1
+
+let check_shape shape =
+  if Array.length shape = 0 then invalid_arg "Mapping: empty task shape";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Mapping: non-positive dim") shape
+
+let check_order shape order =
+  let m = Array.length shape in
+  if Array.length order <> m then invalid_arg "Mapping: order length mismatch";
+  let seen = Array.make m false in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= m || seen.(d) then
+        invalid_arg "Mapping: order is not a permutation";
+      seen.(d) <- true)
+    order
+
+let default_order m = Array.init m (fun i -> i)
+let reversed_order m = Array.init m (fun i -> m - 1 - i)
+
+let make_atom a =
+  let shape = match a with Spatial s -> s.shape | Repeat r -> r.shape | Custom c -> c.shape in
+  { dims = Array.length shape; atoms = [ a ] }
+
+let spatial dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  make_atom (Spatial { shape; order = default_order (Array.length shape) })
+
+let column_spatial dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  make_atom (Spatial { shape; order = reversed_order (Array.length shape) })
+
+let spatial_order ~order dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  let order = Array.of_list order in
+  check_order shape order;
+  make_atom (Spatial { shape; order })
+
+let repeat dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  make_atom (Repeat { shape; order = default_order (Array.length shape) })
+
+let column_repeat dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  make_atom (Repeat { shape; order = reversed_order (Array.length shape) })
+
+let repeat_order ~order dims_list =
+  let shape = Array.of_list dims_list in
+  check_shape shape;
+  let order = Array.of_list order in
+  check_order shape order;
+  make_atom (Repeat { shape; order })
+
+let custom ~name ~shape ~workers f =
+  let shape = Array.of_list shape in
+  check_shape shape;
+  if workers <= 0 then invalid_arg "Mapping.custom: non-positive workers";
+  make_atom (Custom { name; shape; workers; f })
+
+let atom_shape = function
+  | Spatial s -> s.shape
+  | Repeat r -> r.shape
+  | Custom c -> c.shape
+
+let atom_workers = function
+  | Spatial s -> prod s.shape
+  | Repeat _ -> 1
+  | Custom c -> c.workers
+
+let atom_tpw = function
+  | Spatial _ -> 1
+  | Repeat r -> prod r.shape
+  | Custom c -> List.length (c.f 0)
+
+let compose f1 f2 =
+  if f1.dims <> f2.dims then
+    invalid_arg
+      (Printf.sprintf "Mapping.compose: dimension mismatch (%d vs %d)" f1.dims
+         f2.dims);
+  { dims = f1.dims; atoms = f1.atoms @ f2.atoms }
+
+let ( *> ) = compose
+
+let compose_all = function
+  | [] -> invalid_arg "Mapping.compose_all: empty list"
+  | f :: fs -> List.fold_left compose f fs
+
+let dims t = t.dims
+
+let task_shape t =
+  let shape = Array.make t.dims 1 in
+  List.iter
+    (fun a ->
+      let s = atom_shape a in
+      Array.iteri (fun d x -> shape.(d) <- shape.(d) * x) s)
+    t.atoms;
+  Array.to_list shape
+
+let num_workers t = List.fold_left (fun n a -> n * atom_workers a) 1 t.atoms
+let tasks_per_worker t = List.fold_left (fun n a -> n * atom_tpw a) 1 t.atoms
+let num_tasks t = num_workers t * tasks_per_worker t
+
+(* Ordered task list of one atom for worker [w], as int arrays. *)
+let atom_tasks a w =
+  match a with
+  | Spatial { shape; order } ->
+    let m = Array.length shape in
+    let idx = Array.make m 0 in
+    let r = ref w in
+    for p = m - 1 downto 0 do
+      let d = order.(p) in
+      idx.(d) <- !r mod shape.(d);
+      r := !r / shape.(d)
+    done;
+    [ idx ]
+  | Repeat { shape; order } ->
+    let m = Array.length shape in
+    (* Enumerate the grid with order.(0) outermost. *)
+    let rec go p idx =
+      if p = m then [ Array.copy idx ]
+      else
+        let d = order.(p) in
+        List.concat
+          (List.init shape.(d) (fun v ->
+               idx.(d) <- v;
+               go (p + 1) idx))
+    in
+    go 0 (Array.make m 0)
+  | Custom { name; shape; f; _ } ->
+    let expected = List.length (f 0) in
+    let ts = f w in
+    if List.length ts <> expected then
+      invalid_arg
+        (Printf.sprintf "Mapping.custom %s: worker %d has %d tasks, expected %d"
+           name w (List.length ts) expected);
+    List.map
+      (fun task ->
+        let arr = Array.of_list task in
+        if Array.length arr <> Array.length shape then
+          invalid_arg (Printf.sprintf "Mapping.custom %s: task rank mismatch" name);
+        arr)
+      ts
+
+(* The composition semantics from the paper:
+   f3(w) = [t1 ⊙ d2 + t2 | t1 in f1(w / n2), t2 in f2(w mod n2)]. *)
+let rec chain_tasks atoms w =
+  match atoms with
+  | [] -> invalid_arg "Mapping: empty atom chain"
+  | [ a ] -> atom_tasks a w
+  | a :: rest ->
+    let n_rest = List.fold_left (fun n x -> n * atom_workers x) 1 rest in
+    let shape_rest =
+      let s = Array.map (fun _ -> 1) (atom_shape a) in
+      List.iter
+        (fun x -> Array.iteri (fun d v -> s.(d) <- s.(d) * v) (atom_shape x))
+        rest;
+      s
+    in
+    let t1s = atom_tasks a (w / n_rest) in
+    let t2s = chain_tasks rest (w mod n_rest) in
+    List.concat_map
+      (fun t1 ->
+        List.map
+          (fun t2 -> Array.init (Array.length t1) (fun d -> (t1.(d) * shape_rest.(d)) + t2.(d)))
+          t2s)
+      t1s
+
+let tasks t w =
+  let n = num_workers t in
+  if w < 0 || w >= n then
+    invalid_arg (Printf.sprintf "Mapping.tasks: worker %d out of range [0, %d)" w n);
+  List.map Array.to_list (chain_tasks t.atoms w)
+
+let all_assignments t =
+  List.concat
+    (List.init (num_workers t) (fun w -> List.map (fun task -> (w, task)) (tasks t w)))
+
+let is_partition t =
+  let domain = List.fold_left ( * ) 1 (task_shape t) in
+  if num_tasks t <> domain then false
+  else begin
+    let seen = Hashtbl.create domain in
+    let shape = Array.of_list (task_shape t) in
+    let ok = ref true in
+    List.iter
+      (fun (_, task) ->
+        let in_bounds =
+          List.for_all2 (fun i d -> i >= 0 && i < d) task (Array.to_list shape)
+        in
+        if not in_bounds then ok := false
+        else if Hashtbl.mem seen task then ok := false
+        else Hashtbl.add seen task ())
+      (all_assignments t);
+    !ok && Hashtbl.length seen = domain
+  end
+
+let shape_string shape =
+  String.concat ", " (List.map string_of_int (Array.to_list shape))
+
+let is_default_order order =
+  let ok = ref true in
+  Array.iteri (fun i d -> if i <> d then ok := false) order;
+  !ok
+
+let atom_description = function
+  | Spatial { shape; order } ->
+    if is_default_order order then Printf.sprintf "spatial(%s)" (shape_string shape)
+    else
+      Printf.sprintf "spatial(%s; order=%s)" (shape_string shape)
+        (shape_string order)
+  | Repeat { shape; order } ->
+    if is_default_order order then Printf.sprintf "repeat(%s)" (shape_string shape)
+    else
+      Printf.sprintf "repeat(%s; order=%s)" (shape_string shape)
+        (shape_string order)
+  | Custom { name; shape; workers; _ } ->
+    Printf.sprintf "custom[%s](%s; workers=%d)" name (shape_string shape) workers
+
+let atoms_description t =
+  String.concat " * " (List.map atom_description t.atoms)
+
+let pp fmt t = Format.pp_print_string fmt (atoms_description t)
+
+(* Exposed to Lower (same library) but not in the public interface. *)
+let internal_atoms t = t.atoms
+
+type internal_atom = atom =
+  | Spatial of { shape : int array; order : int array }
+  | Repeat of { shape : int array; order : int array }
+  | Custom of {
+      name : string;
+      shape : int array;
+      workers : int;
+      f : int -> int list list;
+    }

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Float Format List Printf Random String

@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest Gen Hidet_compute Hidet_ir Hidet_sched Hidet_tensor List QCheck QCheck_alcotest Test

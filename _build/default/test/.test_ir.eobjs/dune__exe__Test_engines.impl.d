@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Hidet Hidet_baselines Hidet_gpu Hidet_graph Hidet_models Hidet_runtime Hidet_sched Hidet_tensor List Printf QCheck QCheck_alcotest Random Result String

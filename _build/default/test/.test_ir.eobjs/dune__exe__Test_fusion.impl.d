@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Fun Gen Hidet_compute Hidet_fusion Hidet_graph Hidet_ir Hidet_sched Hidet_tensor List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Hashtbl Hidet_graph Hidet_models Hidet_sched Hidet_tensor List String

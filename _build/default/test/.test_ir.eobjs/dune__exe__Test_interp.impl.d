@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Buffer Expr Float Fun Hidet_gpu Hidet_ir Kernel List Stmt Var

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Buffer Cuda_codegen Expr Float Hidet_gpu Hidet_ir Hidet_sched Hidet_tensor Kernel List Printf QCheck QCheck_alcotest Result Simplify Stmt String Unroll Var Verify

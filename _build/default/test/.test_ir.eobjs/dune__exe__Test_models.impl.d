@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Float Hidet Hidet_gpu Hidet_graph Hidet_models Hidet_runtime Hidet_tensor List Printf

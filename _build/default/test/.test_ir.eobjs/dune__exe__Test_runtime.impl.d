@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Hidet_gpu Hidet_graph Hidet_runtime Hidet_sched Hidet_tensor List Printf String

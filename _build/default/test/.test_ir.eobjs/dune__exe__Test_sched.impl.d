@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Hidet_compute Hidet_gpu Hidet_graph Hidet_sched Hidet_tensor List Printf Result String

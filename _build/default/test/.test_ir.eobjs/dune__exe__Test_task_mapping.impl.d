@@ -1,0 +1,1 @@
+test/test_task_mapping.ml: Alcotest Array Buffer Expr Fun Hidet_gpu Hidet_ir Hidet_task Kernel List Printf QCheck QCheck_alcotest Stmt

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Hidet_tensor List QCheck QCheck_alcotest

@@ -1,0 +1,190 @@
+(* Tests for the computation-definition DSL: reference evaluation,
+   classification, Sel/padding semantics, and the consistency between
+   reference evaluation and IR lowering (evaluated through rule-based
+   scheduling + the interpreter). *)
+
+module Def = Hidet_compute.Def
+module Expr = Hidet_ir.Expr
+module T = Hidet_tensor.Tensor
+module RB = Hidet_sched.Rule_based
+module C = Hidet_sched.Compiled
+
+let check_tensor name expected actual =
+  if not (T.allclose ~rtol:1e-4 ~atol:1e-5 expected actual) then
+    Alcotest.failf "%s: max |diff| = %g" name (T.max_abs_diff expected actual)
+
+(* --- elementwise definitions ------------------------------------------------ *)
+
+let scale_def shape factor =
+  Def.create ~name:"scale" ~in_shapes:[ shape ] ~out_shape:shape
+    ~bijection:(fun idx -> idx)
+    Def.(input 0 (List.mapi (fun i _ -> axis i) shape) * const factor)
+
+let test_eval_elementwise () =
+  let d = scale_def [ 2; 3 ] 2.5 in
+  let x = T.rand ~seed:1 [ 2; 3 ] in
+  check_tensor "scale" (T.map (fun v -> v *. 2.5) x) (Def.eval d [ x ])
+
+let test_eval_reduction () =
+  (* out[i] = sum_j x[i, j] *)
+  let d =
+    Def.create ~name:"rowsum" ~in_shapes:[ [ 3; 5 ] ] ~out_shape:[ 3 ]
+      ~reduce:([ 5 ], Def.Sum)
+      Def.(input 0 [ axis 0; raxis 0 ])
+  in
+  let x = T.rand ~seed:2 [ 3; 5 ] in
+  let expect = T.reshape (T.sum x ~axis:1) [ 3 ] in
+  check_tensor "rowsum" expect (Def.eval d [ x ])
+
+let test_eval_max_reduction () =
+  let d =
+    Def.create ~name:"rowmax" ~in_shapes:[ [ 2; 7 ] ] ~out_shape:[ 2 ]
+      ~reduce:([ 7 ], Def.Max_reduce)
+      Def.(input 0 [ axis 0; raxis 0 ])
+  in
+  let x = T.rand ~seed:3 [ 2; 7 ] in
+  check_tensor "rowmax" (T.reshape (T.max_ x ~axis:1) [ 2 ]) (Def.eval d [ x ])
+
+let test_sel_is_lazy () =
+  (* The guarded branch must not be evaluated when the condition is false:
+     index -1 would raise if eagerly evaluated. *)
+  let d =
+    Def.create ~name:"guard" ~in_shapes:[ [ 4 ] ] ~out_shape:[ 4 ]
+      Def.(
+        sel
+          (ges (axis 0 - iconst 1) (iconst 0))
+          (input 0 [ axis 0 - iconst 1 ])
+          (const 0.))
+  in
+  let x = T.of_array [ 4 ] [| 10.; 20.; 30.; 40. |] in
+  check_tensor "shifted" (T.of_array [ 4 ] [| 0.; 10.; 20.; 30. |]) (Def.eval d [ x ])
+
+let test_integral_div_mod () =
+  (* out[i] = x[i / 3, i mod 3] flattening a [2,3] input to [6]. *)
+  let d =
+    Def.create ~name:"flatten" ~in_shapes:[ [ 2; 3 ] ] ~out_shape:[ 6 ]
+      Def.(input 0 [ axis 0 / iconst 3; Bin (Expr.Mod, axis 0, iconst 3) ])
+  in
+  let x = T.rand ~seed:4 [ 2; 3 ] in
+  check_tensor "flatten" (T.reshape x [ 6 ]) (Def.eval d [ x ])
+
+let test_classification () =
+  let inj = scale_def [ 4 ] 2. in
+  Alcotest.(check bool) "injective" true (Def.is_injective inj);
+  Alcotest.(check bool) "bijective" true (Def.is_bijective inj);
+  let red =
+    Def.create ~name:"sum" ~in_shapes:[ [ 4 ] ] ~out_shape:[ 1 ]
+      ~reduce:([ 4 ], Def.Sum)
+      Def.(input 0 [ raxis 0 ])
+  in
+  Alcotest.(check bool) "reduction not injective" false (Def.is_injective red);
+  let no_bij =
+    Def.create ~name:"nb" ~in_shapes:[ [ 4 ] ] ~out_shape:[ 4 ]
+      Def.(input 0 [ axis 0 ])
+  in
+  Alcotest.(check bool) "no bijection recorded" false (Def.is_bijective no_bij);
+  (* Multi-input elementwise: still epilogue-qualified w.r.t. input 0. *)
+  let residual =
+    Def.create ~name:"res" ~in_shapes:[ [ 4 ]; [ 4 ] ] ~out_shape:[ 4 ]
+      ~bijection:(fun idx -> idx)
+      Def.(input 0 [ axis 0 ] + input 1 [ axis 0 ])
+  in
+  Alcotest.(check bool) "multi-input bijective" true (Def.is_bijective residual)
+
+let test_shape_validation () =
+  let d = scale_def [ 2; 3 ] 1. in
+  Alcotest.(check bool) "wrong shape rejected" true
+    (try
+       ignore (Def.eval d [ T.rand [ 3; 2 ] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       ignore (Def.eval d []);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- reference eval == scheduled execution (the central consistency) -------- *)
+
+let def_matches_schedule ?(rtol = 1e-4) d inputs =
+  let expect = Def.eval d inputs in
+  let compiled = RB.schedule d in
+  C.verify compiled;
+  let got = C.run compiled inputs in
+  T.allclose ~rtol ~atol:1e-5 expect got
+
+let test_schedule_matches_elementwise () =
+  let d = scale_def [ 5; 7 ] (-1.5) in
+  Alcotest.(check bool) "scale" true
+    (def_matches_schedule d [ T.rand ~seed:5 [ 5; 7 ] ])
+
+let test_schedule_matches_reduction () =
+  let d =
+    Def.create ~name:"colsum" ~in_shapes:[ [ 6; 10 ] ] ~out_shape:[ 10 ]
+      ~reduce:([ 6 ], Def.Sum)
+      Def.(input 0 [ raxis 0; axis 0 ])
+  in
+  Alcotest.(check bool) "colsum" true
+    (def_matches_schedule d [ T.rand ~seed:6 [ 6; 10 ] ])
+
+let prop_random_pointwise_defs =
+  (* Random arithmetic over two inputs: reference eval must agree with the
+     rule-based-scheduled kernel executed on the interpreter. *)
+  let open QCheck in
+  let gen_scalar =
+    let open Gen in
+    let leaf =
+      oneof
+        [
+          map (fun f -> Def.const (float_of_int f /. 4.)) (int_range (-8) 8);
+          return (Def.input 0 [ Def.axis 0; Def.axis 1 ]);
+          return (Def.input 1 [ Def.axis 0; Def.axis 1 ]);
+        ]
+    in
+    let rec go n =
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 3,
+              let* op = oneofl [ `Add; `Sub; `Mul; `Max ] in
+              let* a = go (n / 2) and* b = go (n / 2) in
+              return
+                (match op with
+                | `Add -> Def.( + ) a b
+                | `Sub -> Def.( - ) a b
+                | `Mul -> Def.( * ) a b
+                | `Max -> Def.maxs a b) );
+          ]
+    in
+    go 4
+  in
+  Test.make ~name:"random pointwise defs: reference = scheduled" ~count:60
+    (make gen_scalar) (fun body ->
+      let shape = [ 3; 9 ] in
+      let d =
+        Def.create ~name:"rand" ~in_shapes:[ shape; shape ] ~out_shape:shape body
+      in
+      def_matches_schedule d [ T.rand ~seed:7 shape; T.rand ~seed:8 shape ])
+
+let () =
+  Alcotest.run "hidet_compute"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "elementwise" `Quick test_eval_elementwise;
+          Alcotest.test_case "sum reduction" `Quick test_eval_reduction;
+          Alcotest.test_case "max reduction" `Quick test_eval_max_reduction;
+          Alcotest.test_case "sel is lazy" `Quick test_sel_is_lazy;
+          Alcotest.test_case "integral div/mod" `Quick test_integral_div_mod;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "shape validation" `Quick test_shape_validation;
+        ] );
+      ( "lowering consistency",
+        [
+          Alcotest.test_case "elementwise" `Quick test_schedule_matches_elementwise;
+          Alcotest.test_case "reduction" `Quick test_schedule_matches_reduction;
+          QCheck_alcotest.to_alcotest prop_random_pointwise_defs;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for post-scheduling fusion: prologue inlining, epilogue store
+   rewriting (index bijections and value transforms), error conditions, and
+   the property that arbitrary chains of bijective epilogues agree with the
+   unfused pipeline. *)
+
+module Fuse = Hidet_fusion.Fuse
+module MT = Hidet_sched.Matmul_template
+module RB = Hidet_sched.Rule_based
+module C = Hidet_sched.Compiled
+module Op = Hidet_graph.Op
+module Def = Hidet_compute.Def
+module T = Hidet_tensor.Tensor
+
+let base = { MT.default_config with MT.block_m = 32; block_n = 32; warp_m = 16; warp_n = 16 }
+let check name expected actual =
+  if not (T.allclose ~rtol:1e-3 ~atol:1e-4 expected actual) then
+    Alcotest.failf "%s: max diff %g" name (T.max_abs_diff expected actual)
+
+(* A small matmul anchor: C[1,m,n] = A[1,m,k] * B[k,n]. *)
+let anchor ~m ~n ~k = MT.compile ~m ~n ~k base
+
+let test_epilogue_scale () =
+  let m, n, k = (20, 24, 16) in
+  let a = T.rand ~seed:1 [ 1; m; k ] and b = T.rand ~seed:2 [ k; n ] in
+  let plain = T.matmul a b in
+  let d = Op.to_def (Op.Unary (Op.Scale_by 3.)) [ [ 1; m; n ] ] in
+  let fused = Fuse.fuse_epilogue (anchor ~m ~n ~k) d in
+  C.verify fused;
+  check "x3" (T.map (fun v -> v *. 3.) plain) (C.run fused [ a; b ])
+
+let test_epilogue_relu_chain () =
+  let m, n, k = (20, 24, 16) in
+  let a = T.rand ~seed:3 [ 1; m; k ] and b = T.rand ~seed:4 [ k; n ] in
+  let plain = T.matmul a b in
+  let fused =
+    Fuse.fuse_epilogue
+      (Fuse.fuse_epilogue (anchor ~m ~n ~k)
+         (Op.to_def (Op.Unary (Op.Scale_by (-1.))) [ [ 1; m; n ] ]))
+      (Op.to_def (Op.Unary Op.Relu) [ [ 1; m; n ] ])
+  in
+  check "relu(-x)" (T.relu (T.map (fun v -> -.v) plain)) (C.run fused [ a; b ])
+
+let test_epilogue_reshape_transpose () =
+  let m, n, k = (12, 20, 8) in
+  let a = T.rand ~seed:5 [ 1; m; k ] and b = T.rand ~seed:6 [ k; n ] in
+  let plain = T.reshape (T.matmul a b) [ m; n ] in
+  (* reshape [1,m,n] -> [m,n], then transpose -> [n,m]. *)
+  let fused =
+    Fuse.fuse_epilogue
+      (Fuse.fuse_epilogue (anchor ~m ~n ~k)
+         (Op.to_def (Op.Reshape [ m; n ]) [ [ 1; m; n ] ]))
+      (Op.to_def (Op.Transpose [ 1; 0 ]) [ [ m; n ] ])
+  in
+  let got = C.run fused [ a; b ] in
+  Alcotest.(check (list int)) "shape" [ n; m ] (T.shape got);
+  check "transposed" (T.transpose plain [ 1; 0 ]) got
+
+let test_epilogue_residual_add () =
+  (* Epilogue with a second input: out = matmul + residual. *)
+  let m, n, k = (16, 16, 12) in
+  let a = T.rand ~seed:7 [ 1; m; k ] and b = T.rand ~seed:8 [ k; n ] in
+  let res = T.rand ~seed:9 [ 1; m; n ] in
+  let d = Op.to_def (Op.Binary Op.Add) [ [ 1; m; n ]; [ 1; m; n ] ] in
+  let fused = Fuse.fuse_epilogue (anchor ~m ~n ~k) d in
+  Alcotest.(check int) "extra input appended" 3 (List.length fused.C.ins);
+  check "residual" (T.add (T.matmul a b) res) (C.run fused [ a; b; res ])
+
+let test_prologue_scale () =
+  (* Scale input A before the matmul: matmul(2a, b) = 2 matmul(a, b). *)
+  let m, n, k = (16, 20, 12) in
+  let a = T.rand ~seed:10 [ 1; m; k ] and b = T.rand ~seed:11 [ k; n ] in
+  let d = Op.to_def (Op.Unary (Op.Scale_by 2.)) [ [ 1; m; k ] ] in
+  let fused = Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:0 d in
+  C.verify fused;
+  check "2ab" (T.map (fun v -> v *. 2.) (T.matmul a b)) (C.run fused [ a; b ])
+
+let test_prologue_transpose () =
+  (* B provided transposed, untransposed by an inlined prologue. *)
+  let m, n, k = (12, 16, 8) in
+  let a = T.rand ~seed:12 [ 1; m; k ] and bt = T.rand ~seed:13 [ n; k ] in
+  let d = Op.to_def (Op.Transpose [ 1; 0 ]) [ [ n; k ] ] in
+  let fused = Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:1 d in
+  check "a * b^T" (T.matmul a (T.transpose bt [ 1; 0 ])) (C.run fused [ a; bt ])
+
+let test_prologue_chained_with_epilogue () =
+  (* scale prologue on A + relu epilogue together. *)
+  let m, n, k = (16, 16, 8) in
+  let a = T.rand ~seed:14 [ 1; m; k ] and b = T.rand ~seed:15 [ k; n ] in
+  let fused =
+    Fuse.fuse_epilogue
+      (Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:0
+         (Op.to_def (Op.Unary (Op.Scale_by (-2.))) [ [ 1; m; k ] ]))
+      (Op.to_def (Op.Unary Op.Relu) [ [ 1; m; n ] ])
+  in
+  check "relu(-2ab)"
+    (T.relu (T.map (fun v -> v *. -2.) (T.matmul a b)))
+    (C.run fused [ a; b ])
+
+let test_prologue_on_rule_based_anchor () =
+  (* Fusion applies to any scheduled Compiled, not just templates. *)
+  let shape = [ 4; 10 ] in
+  let anchor = RB.schedule (Op.to_def (Op.Unary Op.Relu) [ shape ]) in
+  let d = Op.to_def (Op.Unary (Op.Scale_by (-1.))) [ shape ] in
+  let fused = Fuse.fuse_prologue anchor ~input_index:0 d in
+  let x = T.rand ~seed:16 shape in
+  check "relu(-x)" (T.relu (T.map (fun v -> -.v) x)) (C.run fused [ x ])
+
+let test_fusion_error_cases () =
+  let m, n, k = (16, 16, 8) in
+  let reduction_def =
+    Def.create ~name:"sum" ~in_shapes:[ [ 1; m; k ] ] ~out_shape:[ 1; m; k ]
+      ~reduce:([ 2 ], Def.Sum)
+      Def.(input 0 [ axis 0; axis 1; axis 2 ])
+  in
+  Alcotest.(check bool) "non-injective prologue rejected" true
+    (try
+       ignore (Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:0 reduction_def);
+       false
+     with Invalid_argument _ -> true);
+  let wrong_shape = Op.to_def (Op.Unary Op.Relu) [ [ 2; m; k ] ] in
+  Alcotest.(check bool) "shape mismatch rejected" true
+    (try
+       ignore (Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:0 wrong_shape);
+       false
+     with Invalid_argument _ -> true);
+  let no_bijection =
+    Def.create ~name:"nb" ~in_shapes:[ [ 1; m; n ] ] ~out_shape:[ 1; m; n ]
+      Def.(input 0 [ axis 0; axis 1; axis 2 ])
+  in
+  Alcotest.(check bool) "epilogue without bijection rejected" true
+    (try
+       ignore (Fuse.fuse_epilogue (anchor ~m ~n ~k) no_bijection);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad input index rejected" true
+    (try
+       ignore
+         (Fuse.fuse_prologue (anchor ~m ~n ~k) ~input_index:5
+            (Op.to_def (Op.Unary Op.Relu) [ [ 1; m; k ] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fused_kernel_count () =
+  (* Fusion never adds kernels: conv-bn-relu over a split-k anchor still
+     launches exactly the anchor's kernels. *)
+  let cfg = { base with MT.split_k = 2 } in
+  let c = MT.compile ~m:16 ~n:16 ~k:64 cfg in
+  let fused =
+    Fuse.fuse_epilogue c (Op.to_def (Op.Unary Op.Relu) [ [ 1; 16; 16 ] ])
+  in
+  Alcotest.(check int) "kernel count unchanged" 2 (List.length fused.C.kernels);
+  let a = T.rand ~seed:17 [ 1; 16; 64 ] and b = T.rand ~seed:18 [ 64; 16 ] in
+  check "split-k epilogue lands on the reduce kernel"
+    (T.relu (T.matmul a b))
+    (C.run fused [ a; b ])
+
+(* Property: a random chain of bijective epilogues equals the unfused
+   pipeline applied to the plain matmul result. *)
+let arb_epilogue_chain =
+  let open QCheck in
+  let gen_op =
+    Gen.oneofl [ `Scale 2.; `Scale (-0.5); `Relu; `Transpose; `Reshape ]
+  in
+  make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | `Scale f -> Printf.sprintf "scale %g" f
+             | `Relu -> "relu"
+             | `Transpose -> "transpose"
+             | `Reshape -> "reshape")
+           ops))
+    Gen.(list_size (int_range 0 4) gen_op)
+
+let prop_epilogue_chain =
+  QCheck.Test.make ~name:"random epilogue chains = unfused pipeline" ~count:40
+    arb_epilogue_chain (fun ops ->
+      let m, n, k = (8, 12, 8) in
+      let a = T.rand ~seed:19 [ 1; m; k ] and b = T.rand ~seed:20 [ k; n ] in
+      let apply_ref t = function
+        | `Scale f -> T.map (fun v -> v *. f) t
+        | `Relu -> T.relu t
+        | `Transpose ->
+          let rank = List.length (T.shape t) in
+          T.transpose t (List.rev (List.init rank Fun.id))
+        | `Reshape -> T.reshape t [ T.numel t ]
+      in
+      let apply_fuse c op =
+        let shape = c.C.out.Hidet_ir.Buffer.dims in
+        let def =
+          match op with
+          | `Scale f -> Op.to_def (Op.Unary (Op.Scale_by f)) [ shape ]
+          | `Relu -> Op.to_def (Op.Unary Op.Relu) [ shape ]
+          | `Transpose ->
+            let rank = List.length shape in
+            Op.to_def (Op.Transpose (List.rev (List.init rank Fun.id))) [ shape ]
+          | `Reshape ->
+            Op.to_def (Op.Reshape [ List.fold_left ( * ) 1 shape ]) [ shape ]
+        in
+        Fuse.fuse_epilogue c def
+      in
+      let expect = List.fold_left apply_ref (T.matmul a b) ops in
+      let fused = List.fold_left apply_fuse (anchor ~m ~n ~k) ops in
+      let got = C.run fused [ a; b ] in
+      T.allclose ~rtol:1e-3 ~atol:1e-4 expect (T.reshape got (T.shape expect)))
+
+let () =
+  Alcotest.run "hidet_fusion"
+    [
+      ( "epilogue",
+        [
+          Alcotest.test_case "scale" `Quick test_epilogue_scale;
+          Alcotest.test_case "relu chain" `Quick test_epilogue_relu_chain;
+          Alcotest.test_case "reshape+transpose" `Quick test_epilogue_reshape_transpose;
+          Alcotest.test_case "residual add" `Quick test_epilogue_residual_add;
+          Alcotest.test_case "split-k reduce kernel" `Quick test_fused_kernel_count;
+          QCheck_alcotest.to_alcotest prop_epilogue_chain;
+        ] );
+      ( "prologue",
+        [
+          Alcotest.test_case "scale" `Quick test_prologue_scale;
+          Alcotest.test_case "transpose" `Quick test_prologue_transpose;
+          Alcotest.test_case "with epilogue" `Quick test_prologue_chained_with_epilogue;
+          Alcotest.test_case "rule-based anchor" `Quick test_prologue_on_rule_based_anchor;
+        ] );
+      ("errors", [ Alcotest.test_case "rejections" `Quick test_fusion_error_cases ]);
+    ]

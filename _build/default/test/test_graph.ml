@@ -1,0 +1,392 @@
+(* Tests for the graph layer: operator shape inference (positive and
+   negative), fusion classification, graph construction, reference
+   execution, and the optimization passes (constant folding, dead code
+   elimination, implicit-GEMM conv lowering, fusion partitioning). *)
+
+module G = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+module Passes = Hidet_graph.Passes
+module Ref = Hidet_graph.Reference
+module T = Hidet_tensor.Tensor
+
+let shape = Alcotest.(list int)
+
+(* --- shape inference ------------------------------------------------------- *)
+
+let infer_shape_cases =
+  let cases =
+    [
+      (Op.Matmul, [ [ 3; 4 ]; [ 4; 5 ] ], [ 3; 5 ]);
+      (Op.Matmul, [ [ 2; 3; 4 ]; [ 4; 5 ] ], [ 2; 3; 5 ]);
+      (Op.Matmul, [ [ 2; 3; 4 ]; [ 2; 4; 5 ] ], [ 2; 3; 5 ]);
+      (Op.Matmul, [ [ 3; 4 ]; [ 2; 4; 5 ] ], [ 2; 3; 5 ]);
+      ( Op.Conv2d { stride = 2; pad_h = 1; pad_w = 1 },
+        [ [ 1; 3; 28; 28 ]; [ 8; 3; 3; 3 ] ],
+        [ 1; 8; 14; 14 ] );
+      ( Op.Conv2d { stride = 1; pad_h = 0; pad_w = 3 },
+        [ [ 1; 8; 17; 17 ]; [ 16; 8; 1; 7 ] ],
+        [ 1; 16; 17; 17 ] );
+      ( Op.Depthwise_conv2d { stride = 2; padding = 1 },
+        [ [ 1; 8; 14; 14 ]; [ 8; 1; 3; 3 ] ],
+        [ 1; 8; 7; 7 ] );
+      ( Op.Pool2d { kind = Op.Max_pool; kernel = 3; stride = 2; padding = 1 },
+        [ [ 1; 4; 56; 56 ] ],
+        [ 1; 4; 28; 28 ] );
+      (Op.Global_avg_pool, [ [ 2; 16; 7; 7 ] ], [ 2; 16; 1; 1 ]);
+      (Op.Bias_add, [ [ 2; 5; 8 ]; [ 8 ] ], [ 2; 5; 8 ]);
+      (Op.Scale_shift, [ [ 1; 4; 3; 3 ]; [ 4 ]; [ 4 ] ], [ 1; 4; 3; 3 ]);
+      (Op.Layernorm { eps = 1e-5 }, [ [ 2; 3; 16 ]; [ 16 ]; [ 16 ] ], [ 2; 3; 16 ]);
+      (Op.Reshape [ 4; -1 ], [ [ 2; 6 ] ], [ 4; 3 ]);
+      (Op.Transpose [ 2; 0; 1 ], [ [ 3; 4; 5 ] ], [ 5; 3; 4 ]);
+      (Op.Concat { axis = 1 }, [ [ 1; 2; 4 ]; [ 1; 3; 4 ] ], [ 1; 5; 4 ]);
+      ( Op.Im2col { kh = 3; kw = 3; stride = 2; pad_h = 1; pad_w = 1 },
+        [ [ 2; 16; 28; 28 ] ],
+        [ 2; 144; 196 ] );
+    ]
+  in
+  List.map
+    (fun (op, ins, expected) ->
+      Alcotest.test_case (Op.name op) `Quick (fun () ->
+          Alcotest.check shape (Op.name op) expected (Op.infer_shape op ins)))
+    cases
+
+let infer_shape_error_cases =
+  let bad =
+    [
+      (Op.Matmul, [ [ 3; 4 ]; [ 5; 6 ] ]);
+      (Op.Matmul, [ [ 2; 3; 4 ]; [ 3; 4; 5 ] ]);
+      (Op.Conv2d { stride = 1; pad_h = 0; pad_w = 0 }, [ [ 1; 3; 8; 8 ]; [ 8; 4; 3; 3 ] ]);
+      (Op.Binary Op.Add, [ [ 2; 3 ]; [ 3; 2 ] ]);
+      (Op.Bias_add, [ [ 2; 5 ]; [ 4 ] ]);
+      (Op.Reshape [ 5; 5 ], [ [ 2; 6 ] ]);
+      (Op.Transpose [ 0; 0 ], [ [ 2; 3 ] ]);
+      (Op.Concat { axis = 0 }, [ [ 2; 3 ]; [ 2; 4 ] ]);
+    ]
+  in
+  List.map
+    (fun (op, ins) ->
+      Alcotest.test_case ("rejects " ^ Op.name op) `Quick (fun () ->
+          Alcotest.(check bool) (Op.name op) true
+            (try
+               ignore (Op.infer_shape op ins);
+               false
+             with Invalid_argument _ -> true)))
+    bad
+
+let test_classification () =
+  let inj = [ Op.Unary Op.Relu; Op.Binary Op.Add; Op.Bias_add; Op.Scale_shift;
+              Op.Reshape [ 4 ]; Op.Transpose [ 0 ];
+              Op.Im2col { kh = 1; kw = 1; stride = 1; pad_h = 0; pad_w = 0 } ] in
+  List.iter
+    (fun op -> Alcotest.(check bool) (Op.name op) true (Op.is_injective op []))
+    inj;
+  let not_inj = [ Op.Matmul; Op.Softmax; Op.Global_avg_pool; Op.Concat { axis = 0 } ] in
+  List.iter
+    (fun op -> Alcotest.(check bool) (Op.name op) false (Op.is_injective op []))
+    not_inj;
+  Alcotest.(check bool) "im2col not bijective" false
+    (Op.is_bijective (Op.Im2col { kh = 3; kw = 3; stride = 1; pad_h = 1; pad_w = 1 }) []);
+  Alcotest.(check bool) "transpose bijective" true
+    (Op.is_bijective (Op.Transpose [ 1; 0 ]) []);
+  Alcotest.(check bool) "matmul anchor" true (Op.is_anchor Op.Matmul);
+  Alcotest.(check bool) "softmax anchor" true (Op.is_anchor Op.Softmax);
+  Alcotest.(check bool) "relu not anchor" false (Op.is_anchor (Op.Unary Op.Relu))
+
+(* --- graph building & reference execution ----------------------------------- *)
+
+let small_graph () =
+  let g = G.create () in
+  let x = G.input g [ 2; 4 ] in
+  let w = G.constant g (T.full [ 4; 3 ] 0.5) in
+  let y = G.relu g (G.matmul g x w) in
+  G.set_outputs g [ y ];
+  (g, x)
+
+let test_builder_and_reference () =
+  let g, x_id = small_graph () in
+  Alcotest.(check int) "nodes" 4 (G.num_nodes g);
+  Alcotest.(check shape) "out shape" [ 2; 3 ] (G.node_shape g (List.hd (G.outputs g)));
+  Alcotest.(check (list int)) "inputs" [ x_id ] (G.input_ids g);
+  let x = T.full [ 2; 4 ] 1. in
+  let out = Ref.run1 g [ x ] in
+  (* Every output element = relu(4 * 1 * 0.5) = 2. *)
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "value" 2. v) (T.data out)
+
+let test_consumers () =
+  let g = G.create () in
+  let x = G.input g [ 4 ] in
+  let a = G.relu g x in
+  let b = G.gelu g x in
+  let c = G.add g a b in
+  G.set_outputs g [ c ];
+  Alcotest.(check (list int)) "x consumers" [ a; b ] (G.consumers g x);
+  Alcotest.(check (list int)) "a consumers" [ c ] (G.consumers g a)
+
+(* --- passes ------------------------------------------------------------------- *)
+
+let test_constant_folding () =
+  let g = G.create () in
+  let x = G.input g [ 2; 3 ] in
+  let w = G.constant g (T.rand ~seed:1 [ 3; 4 ]) in
+  let wt = G.transpose g w [ 1; 0 ] in
+  let wtt = G.transpose g wt [ 1; 0 ] in
+  let y = G.matmul g x wtt in
+  G.set_outputs g [ y ];
+  let g' = Passes.optimize g in
+  (* Both transposes folded into one constant; DCE removes intermediates:
+     input + constant + matmul = 3 nodes. *)
+  Alcotest.(check int) "folded size" 3 (G.num_nodes g');
+  let x_val = T.rand ~seed:2 [ 2; 3 ] in
+  Alcotest.(check bool) "same semantics" true
+    (T.allclose
+       (Ref.run1 g [ x_val ])
+       (Ref.run1 g' [ x_val ]))
+
+let test_dead_code_elim () =
+  let g = G.create () in
+  let x = G.input g [ 4 ] in
+  let live = G.relu g x in
+  let _dead = G.gelu g x in
+  let _dead2 = G.add g _dead _dead in
+  G.set_outputs g [ live ];
+  let g' = Passes.dead_code_elim g in
+  Alcotest.(check int) "dead removed" 2 (G.num_nodes g')
+
+let test_conv_lowering_semantics () =
+  let g = G.create () in
+  let x = G.input g [ 1; 3; 10; 10 ] in
+  let w = G.constant g (T.rand ~seed:3 [ 5; 3; 3; 3 ]) in
+  let y = G.conv2d g x w ~stride:2 ~padding:1 in
+  G.set_outputs g [ y ];
+  let g' = Passes.optimize (Passes.lower_conv_to_gemm g) in
+  Alcotest.(check bool) "no conv nodes left" true
+    (List.for_all
+       (fun (n : G.node) -> match n.G.op with Op.Conv2d _ -> false | _ -> true)
+       (G.nodes g'));
+  Alcotest.(check bool) "has matmul" true
+    (List.exists
+       (fun (n : G.node) -> n.G.op = Op.Matmul)
+       (G.nodes g'));
+  let x_val = T.rand ~seed:4 [ 1; 3; 10; 10 ] in
+  Alcotest.(check bool) "lowering preserves semantics" true
+    (T.allclose ~rtol:1e-4 ~atol:1e-5 (Ref.run1 g [ x_val ]) (Ref.run1 g' [ x_val ]))
+
+let test_conv_lowering_keeps_depthwise () =
+  let g = G.create () in
+  let x = G.input g [ 1; 4; 8; 8 ] in
+  let w = G.constant g (T.rand ~seed:5 [ 4; 1; 3; 3 ]) in
+  let y = G.depthwise_conv2d g x w ~stride:1 ~padding:1 in
+  G.set_outputs g [ y ];
+  let g' = Passes.lower_conv_to_gemm g in
+  Alcotest.(check bool) "depthwise untouched" true
+    (List.exists
+       (fun (n : G.node) ->
+         match n.G.op with Op.Depthwise_conv2d _ -> true | _ -> false)
+       (G.nodes g'))
+
+(* --- partitioning ---------------------------------------------------------------- *)
+
+let conv_bn_relu_graph () =
+  let g = G.create () in
+  let x = G.input g [ 1; 3; 8; 8 ] in
+  let w = G.constant g (T.rand ~seed:6 [ 4; 3; 3; 3 ]) in
+  let s = G.constant g (T.rand ~seed:7 [ 4 ]) in
+  let b = G.constant g (T.rand ~seed:8 [ 4 ]) in
+  let conv = G.conv2d g x w ~stride:1 ~padding:1 in
+  let bn = G.scale_shift g conv ~scale:s ~shift:b in
+  let r = G.relu g bn in
+  G.set_outputs g [ r ];
+  g
+
+let test_partition_conv_bn_relu () =
+  let g = Passes.optimize (Passes.lower_conv_to_gemm (conv_bn_relu_graph ())) in
+  let groups = Passes.partition g in
+  (* One group: the matmul anchor with im2col prologue and
+     reshape/scale_shift/relu epilogues. *)
+  Alcotest.(check int) "one group" 1 (List.length groups);
+  let grp = List.hd groups in
+  Alcotest.(check bool) "anchor is matmul" true
+    ((G.node g grp.Passes.anchor).G.op = Op.Matmul);
+  Alcotest.(check int) "one prologue (im2col)" 1 (List.length grp.Passes.prologues);
+  Alcotest.(check int) "three epilogues" 3 (List.length grp.Passes.epilogues)
+
+let test_partition_complete_and_disjoint () =
+  let check_graph g =
+    let g = Passes.optimize (Passes.lower_conv_to_gemm g) in
+    let groups = Passes.partition g in
+    let covered = Hashtbl.create 32 in
+    List.iter
+      (fun (grp : Passes.group) ->
+        List.iter
+          (fun id ->
+            if Hashtbl.mem covered id then Alcotest.failf "node %d in two groups" id;
+            Hashtbl.replace covered id ())
+          ((grp.Passes.anchor :: grp.Passes.prologues) @ grp.Passes.epilogues))
+      groups;
+    List.iter
+      (fun (n : G.node) ->
+        match n.G.op with
+        | Op.Input | Op.Constant _ -> ()
+        | _ ->
+          if not (Hashtbl.mem covered n.G.id) then
+            Alcotest.failf "node %d (%s) not in any group" n.G.id (Op.name n.G.op))
+      (G.nodes g)
+  in
+  check_graph (conv_bn_relu_graph ());
+  check_graph (Hidet_models.Models.Tiny.cnn ());
+  check_graph (Hidet_models.Models.Tiny.transformer ());
+  check_graph (Hidet_models.Models.Tiny.inception_module ())
+
+let test_partition_shared_producer_not_epilogue () =
+  (* A node consumed twice cannot be absorbed as an epilogue chain. *)
+  let g = G.create () in
+  let x = G.input g [ 4; 4 ] in
+  let w = G.constant g (T.rand ~seed:9 [ 4; 4 ]) in
+  let mm = G.matmul g x w in
+  let r = G.relu g mm in
+  let out = G.add g r (G.gelu g r) in
+  G.set_outputs g [ out ];
+  let groups = Passes.partition g in
+  let mm_group =
+    List.find (fun grp -> (G.node g grp.Passes.anchor).G.op = Op.Matmul) groups
+  in
+  (* relu (two consumers) may only be absorbed as the group's final node —
+     its value must be materialized for the other consumer. *)
+  if List.mem r mm_group.Passes.epilogues then
+    Alcotest.(check int) "relu is the group output" r mm_group.Passes.output
+  else
+    Alcotest.(check bool) "chain stopped before relu" true
+      (mm_group.Passes.output = mm)
+
+let test_graph_outputs_not_absorbed () =
+  (* A node that is a graph output must terminate the epilogue chain. *)
+  let g = G.create () in
+  let x = G.input g [ 4; 4 ] in
+  let w = G.constant g (T.rand ~seed:10 [ 4; 4 ]) in
+  let mm = G.matmul g x w in
+  let r = G.relu g mm in
+  G.set_outputs g [ mm; r ];
+  let groups = Passes.partition g in
+  let mm_group =
+    List.find (fun grp -> grp.Passes.anchor = mm) groups
+  in
+  Alcotest.(check (list int)) "no epilogues past an output" []
+    mm_group.Passes.epilogues
+
+(* --- serialization ---------------------------------------------------------- *)
+
+module Gio = Hidet_graph.Graph_io
+
+let test_roundtrip_exact () =
+  (* Small constants serialize with data: reference execution must agree
+     exactly after a round trip. *)
+  let g = Hidet_models.Models.Tiny.cnn () in
+  let g' = Gio.of_string (Gio.to_string g) in
+  Alcotest.(check int) "same node count" (G.num_nodes g) (G.num_nodes g');
+  Alcotest.(check string) "same name" (G.get_name g) (G.get_name g');
+  let x = T.rand ~seed:11 [ 1; 3; 16; 16 ] in
+  Alcotest.(check bool) "same semantics" true
+    (T.allclose (Ref.run1 g [ x ]) (Ref.run1 g' [ x ]))
+
+let test_roundtrip_structure () =
+  (* Large weights become random placeholders, but structure, shapes and
+     FLOPs survive. *)
+  let g = Hidet_models.Models.resnet50 () in
+  let g' = Gio.of_string (Gio.to_string g) in
+  Alcotest.(check int) "node count" (G.num_nodes g) (G.num_nodes g');
+  Alcotest.(check (float 1.)) "flops" (G.flops g) (G.flops g');
+  Alcotest.(check (list int)) "output shape"
+    (G.node_shape g (List.hd (G.outputs g)))
+    (G.node_shape g' (List.hd (G.outputs g')))
+
+let test_roundtrip_twice_stable () =
+  let g = Hidet_models.Models.Tiny.transformer () in
+  let once = Gio.to_string (Gio.of_string (Gio.to_string g)) in
+  Alcotest.(check string) "fixpoint" (Gio.to_string g) once
+
+let test_malformed_rejected () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ String.escaped s) true
+        (try
+           ignore (Gio.of_string s);
+           false
+         with Failure _ -> true))
+    [
+      "";
+      "(graph \"x\"";
+      "(graph \"x\" (node 0 (input) (shape 4)))";
+      "(graph \"x\" (node 0 (wat) (shape 4)) (outputs 0))";
+      "(graph \"x\" (node 0 (relu) (inputs 5) (shape 4)) (outputs 0))";
+      "(graph \"x\" (node 0 (input) (shape 2 2)) (node 1 (reshape 5) (inputs 0) (shape 5)) (outputs 1))";
+    ]
+
+(* --- embedding ----------------------------------------------------------------- *)
+
+let test_embedding_reference () =
+  let g = G.create () in
+  let ids = G.input g [ 1; 4 ] in
+  let table = G.constant g (T.init [ 10; 3 ] (fun idx ->
+      match idx with [ v; d ] -> float_of_int ((10 * v) + d) | _ -> 0.)) in
+  let e = G.add_op g Op.Embedding [ ids; table ] in
+  G.set_outputs g [ e ];
+  let out = Ref.run1 g [ T.of_array [ 1; 4 ] [| 3.; 0.; 9.; 3. |] ] in
+  Alcotest.(check (list int)) "shape" [ 1; 4; 3 ] (T.shape out);
+  Alcotest.(check (float 1e-9)) "gathered" 31. (T.get out [ 0; 0; 1 ]);
+  Alcotest.(check (float 1e-9)) "row 9" 92. (T.get out [ 0; 2; 2 ])
+
+let test_embedding_scheduled () =
+  let ids = T.of_array [ 2; 3 ] [| 1.; 4.; 0.; 2.; 2.; 3. |] in
+  let table = T.rand ~seed:13 [ 5; 8 ] in
+  let def = Op.to_def Op.Embedding [ [ 2; 3 ]; [ 5; 8 ] ] in
+  let compiled = Hidet_sched.Rule_based.schedule def in
+  let got = Hidet_sched.Compiled.run compiled [ ids; table ] in
+  let expect = Op.eval Op.Embedding [ ids; table ] in
+  Alcotest.(check bool) "gather kernel" true (T.allclose expect got)
+
+let test_bert_with_embedding () =
+  let g = Hidet_models.Models.bert_base ~embed:true () in
+  Alcotest.(check (list int)) "ids input" [ 1; 128 ]
+    (G.node_shape g (List.hd (G.input_ids g)));
+  Alcotest.(check bool) "has embedding op" true
+    (List.exists (fun (n : G.node) -> n.G.op = Op.Embedding) (G.nodes g))
+
+let () =
+  Alcotest.run "hidet_graph"
+    [
+      ("shape inference", infer_shape_cases);
+      ("shape inference errors", infer_shape_error_cases);
+      ("ops", [ Alcotest.test_case "classification" `Quick test_classification ]);
+      ( "graph",
+        [
+          Alcotest.test_case "builder + reference" `Quick test_builder_and_reference;
+          Alcotest.test_case "consumers" `Quick test_consumers;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "dead code elim" `Quick test_dead_code_elim;
+          Alcotest.test_case "conv lowering semantics" `Quick test_conv_lowering_semantics;
+          Alcotest.test_case "depthwise untouched" `Quick test_conv_lowering_keeps_depthwise;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "conv-bn-relu group" `Quick test_partition_conv_bn_relu;
+          Alcotest.test_case "complete and disjoint" `Quick test_partition_complete_and_disjoint;
+          Alcotest.test_case "shared producer" `Quick test_partition_shared_producer_not_epilogue;
+          Alcotest.test_case "outputs not absorbed" `Quick test_graph_outputs_not_absorbed;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "exact roundtrip" `Quick test_roundtrip_exact;
+          Alcotest.test_case "structural roundtrip" `Quick test_roundtrip_structure;
+          Alcotest.test_case "fixpoint" `Quick test_roundtrip_twice_stable;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "reference gather" `Quick test_embedding_reference;
+          Alcotest.test_case "scheduled gather" `Quick test_embedding_scheduled;
+          Alcotest.test_case "bert with embedding" `Quick test_bert_with_embedding;
+        ] );
+    ]

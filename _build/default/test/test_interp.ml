@@ -1,0 +1,508 @@
+(* Tests for the GPU simulator: functional interpreter (lockstep threads,
+   barriers, memory scopes, MMA), pipeline pattern validation and the
+   analytic performance model's qualitative behaviours. *)
+
+open Hidet_ir
+module Interp = Hidet_gpu.Interp
+module Device = Hidet_gpu.Device
+module Perf = Hidet_gpu.Perf_model
+module Pipeline = Hidet_gpu.Pipeline
+module Traffic = Hidet_gpu.Traffic
+
+let dev = Device.rtx3090
+
+(* --- basic execution ----------------------------------------------------- *)
+
+let test_vector_add () =
+  let n = 256 in
+  let a = Buffer.create "A" [ n ] and b = Buffer.create "B" [ n ] in
+  let c = Buffer.create "C" [ n ] in
+  let gid =
+    Expr.add (Expr.mul Expr.Block_idx (Expr.int 64)) Expr.Thread_idx
+  in
+  let body = Stmt.store c [ gid ] (Expr.add (Expr.load a [ gid ]) (Expr.load b [ gid ])) in
+  let k = Kernel.create ~name:"vadd" ~params:[ a; b; c ] ~grid_dim:4 ~block_dim:64 body in
+  let av = Array.init n float_of_int in
+  let bv = Array.init n (fun i -> float_of_int (2 * i)) in
+  let cv = Array.make n 0. in
+  Interp.run k [ (a, av); (b, bv); (c, cv) ];
+  Alcotest.(check bool) "all elements" true
+    (Array.for_all Fun.id (Array.init n (fun i -> cv.(i) = float_of_int (3 * i))))
+
+let test_predicated_store () =
+  (* Grid covers 96 > n = 80 elements; predication protects the tail. *)
+  let n = 80 in
+  let c = Buffer.create "C" [ n ] in
+  let gid = Expr.add (Expr.mul Expr.Block_idx (Expr.int 32)) Expr.Thread_idx in
+  let body = Stmt.if_ (Expr.lt gid (Expr.int n)) (Stmt.store c [ gid ] (Expr.float 1.)) in
+  let k = Kernel.create ~name:"pred" ~params:[ c ] ~grid_dim:3 ~block_dim:32 body in
+  let cv = Array.make n 0. in
+  Interp.run k [ (c, cv) ];
+  Alcotest.(check bool) "all ones" true (Array.for_all (fun x -> x = 1.) cv)
+
+let test_shared_memory_reverse () =
+  (* Stage into shared memory, barrier, read back reversed: exercises the
+     barrier actually separating phases. *)
+  let n = 64 in
+  let a = Buffer.create "A" [ n ] and c = Buffer.create "C" [ n ] in
+  let smem = Buffer.create ~scope:Buffer.Shared "smem" [ n ] in
+  let body =
+    Stmt.seq
+      [
+        Stmt.store smem [ Expr.Thread_idx ] (Expr.load a [ Expr.Thread_idx ]);
+        Stmt.sync;
+        Stmt.store c [ Expr.Thread_idx ]
+          (Expr.load smem [ Expr.sub (Expr.int (n - 1)) Expr.Thread_idx ]);
+      ]
+  in
+  let k =
+    Kernel.create ~shared:[ smem ] ~name:"rev" ~params:[ a; c ] ~grid_dim:1
+      ~block_dim:n body
+  in
+  let av = Array.init n float_of_int and cv = Array.make n 0. in
+  Interp.run k [ (a, av); (c, cv) ];
+  Alcotest.(check bool) "reversed" true
+    (Array.for_all Fun.id (Array.init n (fun i -> cv.(i) = float_of_int (n - 1 - i))))
+
+let test_multi_barrier_accumulate () =
+  (* Tree reduction in shared memory with a barrier per level. *)
+  let n = 64 in
+  let a = Buffer.create "A" [ n ] and c = Buffer.create "C" [ 1 ] in
+  let smem = Buffer.create ~scope:Buffer.Shared "smem" [ n ] in
+  let stride = Var.fresh "s" in
+  let rec levels s acc =
+    if s = 0 then List.rev acc
+    else
+      levels (s / 2)
+        (Stmt.seq
+           [
+             Stmt.if_
+               (Expr.lt Expr.Thread_idx (Expr.int s))
+               (Stmt.store smem [ Expr.Thread_idx ]
+                  (Expr.add
+                     (Expr.load smem [ Expr.Thread_idx ])
+                     (Expr.load smem [ Expr.add Expr.Thread_idx (Expr.int s) ])));
+             Stmt.sync;
+           ]
+        :: acc)
+  in
+  ignore stride;
+  let body =
+    Stmt.seq
+      ([
+         Stmt.store smem [ Expr.Thread_idx ] (Expr.load a [ Expr.Thread_idx ]);
+         Stmt.sync;
+       ]
+      @ levels (n / 2) []
+      @ [
+          Stmt.if_
+            (Expr.eq Expr.Thread_idx (Expr.int 0))
+            (Stmt.store c [ Expr.int 0 ] (Expr.load smem [ Expr.int 0 ]));
+        ])
+  in
+  let k =
+    Kernel.create ~shared:[ smem ] ~name:"reduce" ~params:[ a; c ] ~grid_dim:1
+      ~block_dim:n body
+  in
+  let av = Array.init n float_of_int and cv = Array.make 1 0. in
+  Interp.run k [ (a, av); (c, cv) ];
+  Alcotest.(check (float 1e-9)) "sum" (float_of_int (n * (n - 1) / 2)) cv.(0)
+
+let test_register_privacy () =
+  (* Each thread's register accumulator is private. *)
+  let n = 32 in
+  let c = Buffer.create "C" [ n ] in
+  let r = Buffer.create ~scope:Buffer.Register "acc" [ 1 ] in
+  let i = Var.fresh "i" in
+  let body =
+    Stmt.seq
+      [
+        Stmt.for_ i (Expr.int 4)
+          (Stmt.store r [ Expr.int 0 ]
+             (Expr.add (Expr.load r [ Expr.int 0 ]) Expr.Thread_idx));
+        Stmt.store c [ Expr.Thread_idx ] (Expr.load r [ Expr.int 0 ]);
+      ]
+  in
+  let k = Kernel.create ~regs:[ r ] ~name:"regs" ~params:[ c ] ~grid_dim:1 ~block_dim:n body in
+  let cv = Array.make n 0. in
+  Interp.run k [ (c, cv) ];
+  Alcotest.(check bool) "private accumulators" true
+    (Array.for_all Fun.id (Array.init n (fun t -> cv.(t) = float_of_int (4 * t))))
+
+let test_barrier_divergence_detected () =
+  let c = Buffer.create "C" [ 32 ] in
+  let body =
+    Stmt.seq
+      [
+        Stmt.if_ (Expr.lt Expr.Thread_idx (Expr.int 16)) Stmt.sync;
+        Stmt.store c [ Expr.Thread_idx ] (Expr.float 0.);
+      ]
+  in
+  (* Verification rejects this kernel before execution even starts. *)
+  let k = Kernel.create ~name:"diverge" ~params:[ c ] ~grid_dim:1 ~block_dim:32 body in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Interp.run k [ (c, Array.make 32 0.) ];
+       false
+     with Failure _ | Interp.Barrier_divergence _ -> true)
+
+let test_out_of_bounds_detected () =
+  let c = Buffer.create "C" [ 8 ] in
+  let body = Stmt.store c [ Expr.Thread_idx ] (Expr.float 1.) in
+  let k = Kernel.create ~name:"oob" ~params:[ c ] ~grid_dim:1 ~block_dim:32 body in
+  Alcotest.(check bool) "raises" true
+    (try
+       Interp.run k [ (c, Array.make 8 0.) ];
+       false
+     with Interp.Invalid_access _ -> true)
+
+let test_missing_binding () =
+  let c = Buffer.create "C" [ 8 ] in
+  let k =
+    Kernel.create ~name:"missing" ~params:[ c ] ~grid_dim:1 ~block_dim:1
+      (Stmt.store c [ Expr.int 0 ] (Expr.float 1.))
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Interp.run k [];
+       false
+     with Invalid_argument _ -> true)
+
+let test_mma_tile () =
+  (* One warp computing a 8x8x4 tile with the MMA statement. *)
+  let a = Buffer.create "A" [ 8; 4 ] and b = Buffer.create "B" [ 4; 8 ] in
+  let c = Buffer.create "C" [ 8; 8 ] in
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 8; 4 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 4; 8 ] in
+  let sc = Buffer.create ~scope:Buffer.Warp "sc" [ 8; 8 ] in
+  let i = Var.fresh "i" in
+  let copy_in =
+    Stmt.for_ i (Expr.int 1)
+      (Stmt.seq
+         [
+           Stmt.if_
+             (Expr.lt Expr.Thread_idx (Expr.int 32))
+             (Stmt.seq
+                [
+                  Stmt.store sa
+                    [ Expr.div Expr.Thread_idx (Expr.int 4);
+                      Expr.modulo Expr.Thread_idx (Expr.int 4) ]
+                    (Expr.load a
+                       [ Expr.div Expr.Thread_idx (Expr.int 4);
+                         Expr.modulo Expr.Thread_idx (Expr.int 4) ]);
+                  Stmt.store sb
+                    [ Expr.div Expr.Thread_idx (Expr.int 8);
+                      Expr.modulo Expr.Thread_idx (Expr.int 8) ]
+                    (Expr.load b
+                       [ Expr.div Expr.Thread_idx (Expr.int 8);
+                         Expr.modulo Expr.Thread_idx (Expr.int 8) ]);
+                ]);
+         ])
+  in
+  let mma =
+    Stmt.Mma
+      {
+        m = 8;
+        n = 8;
+        k = 4;
+        a = sa;
+        a_off = [ Expr.int 0; Expr.int 0 ];
+        b = sb;
+        b_off = [ Expr.int 0; Expr.int 0 ];
+        c = sc;
+        c_off = [ Expr.int 0; Expr.int 0 ];
+      }
+  in
+  let writeback =
+    Stmt.seq
+      (List.init 2 (fun r ->
+           Stmt.store c
+             [ Expr.add (Expr.mul (Expr.int r) (Expr.int 4))
+                 (Expr.div Expr.Thread_idx (Expr.int 8));
+               Expr.modulo Expr.Thread_idx (Expr.int 8) ]
+             (Expr.load sc
+                [ Expr.add (Expr.mul (Expr.int r) (Expr.int 4))
+                    (Expr.div Expr.Thread_idx (Expr.int 8));
+                  Expr.modulo Expr.Thread_idx (Expr.int 8) ])))
+  in
+  let body = Stmt.seq [ copy_in; Stmt.sync; mma; Stmt.sync; writeback ] in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~warp_bufs:[ sc ] ~name:"mma"
+      ~params:[ a; b; c ] ~grid_dim:1 ~block_dim:32 body
+  in
+  let av = Array.init 32 (fun x -> float_of_int (x mod 5) -. 2.) in
+  let bv = Array.init 32 (fun x -> float_of_int (x mod 7) -. 3.) in
+  let cv = Array.make 64 0. in
+  Interp.run k [ (a, av); (b, bv); (c, cv) ];
+  (* Reference. *)
+  let expect = Array.make 64 0. in
+  for ii = 0 to 7 do
+    for jj = 0 to 7 do
+      let acc = ref 0. in
+      for kk = 0 to 3 do
+        acc := !acc +. (av.((ii * 4) + kk) *. bv.((kk * 8) + jj))
+      done;
+      expect.((ii * 8) + jj) <- !acc
+    done
+  done;
+  Alcotest.(check bool) "mma result" true
+    (Array.for_all Fun.id (Array.init 64 (fun x -> Float.abs (cv.(x) -. expect.(x)) < 1e-6)))
+
+let test_select_guards_oob () =
+  (* Expr.Select must not evaluate the untaken branch: predicated loads at
+     tile edges index out of bounds in the dead branch. *)
+  let a = Buffer.create "A" [ 8 ] and c = Buffer.create "C" [ 32 ] in
+  let guarded =
+    Expr.select
+      (Expr.lt Expr.Thread_idx (Expr.int 8))
+      (Expr.load a [ Expr.Thread_idx ])
+      (Expr.float 0.)
+  in
+  let k =
+    Kernel.create ~name:"guard" ~params:[ a; c ] ~grid_dim:1 ~block_dim:32
+      (Stmt.store c [ Expr.Thread_idx ] guarded)
+  in
+  let av = Array.init 8 float_of_int and cv = Array.make 32 (-1.) in
+  Interp.run k [ (a, av); (c, cv) ];
+  Alcotest.(check (float 0.)) "in bounds" 3. cv.(3);
+  Alcotest.(check (float 0.)) "guarded tail" 0. cv.(20)
+
+let test_multi_warp_mma () =
+  (* Two warps, each with its own warp-scope accumulator: warp buffers must
+     not alias across warps. *)
+  let c = Buffer.create "C" [ 2 ] in
+  let frag = Buffer.create ~scope:Buffer.Warp "frag" [ 2; 2 ] in
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 2; 2 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 2; 2 ] in
+  let warp = Expr.div Expr.Thread_idx (Expr.int 32) in
+  let lane = Expr.modulo Expr.Thread_idx (Expr.int 32) in
+  let body =
+    Stmt.seq
+      [
+        (* identity A, B = warp-invariant values; frag accumulates per warp *)
+        Stmt.if_
+          (Expr.lt Expr.Thread_idx (Expr.int 4))
+          (Stmt.seq
+             [
+               Stmt.store sa
+                 [ Expr.div Expr.Thread_idx (Expr.int 2);
+                   Expr.modulo Expr.Thread_idx (Expr.int 2) ]
+                 (Expr.select
+                    (Expr.eq
+                       (Expr.div Expr.Thread_idx (Expr.int 2))
+                       (Expr.modulo Expr.Thread_idx (Expr.int 2)))
+                    (Expr.float 1.) (Expr.float 0.));
+               Stmt.store sb
+                 [ Expr.div Expr.Thread_idx (Expr.int 2);
+                   Expr.modulo Expr.Thread_idx (Expr.int 2) ]
+                 (Expr.float 2.);
+             ]);
+        Stmt.sync;
+        (* each warp seeds its own fragment with its warp id + 1 *)
+        Stmt.if_
+          (Expr.eq lane (Expr.int 0))
+          (Stmt.store frag [ Expr.int 0; Expr.int 0 ]
+             (Expr.add (Expr.mul warp (Expr.float 10.)) (Expr.float 1.)));
+        Stmt.sync;
+        Stmt.Mma
+          {
+            m = 2; n = 2; k = 2;
+            a = sa; a_off = [ Expr.int 0; Expr.int 0 ];
+            b = sb; b_off = [ Expr.int 0; Expr.int 0 ];
+            c = frag; c_off = [ Expr.int 0; Expr.int 0 ];
+          };
+        Stmt.sync;
+        Stmt.if_
+          (Expr.eq lane (Expr.int 0))
+          (Stmt.store c [ warp ] (Expr.load frag [ Expr.int 0; Expr.int 0 ]));
+      ]
+  in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~warp_bufs:[ frag ] ~name:"warps"
+      ~params:[ c ] ~grid_dim:1 ~block_dim:64 body
+  in
+  let cv = Array.make 2 0. in
+  Interp.run k [ (c, cv) ];
+  (* frag[0][0] starts at (10w + 1) and gains A.B[0][0] = 2. *)
+  Alcotest.(check (float 1e-9)) "warp 0" 3. cv.(0);
+  Alcotest.(check (float 1e-9)) "warp 1" 13. cv.(1)
+
+(* --- pipeline pattern detection ------------------------------------------ *)
+
+let pipelined_loop_body reg smem_a glob =
+  (* prefetch (global -> regs), compute (reads shared), stage (regs -> shared) *)
+  Stmt.seq
+    [
+      Stmt.store reg [ Expr.int 0 ] (Expr.load glob [ Expr.Thread_idx ]);
+      Stmt.store reg [ Expr.int 1 ]
+        (Expr.add (Expr.load reg [ Expr.int 1 ]) (Expr.load smem_a [ Expr.Thread_idx ]));
+      Stmt.store smem_a [ Expr.Thread_idx ] (Expr.load reg [ Expr.int 0 ]);
+      Stmt.sync;
+    ]
+
+let test_pipeline_pattern_positive () =
+  let glob = Buffer.create "G" [ 64 ] in
+  let smem = Buffer.create ~scope:Buffer.Shared "S" [ 64 ] in
+  let reg = Buffer.create ~scope:Buffer.Register "R" [ 2 ] in
+  let k0 = Var.fresh "k0" in
+  let body = Stmt.for_ k0 (Expr.int 8) (pipelined_loop_body reg smem glob) in
+  Alcotest.(check bool) "pattern found" true (Pipeline.has_overlap_pattern body)
+
+let test_pipeline_pattern_negative () =
+  (* Classic non-pipelined loop: global -> shared directly, sync, compute. *)
+  let glob = Buffer.create "G" [ 64 ] in
+  let smem = Buffer.create ~scope:Buffer.Shared "S" [ 64 ] in
+  let reg = Buffer.create ~scope:Buffer.Register "R" [ 1 ] in
+  let k0 = Var.fresh "k0" in
+  let body =
+    Stmt.for_ k0 (Expr.int 8)
+      (Stmt.seq
+         [
+           Stmt.store smem [ Expr.Thread_idx ] (Expr.load glob [ Expr.Thread_idx ]);
+           Stmt.sync;
+           Stmt.store reg [ Expr.int 0 ]
+             (Expr.add (Expr.load reg [ Expr.int 0 ]) (Expr.load smem [ Expr.Thread_idx ]));
+           Stmt.sync;
+         ])
+  in
+  Alcotest.(check bool) "no pattern" false (Pipeline.has_overlap_pattern body);
+  let k =
+    Kernel.create ~shared:[ smem ] ~regs:[ reg ] ~pipeline_stages:2
+      ~name:"fake" ~params:[ glob ] ~grid_dim:1 ~block_dim:64 body
+  in
+  Alcotest.(check int) "claim downgraded" 1 (Pipeline.effective_stages k)
+
+(* --- traffic extraction --------------------------------------------------- *)
+
+let test_traffic_counts () =
+  let a = Buffer.create "A" [ 1024 ] and c = Buffer.create "C" [ 1024 ] in
+  let i = Var.fresh "i" in
+  let body =
+    Stmt.for_ i (Expr.int 4)
+      (Stmt.store c
+         [ Expr.add (Expr.mul (Expr.var i) (Expr.int 256)) Expr.Thread_idx ]
+         (Expr.mul
+            (Expr.load a
+               [ Expr.add (Expr.mul (Expr.var i) (Expr.int 256)) Expr.Thread_idx ])
+            (Expr.float 2.)))
+  in
+  let k = Kernel.create ~name:"scale" ~params:[ a; c ] ~grid_dim:4 ~block_dim:256 body in
+  let t = Traffic.kernel k in
+  Alcotest.(check (float 1e-9)) "load bytes/thread" 16. t.Traffic.global_load_bytes;
+  Alcotest.(check (float 1e-9)) "store bytes/thread" 16. t.Traffic.global_store_bytes;
+  Alcotest.(check (float 1e-9)) "flops/thread" 4. t.Traffic.flops
+
+let test_coalescing_stride () =
+  let tid = Expr.Thread_idx in
+  Alcotest.(check int) "unit" 1 (Traffic.coalescing_stride tid);
+  Alcotest.(check int) "strided"
+    128
+    (Traffic.coalescing_stride (Expr.mul tid (Expr.int 128)));
+  Alcotest.(check int) "broadcast" 0 (Traffic.coalescing_stride (Expr.int 7))
+
+(* --- performance model qualitative behaviour ------------------------------ *)
+
+let simple_streaming_kernel ~grid ~block ~iters =
+  let a = Buffer.create "A" [ grid * block * iters ] in
+  let c = Buffer.create "C" [ grid * block * iters ] in
+  let i = Var.fresh "i" in
+  let idx =
+    Expr.add
+      (Expr.mul (Expr.var i) (Expr.int (grid * block)))
+      (Expr.add (Expr.mul Expr.Block_idx (Expr.int block)) Expr.Thread_idx)
+  in
+  let body = Stmt.for_ i (Expr.int iters) (Stmt.store c [ idx ] (Expr.load a [ idx ])) in
+  Kernel.create ~name:"stream" ~params:[ a; c ] ~grid_dim:grid ~block_dim:block body
+
+let test_perf_monotone_in_work () =
+  let t1 = (Perf.kernel dev (simple_streaming_kernel ~grid:256 ~block:256 ~iters:4)).Perf.latency in
+  let t2 = (Perf.kernel dev (simple_streaming_kernel ~grid:256 ~block:256 ~iters:16)).Perf.latency in
+  Alcotest.(check bool) "more work is slower" true (t2 > t1 *. 2.
+
+)
+
+let test_perf_bandwidth_plausible () =
+  (* A large streaming kernel should land near memory bandwidth: moving
+     2 * 256MB at ~936GB/s is ~0.57 ms; accept a generous band. *)
+  let k = simple_streaming_kernel ~grid:4096 ~block:256 ~iters:64 in
+  let e = Perf.kernel dev k in
+  let bytes = 2. *. 4. *. float_of_int (4096 * 256 * 64) in
+  let ideal = bytes /. dev.Device.mem_bandwidth in
+  Alcotest.(check bool) "within 4x of roofline" true
+    (e.Perf.latency > ideal *. 0.9 && e.Perf.latency < ideal *. 4.)
+
+let test_perf_infeasible_smem () =
+  let a = Buffer.create "A" [ 64 ] in
+  let smem = Buffer.create ~scope:Buffer.Shared "S" [ 1024; 64 ] (* 256 KB *) in
+  let k =
+    Kernel.create ~shared:[ smem ] ~name:"too_big" ~params:[ a ] ~grid_dim:1
+      ~block_dim:64
+      (Stmt.store smem [ Expr.int 0; Expr.int 0 ] (Expr.float 0.))
+  in
+  let e = Perf.kernel dev k in
+  Alcotest.(check bool) "infeasible" false e.Perf.feasible
+
+let test_perf_occupancy_small_grid () =
+  (* A grid with a single block cannot saturate the device: latency should
+     be much worse than the same work spread over many blocks. *)
+  let one = simple_streaming_kernel ~grid:1 ~block:256 ~iters:1024 in
+  let many = simple_streaming_kernel ~grid:1024 ~block:256 ~iters:1 in
+  let t_one = (Perf.kernel dev one).Perf.latency in
+  let t_many = (Perf.kernel dev many).Perf.latency in
+  Alcotest.(check bool) "parallelism wins" true (t_one > t_many *. 4.)
+
+let test_perf_wave_quantization () =
+  (* Same per-block work, grids straddling a wave boundary. *)
+  let block = 256 in
+  let k_grid g = simple_streaming_kernel ~grid:g ~block ~iters:8 in
+  let e1 = Perf.kernel dev (k_grid 492) in
+  (* 82 SMs x 6 blocks/SM = 492: exactly one wave *)
+  let e2 = Perf.kernel dev (k_grid 493) in
+  Alcotest.(check bool) "wave boundary" true (e2.Perf.waves = e1.Perf.waves + 1)
+
+let test_a100_streams_faster () =
+  (* More bandwidth: a large streaming kernel finishes sooner on the A100
+     device model, while a CUDA-core-bound kernel does not. *)
+  let k = simple_streaming_kernel ~grid:4096 ~block:256 ~iters:64 in
+  let t3090 = (Perf.kernel Device.rtx3090 k).Perf.latency in
+  let ta100 = (Perf.kernel Device.a100 k).Perf.latency in
+  Alcotest.(check bool) "bandwidth-bound kernel faster on a100" true
+    (ta100 < t3090)
+
+let () =
+  Alcotest.run "hidet_gpu"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "vector add" `Quick test_vector_add;
+          Alcotest.test_case "predicated store" `Quick test_predicated_store;
+          Alcotest.test_case "shared memory reverse" `Quick test_shared_memory_reverse;
+          Alcotest.test_case "tree reduction" `Quick test_multi_barrier_accumulate;
+          Alcotest.test_case "register privacy" `Quick test_register_privacy;
+          Alcotest.test_case "barrier divergence" `Quick test_barrier_divergence_detected;
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_detected;
+          Alcotest.test_case "missing binding" `Quick test_missing_binding;
+          Alcotest.test_case "mma tile" `Quick test_mma_tile;
+          Alcotest.test_case "select guards OOB" `Quick test_select_guards_oob;
+          Alcotest.test_case "multi-warp mma" `Quick test_multi_warp_mma;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "positive" `Quick test_pipeline_pattern_positive;
+          Alcotest.test_case "negative + downgrade" `Quick test_pipeline_pattern_negative;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "counts" `Quick test_traffic_counts;
+          Alcotest.test_case "coalescing stride" `Quick test_coalescing_stride;
+        ] );
+      ( "perf_model",
+        [
+          Alcotest.test_case "monotone in work" `Quick test_perf_monotone_in_work;
+          Alcotest.test_case "bandwidth plausible" `Quick test_perf_bandwidth_plausible;
+          Alcotest.test_case "infeasible smem" `Quick test_perf_infeasible_smem;
+          Alcotest.test_case "small grid underutilizes" `Quick test_perf_occupancy_small_grid;
+          Alcotest.test_case "wave quantization" `Quick test_perf_wave_quantization;
+          Alcotest.test_case "a100 bandwidth" `Quick test_a100_streams_faster;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the runtime layer: execution plans (argument wiring, constant
+   forcing, intermediate reshaping, multi-output graphs) and the shared
+   group compiler (fusion predicates, fallback to standalone kernels). *)
+
+module G = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+module Passes = Hidet_graph.Passes
+module Plan = Hidet_runtime.Plan
+module GC = Hidet_runtime.Group_compiler
+module RB = Hidet_sched.Rule_based
+module C = Hidet_sched.Compiled
+module T = Hidet_tensor.Tensor
+module Ref = Hidet_graph.Reference
+
+let dev = Hidet_gpu.Device.rtx3090
+
+let rule_based_config ~fuse =
+  {
+    GC.schedule_anchor =
+      (fun g n -> RB.schedule (Op.to_def n.G.op (List.map (G.node_shape g) n.G.inputs)));
+    may_fuse_prologue = (fun _ -> fuse);
+    may_fuse_epilogue = (fun _ -> fuse);
+  }
+
+let chain_graph () =
+  let g = G.create () in
+  let x = G.input g [ 4; 8 ] in
+  let w = G.constant g (T.rand ~seed:1 [ 8; 8 ]) in
+  let mm = G.matmul g x w in
+  let r = G.relu g mm in
+  let out = G.reshape g r [ 32 ] in
+  G.set_outputs g [ out ];
+  g
+
+let test_plan_runs_and_reshapes () =
+  let g = chain_graph () in
+  let plan = GC.compile_graph (rule_based_config ~fuse:true) g in
+  let x = T.rand ~seed:2 [ 4; 8 ] in
+  let got = Plan.run1 plan [ x ] in
+  Alcotest.(check (list int)) "shape follows graph" [ 32 ] (T.shape got);
+  Alcotest.(check bool) "matches reference" true
+    (T.allclose ~rtol:1e-3 ~atol:1e-4 (Ref.run1 g [ x ]) got)
+
+let test_fusion_predicate_controls_kernels () =
+  let g = chain_graph () in
+  let fused = GC.compile_graph (rule_based_config ~fuse:true) g in
+  let unfused = GC.compile_graph (rule_based_config ~fuse:false) g in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused %d < unfused %d steps" (List.length fused.Plan.steps)
+       (List.length unfused.Plan.steps))
+    true
+    (List.length fused.Plan.steps < List.length unfused.Plan.steps);
+  (* Both compute the same function. *)
+  let x = T.rand ~seed:3 [ 4; 8 ] in
+  Alcotest.(check bool) "same results" true
+    (T.allclose ~rtol:1e-3 ~atol:1e-4 (Plan.run1 fused [ x ]) (Plan.run1 unfused [ x ]))
+
+let test_standalone_fallback_on_unfusable () =
+  (* A transpose whose rank cannot match the row-template softmax buffer
+     must fall back to a standalone kernel, preserving semantics. *)
+  let g = G.create () in
+  let x = G.input g [ 2; 3; 5 ] in
+  let t = G.transpose g x [ 1; 0; 2 ] in
+  let s = G.softmax g t in
+  G.set_outputs g [ s ];
+  let cfg =
+    {
+      GC.schedule_anchor =
+        (fun g n ->
+          match n.G.op with
+          | Op.Softmax ->
+            (* rows x cols buffer: rank 2 vs the rank-3 transpose. *)
+            Hidet_sched.Row_templates.softmax ~rows:6 ~cols:5 ()
+          | op -> RB.schedule (Op.to_def op (List.map (G.node_shape g) n.G.inputs)));
+      may_fuse_prologue = (fun _ -> true);
+      may_fuse_epilogue = (fun _ -> true);
+    }
+  in
+  let plan = GC.compile_graph cfg g in
+  Alcotest.(check int) "transpose ran standalone" 2 (List.length plan.Plan.steps);
+  let x_val = T.rand ~seed:4 [ 2; 3; 5 ] in
+  Alcotest.(check bool) "semantics preserved" true
+    (T.allclose ~rtol:1e-4 ~atol:1e-5 (Ref.run1 g [ x_val ]) (Plan.run1 plan [ x_val ]))
+
+let test_multi_output_graph () =
+  let g = G.create () in
+  let x = G.input g [ 8 ] in
+  let a = G.relu g x in
+  let b = G.gelu g x in
+  G.set_outputs g [ a; b ];
+  let plan = GC.compile_graph (rule_based_config ~fuse:true) g in
+  let x_val = T.rand ~seed:5 [ 8 ] in
+  match (Plan.run plan [ (List.hd (G.input_ids g), x_val) ], Ref.run g [ (List.hd (G.input_ids g), x_val) ]) with
+  | [ ga; gb ], [ ra; rb ] ->
+    Alcotest.(check bool) "output a" true (T.allclose ra ga);
+    Alcotest.(check bool) "output b" true (T.allclose rb gb)
+  | _ -> Alcotest.fail "expected two outputs"
+
+let test_unbound_input_rejected () =
+  let g = chain_graph () in
+  let plan = GC.compile_graph (rule_based_config ~fuse:true) g in
+  Alcotest.(check bool) "missing input raises" true
+    (try
+       ignore (Plan.run plan []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_accounting () =
+  let g = chain_graph () in
+  let plan = GC.compile_graph (rule_based_config ~fuse:true) g in
+  Alcotest.(check bool) "latency positive" true (Plan.latency dev plan > 0.);
+  Alcotest.(check bool) "kernel count positive" true (Plan.kernel_count plan > 0);
+  let src = Plan.cuda_source plan in
+  Alcotest.(check bool) "cuda source nonempty" true (String.length src > 200)
+
+let () =
+  Alcotest.run "hidet_runtime"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "runs and reshapes" `Quick test_plan_runs_and_reshapes;
+          Alcotest.test_case "multi-output" `Quick test_multi_output_graph;
+          Alcotest.test_case "unbound input" `Quick test_unbound_input_rejected;
+          Alcotest.test_case "accounting" `Quick test_plan_accounting;
+        ] );
+      ( "group compiler",
+        [
+          Alcotest.test_case "fusion predicate" `Quick test_fusion_predicate_controls_kernels;
+          Alcotest.test_case "standalone fallback" `Quick test_standalone_fallback_on_unfusable;
+        ] );
+    ]

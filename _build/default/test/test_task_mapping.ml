@@ -1,0 +1,303 @@
+(* Tests for task mappings: semantics of the basic mappings, the composition
+   formula from the paper (section 5.1.2), associativity and partition
+   properties (qcheck), and the theorem that symbolic lowering to IR agrees
+   with the denotational semantics (checked by executing the lowered code on
+   the interpreter). *)
+
+open Hidet_ir
+module M = Hidet_task.Mapping
+module L = Hidet_task.Lower
+
+let tasks_t = Alcotest.(list (list int))
+
+(* --- basic mappings ------------------------------------------------------ *)
+
+let test_spatial () =
+  let m = M.spatial [ 2; 4 ] in
+  Alcotest.(check int) "workers" 8 (M.num_workers m);
+  Alcotest.(check int) "tpw" 1 (M.tasks_per_worker m);
+  Alcotest.check tasks_t "w0" [ [ 0; 0 ] ] (M.tasks m 0);
+  Alcotest.check tasks_t "w5" [ [ 1; 1 ] ] (M.tasks m 5);
+  Alcotest.check tasks_t "w7" [ [ 1; 3 ] ] (M.tasks m 7)
+
+let test_column_spatial () =
+  let m = M.column_spatial [ 2; 4 ] in
+  (* First dimension varies fastest. *)
+  Alcotest.check tasks_t "w0" [ [ 0; 0 ] ] (M.tasks m 0);
+  Alcotest.check tasks_t "w1" [ [ 1; 0 ] ] (M.tasks m 1);
+  Alcotest.check tasks_t "w2" [ [ 0; 1 ] ] (M.tasks m 2)
+
+let test_repeat () =
+  let m = M.repeat [ 2; 2 ] in
+  Alcotest.(check int) "workers" 1 (M.num_workers m);
+  Alcotest.check tasks_t "row major"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (M.tasks m 0)
+
+let test_column_repeat () =
+  let m = M.column_repeat [ 2; 2 ] in
+  Alcotest.check tasks_t "column major"
+    [ [ 0; 0 ]; [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]
+    (M.tasks m 0)
+
+let test_column_major_via_composition () =
+  (* The paper's example: repeat(1, n) * repeat(m, 1) iterates an (m, n)
+     grid in column-major order. *)
+  let m, n = (3, 2) in
+  let cm = M.(repeat [ 1; n ] *> repeat [ m; 1 ]) in
+  Alcotest.check tasks_t "column major composition"
+    [ [ 0; 0 ]; [ 1; 0 ]; [ 2; 0 ]; [ 0; 1 ]; [ 1; 1 ]; [ 2; 1 ] ]
+    (M.tasks cm 0)
+
+let test_out_of_range () =
+  let m = M.spatial [ 2; 2 ] in
+  Alcotest.check_raises "negative" (Invalid_argument "Mapping.tasks: worker -1 out of range [0, 4)")
+    (fun () -> ignore (M.tasks m (-1)))
+
+(* --- the paper's Figure 8 example --------------------------------------- *)
+
+let test_figure8_composition () =
+  (* repeat(4, 1) * spatial(16, 8): 128 workers, each loading 4 elements of
+     a 64x8 tile of matrix A. Worker w handles (i*16 + w/8, w%8), i<4. *)
+  let m = M.(repeat [ 4; 1 ] *> spatial [ 16; 8 ]) in
+  Alcotest.(check (list int)) "task shape" [ 64; 8 ] (M.task_shape m);
+  Alcotest.(check int) "workers" 128 (M.num_workers m);
+  Alcotest.(check int) "tpw" 4 (M.tasks_per_worker m);
+  let w = 19 in
+  Alcotest.check tasks_t "worker 19"
+    [ [ 2; 3 ]; [ 18; 3 ]; [ 34; 3 ]; [ 50; 3 ] ]
+    (M.tasks m w)
+
+let test_matmul_mapping_shape () =
+  (* The paper's CUDA-core matmul mapping:
+     spatial(4,2) * repeat(2,2) * spatial(4,8) * repeat(4,4). *)
+  let m =
+    M.(spatial [ 4; 2 ] *> repeat [ 2; 2 ] *> spatial [ 4; 8 ] *> repeat [ 4; 4 ])
+  in
+  Alcotest.(check (list int)) "task shape" [ 128; 128 ] (M.task_shape m);
+  Alcotest.(check int) "workers" 256 (M.num_workers m);
+  Alcotest.(check int) "tpw" 64 (M.tasks_per_worker m);
+  Alcotest.(check bool) "partition" true (M.is_partition m)
+
+let test_custom_mapping () =
+  (* Diagonal: worker w gets tasks (w, w) and (w, (w+1) mod 3). *)
+  let m =
+    M.custom ~name:"diag" ~shape:[ 3; 3 ] ~workers:3 (fun w ->
+        [ [ w; w ]; [ w; (w + 1) mod 3 ] ])
+  in
+  Alcotest.(check int) "tpw" 2 (M.tasks_per_worker m);
+  Alcotest.check tasks_t "w1" [ [ 1; 1 ]; [ 1; 2 ] ] (M.tasks m 1);
+  Alcotest.(check bool) "not a partition" false (M.is_partition m)
+
+let test_description () =
+  let m = M.(spatial [ 4; 2 ] *> repeat [ 2; 2 ]) in
+  Alcotest.(check string) "description" "spatial(4, 2) * repeat(2, 2)"
+    (M.atoms_description m)
+
+let test_compose_dim_mismatch () =
+  Alcotest.check_raises "dims"
+    (Invalid_argument "Mapping.compose: dimension mismatch (2 vs 1)")
+    (fun () -> ignore M.(spatial [ 2; 2 ] *> repeat [ 3 ]))
+
+let test_explicit_orders () =
+  (* spatial_order / repeat_order with an explicit outer-to-inner order. *)
+  let s = M.spatial_order ~order:[ 1; 0 ] [ 2; 3 ] in
+  (* dim 1 outermost: workers advance along dim 0 fastest. *)
+  Alcotest.check tasks_t "w0" [ [ 0; 0 ] ] (M.tasks s 0);
+  Alcotest.check tasks_t "w1" [ [ 1; 0 ] ] (M.tasks s 1);
+  Alcotest.check tasks_t "w2" [ [ 0; 1 ] ] (M.tasks s 2);
+  let r = M.repeat_order ~order:[ 1; 0 ] [ 2; 3 ] in
+  Alcotest.check tasks_t "column repeat order"
+    [ [ 0; 0 ]; [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]
+    (M.tasks r 0);
+  Alcotest.(check bool) "bad order rejected" true
+    (try ignore (M.spatial_order ~order:[ 0; 0 ] [ 2; 2 ]); false
+     with Invalid_argument _ -> true)
+
+let test_local_shape () =
+  let m = M.(repeat [ 2; 1 ] *> spatial [ 4; 8 ] *> repeat [ 1; 3 ]) in
+  Alcotest.(check (list int)) "local = product of repeats" [ 2; 3 ]
+    (L.local_shape m);
+  Alcotest.(check (list int)) "spatial-only local is unit" [ 1; 1 ]
+    (L.local_shape (M.spatial [ 4; 8 ]))
+
+let test_local_coordinates_cover_register_tile () =
+  (* The local coordinates handed to the body must enumerate the local
+     shape exactly once per worker — that is what makes them usable as
+     register-tile indices. *)
+  let m = M.(repeat [ 2; 1 ] *> spatial [ 2; 2 ] *> repeat [ 1; 3 ]) in
+  let local = L.local_shape m in
+  let instances = L.tasks_of m ~worker:(Expr.int 1) in
+  (* Evaluate each instance's local indices over its wrapped loops by
+     running on the interpreter. *)
+  let counts = Buffer.create "counts" local in
+  let body =
+    Stmt.seq
+      (List.map
+         (fun (inst : L.instance) ->
+           inst.L.wrap
+             (Stmt.store counts inst.L.local
+                (Expr.add (Expr.load counts inst.L.local) (Expr.int 1))))
+         instances)
+  in
+  let k = Kernel.create ~name:"locals" ~params:[ counts ] ~grid_dim:1 ~block_dim:1 body in
+  let arr = Array.make (List.fold_left ( * ) 1 local) 0. in
+  Hidet_gpu.Interp.run k [ (counts, arr) ];
+  Alcotest.(check bool) "each local cell hit exactly once" true
+    (Array.for_all (fun v -> v = 1.) arr)
+
+(* --- qcheck: associativity and partition --------------------------------- *)
+
+let gen_atom dims =
+  let open QCheck.Gen in
+  let shape = list_repeat dims (int_range 1 3) in
+  oneof [ map M.spatial shape; map M.repeat shape; map M.column_spatial shape ]
+
+let gen_mapping =
+  let open QCheck.Gen in
+  let* dims = int_range 1 3 in
+  let* n = int_range 1 3 in
+  let* atoms = list_repeat n (gen_atom dims) in
+  return (M.compose_all atoms)
+
+let arb_mapping = QCheck.make ~print:M.atoms_description gen_mapping
+
+let arb_mapping_triple =
+  let open QCheck.Gen in
+  let gen =
+    let* dims = int_range 1 2 in
+    let* a = gen_atom dims and* b = gen_atom dims and* c = gen_atom dims in
+    return (a, b, c)
+  in
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      Printf.sprintf "(%s, %s, %s)" (M.atoms_description a)
+        (M.atoms_description b) (M.atoms_description c))
+    gen
+
+let same_mapping m1 m2 =
+  M.num_workers m1 = M.num_workers m2
+  && M.task_shape m1 = M.task_shape m2
+  && List.for_all
+       (fun w -> M.tasks m1 w = M.tasks m2 w)
+       (List.init (M.num_workers m1) Fun.id)
+
+let prop_associative =
+  QCheck.Test.make ~name:"composition is associative" ~count:200
+    arb_mapping_triple (fun (a, b, c) ->
+      same_mapping M.((a *> b) *> c) M.(a *> (b *> c)))
+
+let prop_partition =
+  QCheck.Test.make ~name:"spatial/repeat compositions partition the domain"
+    ~count:200 arb_mapping (fun m ->
+      QCheck.assume (M.num_tasks m <= 4096);
+      M.is_partition m)
+
+let prop_task_count =
+  QCheck.Test.make ~name:"every worker gets tasks_per_worker tasks" ~count:200
+    arb_mapping (fun m ->
+      let tpw = M.tasks_per_worker m in
+      List.for_all
+        (fun w -> List.length (M.tasks m w) = tpw)
+        (List.init (M.num_workers m) Fun.id))
+
+(* --- lowering agrees with semantics -------------------------------------- *)
+
+(* Execute the lowered statement on the interpreter: one block with
+   [num_workers] threads; each thread writes its worker id and the position
+   of each task within its ordered task list. *)
+let lowered_assignments m =
+  let shape = M.task_shape m in
+  let domain = List.fold_left ( * ) 1 shape in
+  let owner = Buffer.create "owner" shape in
+  let pos = Buffer.create "pos" shape in
+  let counter = Buffer.create ~scope:Buffer.Register "counter" [ 1 ] in
+  let body =
+    L.on_workers m ~worker:Expr.Thread_idx (fun idx ->
+        Stmt.seq
+          [
+            Stmt.store owner idx
+              (Expr.add (Expr.mul Expr.Thread_idx (Expr.int 1)) (Expr.int 0));
+            Stmt.store pos idx (Expr.load counter [ Expr.int 0 ]);
+            Stmt.store counter [ Expr.int 0 ]
+              (Expr.add (Expr.load counter [ Expr.int 0 ]) (Expr.int 1));
+          ])
+  in
+  let kernel =
+    Kernel.create ~regs:[ counter ] ~name:"lowered" ~params:[ owner; pos ]
+      ~grid_dim:1 ~block_dim:(M.num_workers m) body
+  in
+  let owner_arr = Array.make domain (-1.) in
+  let pos_arr = Array.make domain (-1.) in
+  Hidet_gpu.Interp.run kernel [ (owner, owner_arr); (pos, pos_arr) ];
+  (owner_arr, pos_arr, shape)
+
+let check_lowering_matches m =
+  let owner_arr, pos_arr, shape = lowered_assignments m in
+  let flat idx = List.fold_left2 (fun acc i d -> (acc * d) + i) 0 idx shape in
+  List.for_all
+    (fun w ->
+      List.for_all
+        (fun (q, task) ->
+          let f = flat task in
+          int_of_float owner_arr.(f) = w && int_of_float pos_arr.(f) = q)
+        (List.mapi (fun q task -> (q, task)) (M.tasks m w)))
+    (List.init (M.num_workers m) Fun.id)
+
+let test_lowering_figure8 () =
+  Alcotest.(check bool) "fig8 lowering" true
+    (check_lowering_matches M.(repeat [ 4; 1 ] *> spatial [ 16; 8 ]))
+
+let test_lowering_column () =
+  Alcotest.(check bool) "column lowering" true
+    (check_lowering_matches M.(repeat [ 1; 3 ] *> repeat [ 2; 1 ] *> spatial [ 2; 2 ]))
+
+let test_lowering_custom () =
+  let perm =
+    M.custom ~name:"rev" ~shape:[ 4 ] ~workers:4 (fun w -> [ [ 3 - w ] ])
+  in
+  Alcotest.(check bool) "custom lowering" true (check_lowering_matches perm)
+
+let prop_lowering_matches_semantics =
+  QCheck.Test.make ~name:"lowering = semantics (executed on interpreter)"
+    ~count:60 arb_mapping (fun m ->
+      QCheck.assume (M.num_workers m <= 256 && M.num_tasks m <= 2048);
+      QCheck.assume (M.is_partition m);
+      check_lowering_matches m)
+
+let () =
+  Alcotest.run "hidet_task"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "spatial" `Quick test_spatial;
+          Alcotest.test_case "column spatial" `Quick test_column_spatial;
+          Alcotest.test_case "repeat" `Quick test_repeat;
+          Alcotest.test_case "column repeat" `Quick test_column_repeat;
+          Alcotest.test_case "column via composition" `Quick
+            test_column_major_via_composition;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "custom" `Quick test_custom_mapping;
+          Alcotest.test_case "description" `Quick test_description;
+          Alcotest.test_case "compose mismatch" `Quick test_compose_dim_mismatch;
+          Alcotest.test_case "explicit orders" `Quick test_explicit_orders;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "paper figure 8" `Quick test_figure8_composition;
+          Alcotest.test_case "paper matmul mapping" `Quick
+            test_matmul_mapping_shape;
+          QCheck_alcotest.to_alcotest prop_associative;
+          QCheck_alcotest.to_alcotest prop_partition;
+          QCheck_alcotest.to_alcotest prop_task_count;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "figure 8" `Quick test_lowering_figure8;
+          Alcotest.test_case "column orders" `Quick test_lowering_column;
+          Alcotest.test_case "custom select-chain" `Quick test_lowering_custom;
+          Alcotest.test_case "local shape" `Quick test_local_shape;
+          Alcotest.test_case "local coordinates" `Quick test_local_coordinates_cover_register_tile;
+          QCheck_alcotest.to_alcotest prop_lowering_matches_semantics;
+        ] );
+    ]
