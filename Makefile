@@ -1,0 +1,17 @@
+# Convenience targets; CI and the tier-1 gate run `make check`.
+
+.PHONY: all test check clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# The full gate: everything (libraries, tests, benches, examples) must
+# compile, and the test suite must pass.
+check:
+	dune build @all && dune runtest
+
+clean:
+	dune clean

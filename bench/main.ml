@@ -6,7 +6,8 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only fig16 # one experiment
-     dune exec bench/main.exe -- --list       # experiment ids *)
+     dune exec bench/main.exe -- --list       # experiment ids
+     dune exec bench/main.exe -- --cache F    # warm-start schedule cache *)
 
 module M = Hidet_models.Models
 module G = Hidet_graph.Graph
@@ -142,11 +143,13 @@ let fig14 () =
     "hidet" "autotvm/hidet" "ansor/hidet";
   List.iter
     (fun model ->
+      (* Fresh + cached: the from-scratch cost of the model, independent of
+         how warm the schedule cache already is from earlier experiments. *)
       let cost name =
         let (module Eng : E.S) =
           List.find (fun (module Eng : E.S) -> Eng.name = name) fig13_engines
         in
-        (e2e (module Eng) model).E.tuning_cost
+        E.total_tuning_cost (e2e (module Eng) model)
       in
       let a = cost "autotvm" and n = cost "ansor" and h = cost "hidet" in
       Printf.printf "%-14s %10.2f %10.2f %10.2f %15.1fx %15.1fx\n" model
@@ -440,6 +443,56 @@ let ablation_device_sweep () =
         device.Hidet_gpu.Device.name (ms r.E.latency) r.E.kernel_count)
     [ Hidet_gpu.Device.rtx3090; Hidet_gpu.Device.a100 ]
 
+let tuning_service () =
+  section "Tuning service: parallel candidate measurement + schedule cache";
+  let m = 512 and n = 49 and k = 4608 in
+  let candidates = Hidet_sched.Space.matmul_with_split_k ~m ~n in
+  let compile cfg = MT.compile ~a_batched:false ~b_batched:true ~m ~n ~k cfg in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Warm up once so allocator effects don't favor either path. *)
+  ignore (Tu.tune ~parallel:false ~device:dev ~candidates ~compile ());
+  let seq, seq_wall =
+    time (fun () -> Tu.tune ~parallel:false ~device:dev ~candidates ~compile ())
+  in
+  let par, par_wall =
+    time (fun () -> Tu.tune ~device:dev ~candidates ~compile ())
+  in
+  (match (seq, par) with
+  | Some (cfg_s, _, st_s), Some (cfg_p, _, st_p) ->
+    Printf.printf
+      "matmul %dx%dx%d: %d candidates (%d measured, %d rejected)\n" m n k
+      (List.length candidates) st_p.Tu.trials st_p.Tu.rejected;
+    Printf.printf "  sequential: %8.1f ms wall (1 domain)\n" (ms seq_wall);
+    Printf.printf "  parallel:   %8.1f ms wall (%d domains)  speedup %.2fx\n"
+      (ms par_wall) st_p.Tu.workers (seq_wall /. par_wall);
+    Printf.printf "  identical winner: %b (%s at %.1f us)\n"
+      (cfg_s = cfg_p && st_s.Tu.best_latency = st_p.Tu.best_latency)
+      (MT.config_to_string cfg_p)
+      (us st_p.Tu.best_latency);
+    if Domain.recommended_domain_count () < 4 then
+      Printf.printf
+      "  (only %d core(s) here: run on >= 4 cores for the >= 2x speedup)\n"
+        (Domain.recommended_domain_count ())
+  | _ -> print_endline "  tuner found no feasible schedule");
+  (* Cache warm-start: a second compile of the same model performs zero
+     fresh tuning trials. *)
+  Hidet_sched.Schedule_cache.clear ();
+  let cold = HE.compile dev (M.resnet50 ()) in
+  let warm = HE.compile dev (M.resnet50 ()) in
+  Printf.printf
+    "resnet50 cold compile: %7.0f s fresh simulated tuning, %.2f s wall\n"
+    cold.E.tuning_cost cold.E.compile_wall;
+  Printf.printf
+    "resnet50 warm compile: %7.0f s fresh (%.0f s served by cache), %.2f s wall\n"
+    warm.E.tuning_cost warm.E.cached_tuning_cost warm.E.compile_wall;
+  Printf.printf
+    "(the warm compile must report 0 fresh seconds; cache holds %d workloads)\n"
+    (Hidet_sched.Schedule_cache.size ())
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
@@ -504,6 +557,7 @@ let experiments =
     ("ablation_fusion", ablation_fusion);
     ("ablation_tensor_core", ablation_tensor_core);
     ("ablation_device_sweep", ablation_device_sweep);
+    ("tuning_service", tuning_service);
     ("micro", micro);
   ]
 
@@ -520,6 +574,21 @@ let () =
       in
       find args
     in
+    (* --cache FILE: warm-start the schedule cache across benchmark runs. *)
+    let cache_file =
+      let rec find = function
+        | "--cache" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    (match cache_file with
+    | Some path when Sys.file_exists path -> (
+      match Hidet_sched.Schedule_cache.load path with
+      | Ok n -> Printf.printf "schedule cache: warm-started with %d entries\n" n
+      | Error msg -> Printf.printf "schedule cache: ignoring %s (%s)\n" path msg)
+    | _ -> ());
     let t0 = Unix.gettimeofday () in
     Printf.printf "Hidet reproduction benchmarks (device: %s)\n"
       (Format.asprintf "%a" Hidet_gpu.Device.pp dev);
@@ -531,6 +600,15 @@ let () =
         Printf.eprintf "unknown experiment %s (try --list)\n" id;
         exit 1)
     | None -> List.iter (fun (_, f) -> f ()) experiments);
+    (match cache_file with
+    | Some path -> (
+      match Hidet_sched.Schedule_cache.save path with
+      | () ->
+        Printf.printf "schedule cache: saved %d entries to %s\n"
+          (Hidet_sched.Schedule_cache.size ()) path
+      | exception Sys_error msg ->
+        Printf.eprintf "schedule cache: could not save %s (%s)\n" path msg)
+    | None -> ());
     Printf.printf "\nTotal benchmark wall time: %.1f s\n"
       (Unix.gettimeofday () -. t0)
   end

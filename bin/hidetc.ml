@@ -76,10 +76,42 @@ let report (r : E.result) =
   Printf.printf "engine:       %s\n" r.E.engine;
   Printf.printf "latency:      %.3f ms (predicted, %s)\n" (r.E.latency *. 1e3)
     dev.Hidet_gpu.Device.name;
-  Printf.printf "tuning cost:  %.0f simulated seconds (%.2f h)\n" r.E.tuning_cost
+  Printf.printf "tuning cost:  %.0f simulated seconds (%.2f h), fresh\n"
+    r.E.tuning_cost
     (r.E.tuning_cost /. 3600.);
-  Printf.printf "compile wall: %.2f s on this machine\n" r.E.tuning_wall;
+  if r.E.cached_tuning_cost > 0. then
+    Printf.printf "              %.0f simulated seconds served from the schedule cache\n"
+      r.E.cached_tuning_cost;
+  Printf.printf "tuning wall:  %.3f s on this machine\n" r.E.tuning_wall;
+  Printf.printf "compile wall: %.2f s on this machine\n" r.E.compile_wall;
   Printf.printf "kernels:      %d\n" r.E.kernel_count
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"PATH"
+        ~doc:
+          "Warm-start the schedule cache from \\$(docv) (if it exists) and \
+           save it back after compiling, so repeated runs perform zero fresh \
+           tuning trials.")
+
+let with_schedule_cache path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    (if Sys.file_exists path then
+       match Hidet_sched.Schedule_cache.load path with
+       | Ok n -> Printf.printf "schedule cache: loaded %d entries from %s\n" n path
+       | Error msg ->
+         Printf.eprintf "schedule cache: ignoring %s (%s)\n" path msg);
+    f ();
+    (match Hidet_sched.Schedule_cache.save path with
+    | () ->
+      Printf.printf "schedule cache: saved %d entries to %s\n"
+        (Hidet_sched.Schedule_cache.size ()) path
+    | exception Sys_error msg ->
+      Printf.eprintf "schedule cache: could not save %s (%s)\n" path msg)
 
 let file_arg =
   Arg.(
@@ -97,10 +129,12 @@ let graph_of model file batch =
     | None -> failwith "pass --model or --file")
 
 let compile_cmd =
-  let run model batch engine dump_cuda breakdown file =
+  let run model batch engine dump_cuda breakdown file cache =
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
-    let r = Eng.compile dev g in
+    let r = ref None in
+    with_schedule_cache cache (fun () -> r := Some (Eng.compile dev g));
+    let r = Option.get !r in
     report r;
     (if breakdown then
        match r.E.plan with
@@ -126,24 +160,25 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile one model (or saved graph) with one engine.")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
-      $ breakdown_arg $ file_arg)
+      $ breakdown_arg $ file_arg $ cache_arg)
 
 let bench_cmd =
-  let run model batch =
+  let run model batch cache =
     let header = Printf.sprintf "%-14s %12s %14s %10s" "engine" "latency(ms)"
         "tuning(h)" "kernels" in
     print_endline header;
-    List.iter
-      (fun (name, (module Eng : E.S)) ->
-        let r = Eng.compile dev (M.by_name ~batch model) in
-        Printf.printf "%-14s %12.3f %14.2f %10d\n%!" name (r.E.latency *. 1e3)
-          (r.E.tuning_cost /. 3600.)
-          r.E.kernel_count)
-      engines
+    with_schedule_cache cache (fun () ->
+        List.iter
+          (fun (name, (module Eng : E.S)) ->
+            let r = Eng.compile dev (M.by_name ~batch model) in
+            Printf.printf "%-14s %12.3f %14.2f %10d\n%!" name (r.E.latency *. 1e3)
+              (E.total_tuning_cost r /. 3600.)
+              r.E.kernel_count)
+          engines)
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compare every engine on one model.")
-    Term.(const run $ model_arg $ batch_arg)
+    Term.(const run $ model_arg $ batch_arg $ cache_arg)
 
 let models_cmd =
   let run () =

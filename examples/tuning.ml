@@ -45,11 +45,13 @@ let () =
   | Some (cfg, _, st) ->
     Printf.printf
       "hidet (exhaustive): best %s at %.1f us\n\
-      \  %d trials, %.0f simulated tuning seconds, %.3f s wall here\n"
+      \  %d measured + %d rejected, %.0f simulated tuning seconds,\n\
+      \  %.3f s wall here on %d domain(s)\n"
       (MT.config_to_string cfg)
       (st.Tu.best_latency *. 1e6)
-      st.Tu.trials st.Tu.simulated_seconds
+      st.Tu.trials st.Tu.rejected st.Tu.simulated_seconds
       (Unix.gettimeofday () -. t0)
+      st.Tu.workers
   | None -> print_endline "hidet: no feasible schedule");
 
   List.iter

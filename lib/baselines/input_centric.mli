@@ -11,7 +11,13 @@
 
     AutoTVM-like tunes by random search with a fixed budget (1000 trials);
     Ansor-like by evolutionary search (800 trials), which finds better
-    optima in the same space. Neither space can express double buffering. *)
+    optima in the same space. Neither space can express double buffering.
+
+    Measurement runs through the same parallel path as Hidet's tuner
+    (pre-sampled batches fanned across domains — AutoTVM's measurement
+    workers): only wall clock improves; the *simulated* sequential cost
+    ([trials x seconds_per_trial], the Fig. 14 axis) and the selected
+    schedule are identical to the sequential implementation's. *)
 
 type strategy = Random_search | Evolutionary
 
@@ -47,6 +53,9 @@ type tuned = {
   latency : float;
   trials : int;
   simulated_seconds : float;
+      (** [trials x seconds_per_trial]: the sequential measure-one-at-a-time
+          cost model, deliberately unchanged by parallel measurement *)
+  wall_seconds : float;  (** actual tuner time on this machine *)
 }
 
 val tune_gemm :

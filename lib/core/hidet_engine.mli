@@ -28,7 +28,12 @@ val compile_plan :
   Hidet_graph.Graph.t ->
   Hidet_runtime.Plan.t * Hidet_runtime.Engine.result
 (** Compile to an executable plan plus the engine result record (latency,
-    tuning cost, kernel count). Tuning is cached per workload signature
-    within one call. *)
+    tuning cost, kernel count). Tuning goes through the process-global
+    {!Hidet_sched.Schedule_cache} keyed by (device, workload signature,
+    space-restricting options): the first compile of a workload pays fresh
+    trials ([result.tuning_cost]); later compiles — same model again,
+    another model sharing shapes, or a warm-started process — perform zero
+    fresh trials and report the avoided cost as
+    [result.cached_tuning_cost]. *)
 
 include Hidet_runtime.Engine.S

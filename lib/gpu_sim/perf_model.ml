@@ -27,21 +27,27 @@ let infeasible note =
 
 let ceil_div a b = (a + b - 1) / b
 
-let occupancy_limits (d : Device.t) (k : Kernel.t) =
-  let smem = Kernel.shared_bytes k in
-  let regs = Kernel.regs_per_thread k in
-  if k.block_dim > 1024 then Error "block_dim exceeds 1024"
+let blocks_per_sm_limit (d : Device.t) ~block_dim ~smem ~regs =
+  if block_dim > 1024 then Error "block_dim exceeds 1024"
   else if smem > d.shared_mem_per_block then
     Error (Printf.sprintf "shared memory %d B exceeds per-block cap %d B" smem d.shared_mem_per_block)
   else if regs > d.max_registers_per_thread then
     Error (Printf.sprintf "%d registers/thread exceeds cap %d" regs d.max_registers_per_thread)
   else begin
-    let by_threads = d.max_threads_per_sm / k.block_dim in
+    let by_threads = d.max_threads_per_sm / block_dim in
     let by_smem = if smem = 0 then d.max_blocks_per_sm else d.shared_mem_per_sm / smem in
-    let by_regs = d.registers_per_sm / (regs * k.block_dim) in
+    (* A kernel that declares no registers is not register-limited. *)
+    let by_regs =
+      if regs = 0 then d.max_blocks_per_sm
+      else d.registers_per_sm / (regs * block_dim)
+    in
     let bps = min (min by_threads by_smem) (min by_regs d.max_blocks_per_sm) in
     if bps <= 0 then Error "zero resident blocks per SM" else Ok bps
   end
+
+let occupancy_limits (d : Device.t) (k : Kernel.t) =
+  blocks_per_sm_limit d ~block_dim:k.block_dim ~smem:(Kernel.shared_bytes k)
+    ~regs:(Kernel.regs_per_thread k)
 
 let kernel (d : Device.t) (k : Kernel.t) =
   match occupancy_limits d k with

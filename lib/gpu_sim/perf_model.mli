@@ -32,6 +32,12 @@ type estimate = {
 
 val infeasible : string -> estimate
 
+val blocks_per_sm_limit :
+  Device.t -> block_dim:int -> smem:int -> regs:int -> (int, string) result
+(** Resident blocks per SM given a block's resource footprint, or the
+    infeasibility reason. A kernel with [regs = 0] is not register-limited
+    (the thread / shared-memory limits still apply). *)
+
 val kernel : Device.t -> Hidet_ir.Kernel.t -> estimate
 (** Estimate one kernel launch. *)
 

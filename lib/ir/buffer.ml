@@ -8,15 +8,16 @@ type t = {
   dims : int list;
 }
 
-let counter = ref 0
+(* Atomic: buffers are created from several domains when the tuner compiles
+   schedule candidates in parallel. *)
+let counter = Atomic.make 0
 
 let create ?(scope = Global) ?(elt = Dtype.F32) name dims =
   if dims = [] then invalid_arg "Buffer.create: empty shape";
   List.iter
     (fun d -> if d <= 0 then invalid_arg "Buffer.create: non-positive dim")
     dims;
-  incr counter;
-  { id = !counter; name; scope; elt; dims }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; scope; elt; dims }
 
 let num_elems b = List.fold_left ( * ) 1 b.dims
 let size_bytes b = num_elems b * Dtype.size_bytes b.elt

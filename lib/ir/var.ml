@@ -1,10 +1,11 @@
 type t = { id : int; name : string; dtype : Dtype.t }
 
-let counter = ref 0
+(* Atomic: fresh variables are minted from several domains when the tuner
+   compiles schedule candidates in parallel. *)
+let counter = Atomic.make 0
 
 let fresh ?(dtype = Dtype.I32) name =
-  incr counter;
-  { id = !counter; name; dtype }
+  { id = Atomic.fetch_and_add counter 1 + 1; name; dtype }
 
 let name v = Printf.sprintf "%s_%d" v.name v.id
 let equal a b = a.id = b.id

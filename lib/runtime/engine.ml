@@ -12,10 +12,14 @@ type result = {
   model : string;
   latency : float;
   tuning_cost : float;
+  cached_tuning_cost : float;
   tuning_wall : float;
+  compile_wall : float;
   kernel_count : int;
   plan : Plan.t option;
 }
+
+let total_tuning_cost r = r.tuning_cost +. r.cached_tuning_cost
 
 module type S = sig
   val name : string

@@ -17,12 +17,23 @@ type result = {
   engine : string;
   model : string;
   latency : float;  (** end-to-end seconds per the performance model *)
-  tuning_cost : float;  (** simulated tuning seconds (paper Fig. 14 axis) *)
-  tuning_wall : float;  (** actual seconds this compilation took here *)
+  tuning_cost : float;
+      (** simulated tuning seconds of {e fresh} trials this compilation
+          actually ran (paper Fig. 14 axis) *)
+  cached_tuning_cost : float;
+      (** simulated tuning seconds served from the schedule cache —
+          cost this compilation would have paid without warm-starting *)
+  tuning_wall : float;  (** actual seconds spent inside the tuners here *)
+  compile_wall : float;  (** actual seconds the whole compilation took *)
   kernel_count : int;
   plan : Plan.t option;
       (** executable plan when the engine generates real kernels *)
 }
+
+val total_tuning_cost : result -> float
+(** [tuning_cost + cached_tuning_cost]: the from-scratch tuning cost of the
+    model, independent of the schedule cache's warm state — the Fig. 14
+    quantity. *)
 
 module type S = sig
   val name : string

@@ -1,0 +1,16 @@
+(** Fork-join parallelism for candidate compilation and measurement.
+
+    A chunked work queue over OCaml 5 domains: items are claimed in chunks
+    through an atomic cursor, each result lands in its own slot, so the
+    output order is independent of scheduling. *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the caller's domain also
+    works), at least 1. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f items] = [Array.map f items], computed by [workers] domains
+    (default {!default_workers}; clamped to [1 .. length items]). With one
+    worker, runs sequentially in the calling domain without spawning. If
+    [f] raises, the first exception is re-raised in the caller after all
+    domains have stopped. *)

@@ -1,0 +1,179 @@
+(* Process-global schedule cache.
+
+   Tuning results are memoized across compilations, engines and models: the
+   key is (device name, workload signature), the value records which
+   candidate of the (deterministic) enumeration won, plus the tuner stats
+   that produced it. Storing the winner's *index* keeps the cache generic
+   over candidate types — the caller re-instantiates from its own candidate
+   list, and a [space_size] check invalidates entries whose space changed.
+
+   The table is mutex-protected: tuner workers run on separate domains, and
+   nothing stops two engines from compiling concurrently. *)
+
+type entry = {
+  best_index : int;
+  space_size : int;
+  trials : int;
+  rejected : int;
+  simulated_seconds : float;
+  best_latency : float;
+}
+
+type outcome = Fresh of Tuner.stats | Hit of entry
+
+let magic = "HIDET-SCHEDULE-CACHE"
+let version = 1
+
+let table : (string * string, entry) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let hit_count = ref 0
+let miss_count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find ~device ~key =
+  locked (fun () ->
+      match Hashtbl.find_opt table (device, key) with
+      | Some e ->
+        incr hit_count;
+        Some e
+      | None ->
+        incr miss_count;
+        None)
+
+let add ~device ~key entry =
+  locked (fun () -> Hashtbl.replace table (device, key) entry)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      hit_count := 0;
+      miss_count := 0)
+
+let size () = locked (fun () -> Hashtbl.length table)
+let hits () = locked (fun () -> !hit_count)
+let misses () = locked (fun () -> !miss_count)
+
+(* --- persistence ------------------------------------------------------------
+
+   Line-oriented text: a versioned header, then one tab-separated entry per
+   line. Loading tolerates a corrupt file: a bad header rejects the whole
+   file (it is some other format, or a future version), while individually
+   malformed lines are skipped so one truncated write cannot poison every
+   other entry. *)
+
+let header = Printf.sprintf "%s v%d" magic version
+
+let sanitize s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let save path =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  let entries = List.sort compare entries in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header ^ "\n");
+      List.iter
+        (fun ((device, key), e) ->
+          Printf.fprintf oc "%s\t%s\t%d\t%d\t%d\t%d\t%.17g\t%.17g\n"
+            (sanitize device) (sanitize key) e.best_index e.space_size e.trials
+            e.rejected e.simulated_seconds e.best_latency)
+        entries);
+  Sys.rename tmp path
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ device; key; best_index; space_size; trials; rejected; simulated; lat ]
+    -> (
+    match
+      ( int_of_string_opt best_index,
+        int_of_string_opt space_size,
+        int_of_string_opt trials,
+        int_of_string_opt rejected,
+        float_of_string_opt simulated,
+        float_of_string_opt lat )
+    with
+    | Some bi, Some ss, Some tr, Some rj, Some sim, Some l
+      when bi >= 0 && bi < ss && tr >= 0 && rj >= 0 ->
+      Some
+        ( device,
+          key,
+          {
+            best_index = bi;
+            space_size = ss;
+            trials = tr;
+            rejected = rj;
+            simulated_seconds = sim;
+            best_latency = l;
+          } )
+    | _ -> None)
+  | _ -> None
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error "empty cache file"
+        | first when first <> header ->
+          Error
+            (Printf.sprintf "bad cache header %S (want %S)" first header)
+        | _ ->
+          let loaded = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               match parse_line line with
+               | Some (device, key, e) ->
+                 add ~device ~key e;
+                 incr loaded
+               | None -> () (* corrupt line: skip, keep the rest *)
+             done
+           with End_of_file -> ());
+          Ok !loaded)
+
+(* --- the tuning service ----------------------------------------------------- *)
+
+let tune ?seconds_per_trial ?parallel ?workers ~device ~key ~candidates
+    ~compile () =
+  let device_name = device.Hidet_gpu.Device.name in
+  let space_size = List.length candidates in
+  let fresh () =
+    match
+      Tuner.tune ?seconds_per_trial ?parallel ?workers ~device ~candidates
+        ~compile ()
+    with
+    | None -> None
+    | Some (cand, compiled, st) ->
+      add ~device:device_name ~key
+        {
+          best_index = st.Tuner.best_index;
+          space_size;
+          trials = st.Tuner.trials;
+          rejected = st.Tuner.rejected;
+          simulated_seconds = st.Tuner.simulated_seconds;
+          best_latency = st.Tuner.best_latency;
+        };
+      Some (cand, compiled, Fresh st)
+  in
+  match find ~device:device_name ~key with
+  | Some e when e.space_size = space_size && e.best_index < space_size -> (
+    let cand = List.nth candidates e.best_index in
+    match compile cand with
+    | compiled -> Some (cand, compiled, Hit e)
+    | exception Invalid_argument _ ->
+      (* Stale entry (template or space changed underneath the key):
+         retune and overwrite. *)
+      fresh ())
+  | Some _ -> fresh () (* space changed: the stored index is meaningless *)
+  | None -> fresh ()

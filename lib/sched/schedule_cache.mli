@@ -1,0 +1,68 @@
+(** Process-global, cross-compilation schedule cache.
+
+    Tuning once per distinct [(device, workload)] pair and reusing the
+    winner across models, engines and repeated benchmark runs is what makes
+    the "tune within one minute" claim hold at the application level: a
+    ResNet re-compile, or a second model sharing matmul shapes, performs
+    zero fresh trials. Entries store the winning candidate's {e index} into
+    the deterministic space enumeration (plus the tuner stats), so the cache
+    is generic over candidate types; a [space_size] mismatch or a winner
+    that no longer instantiates invalidates the entry and retunes.
+
+    All operations are safe to call from any domain (mutex-protected). *)
+
+type entry = {
+  best_index : int;  (** winner's index in the candidate enumeration *)
+  space_size : int;  (** length of the enumeration when tuned *)
+  trials : int;
+  rejected : int;
+  simulated_seconds : float;
+  best_latency : float;
+}
+
+type outcome =
+  | Fresh of Tuner.stats  (** this call ran the tuner *)
+  | Hit of entry  (** served from the cache; only the winner was compiled *)
+
+(** {1 The tuning service} *)
+
+val tune :
+  ?seconds_per_trial:float ->
+  ?parallel:bool ->
+  ?workers:int ->
+  device:Hidet_gpu.Device.t ->
+  key:string ->
+  candidates:'a list ->
+  compile:('a -> Compiled.t) ->
+  unit ->
+  ('a * Compiled.t * outcome) option
+(** Like {!Tuner.tune}, but consults the cache first. On a hit, only the
+    stored winner is re-instantiated (zero fresh trials); on a miss (or a
+    stale entry) the tuner runs and its result is stored. [key] must
+    identify the workload {e and} any restriction applied to [candidates]
+    (the device name is added automatically). *)
+
+(** {1 Direct cache access} *)
+
+val find : device:string -> key:string -> entry option
+val add : device:string -> key:string -> entry -> unit
+val clear : unit -> unit
+val size : unit -> int
+
+val hits : unit -> int
+(** [find] calls answered from the table since the last {!clear}. *)
+
+val misses : unit -> int
+
+(** {1 Persistence}
+
+    A versioned, line-oriented text format for warm-starting across
+    processes ([bench/main.exe --cache], [hidetc --cache]). *)
+
+val save : string -> unit
+(** Write the whole cache to [path] (atomically, via a temp file). *)
+
+val load : string -> (int, string) result
+(** Merge entries from [path] into the cache; returns how many loaded.
+    [Error] on an unreadable file or a wrong header (foreign file, or a
+    different format version); individually corrupt lines are skipped. *)

@@ -1,47 +1,77 @@
 type stats = {
   trials : int;
+  rejected : int;
+  best_index : int;
   simulated_seconds : float;
   wall_seconds : float;
   best_latency : float;
+  workers : int;
 }
 
 let seconds_per_trial = 1.5
 
 let default_seconds_per_trial = seconds_per_trial
 
-let tune ?(seconds_per_trial = default_seconds_per_trial) ~device ~candidates
-    ~compile () =
+(* Outcome of one candidate. [Rejected]: the template refused the config
+   ([Invalid_argument]); nothing was ever measured, so (per the cost
+   accounting) no simulated seconds accrue. [Measured lat]: compiled and
+   run through the latency model ([infinity] = infeasible on this device,
+   still a paid measurement). *)
+type outcome = Rejected | Measured of float
+
+let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
+    ?workers ~device ~candidates ~compile () =
   let t0 = Unix.gettimeofday () in
-  let trials = List.length candidates in
-  let best =
-    List.fold_left
-      (fun best cand ->
-        match compile cand with
-        | exception Invalid_argument _ -> best
-        | compiled ->
-          let lat = Compiled.latency device compiled in
-          if lat < infinity then
-            match best with
-            | Some (_, _, b) when b <= lat -> best
-            | _ -> Some (cand, compiled, lat)
-          else best)
-      None candidates
+  let cands = Array.of_list candidates in
+  let w =
+    if not parallel then 1
+    else max 1 (Option.value workers ~default:(Parallel.default_workers ()))
   in
+  let outcomes =
+    Parallel.map ~workers:w
+      (fun cand ->
+        match compile cand with
+        | exception Invalid_argument _ -> Rejected
+        | compiled -> Measured (Compiled.latency device compiled))
+      cands
+  in
+  (* Deterministic merge: scan in candidate order and replace only on a
+     strictly lower latency, so ties break toward the lowest index and the
+     parallel and sequential paths always select the same config. *)
+  let trials = ref 0 and rejected = ref 0 in
+  let best = ref None in
+  Array.iteri
+    (fun i -> function
+      | Rejected -> incr rejected
+      | Measured lat ->
+        incr trials;
+        if lat < infinity then
+          match !best with
+          | Some (b, _) when b <= lat -> ()
+          | _ -> best := Some (lat, i))
+    outcomes;
   let wall = Unix.gettimeofday () -. t0 in
   Option.map
-    (fun (cand, compiled, lat) ->
+    (fun (lat, i) ->
+      let cand = cands.(i) in
+      (* Re-instantiate the winner in the calling domain so the returned
+         artifact never depends on which domain compiled it. *)
       ( cand,
-        compiled,
+        compile cand,
         {
-          trials;
-          simulated_seconds = float_of_int trials *. seconds_per_trial;
+          trials = !trials;
+          rejected = !rejected;
+          best_index = i;
+          simulated_seconds = float_of_int !trials *. seconds_per_trial;
           wall_seconds = wall;
           best_latency = lat;
+          workers = w;
         } ))
-    best
+    !best
 
-let tune_matmul ~device ?(batch = 1) ?(a_batched = true) ?(b_batched = false) ~m ~n ~k () =
-  tune ~device
+let tune_matmul ~device ?(batch = 1) ?(a_batched = true) ?(b_batched = false)
+    ?parallel ~m ~n ~k () =
+  tune ~device ?parallel
     ~candidates:(Space.matmul_with_split_k ~m ~n)
     ~compile:(fun cfg ->
       Matmul_template.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)

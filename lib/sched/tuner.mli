@@ -3,19 +3,26 @@
     Because the space is tiny (paper: 180 schedules, "simply enumerating all
     schedules ... can be done within one minute"), Hidet needs no cost model
     or evolutionary search: every candidate is compiled and measured; the
-    best feasible one wins.
+    best feasible one wins. Candidates are compiled and measured in parallel
+    across OCaml domains (the paper's parallel candidate compilation), with
+    a deterministic merge so the parallel and sequential paths always select
+    the identical config.
 
     Tuning cost accounting: real measurement on the paper's platform costs
     roughly [seconds_per_trial] per candidate (compile + benchmark); we
     report [trials * seconds_per_trial] as the simulated tuning cost used in
-    the Fig. 14 reproduction, alongside the actual wall-clock the OCaml
-    enumeration took. *)
+    the Fig. 14 reproduction, counting only candidates that were actually
+    measured — configs the template rejects outright ([Invalid_argument])
+    never reach the device and are reported separately as [rejected]. *)
 
 type stats = {
-  trials : int;
+  trials : int;  (** candidates compiled and measured *)
+  rejected : int;  (** candidates the template refused; never measured *)
+  best_index : int;  (** index of the winner in the candidate list *)
   simulated_seconds : float;  (** trials x seconds_per_trial *)
   wall_seconds : float;  (** actual enumeration time on this machine *)
   best_latency : float;  (** seconds, per the performance model *)
+  workers : int;  (** domains that ran the enumeration *)
 }
 
 val seconds_per_trial : float
@@ -23,20 +30,26 @@ val seconds_per_trial : float
 
 val tune :
   ?seconds_per_trial:float ->
+  ?parallel:bool ->
+  ?workers:int ->
   device:Hidet_gpu.Device.t ->
   candidates:'a list ->
   compile:('a -> Compiled.t) ->
   unit ->
   ('a * Compiled.t * stats) option
-(** Generic exhaustive tuner; [None] if no candidate is feasible.
-    Candidates whose compilation raises [Invalid_argument] are skipped but
-    still counted as trials (a real tuner pays for failed candidates too). *)
+(** Generic exhaustive tuner; [None] if no candidate is feasible. Ties on
+    latency break toward the lowest candidate index. [~parallel:false]
+    forces the sequential path (same result, one domain); [?workers]
+    overrides {!Parallel.default_workers}. The winning candidate is
+    re-instantiated in the calling domain, so the returned [Compiled.t]
+    does not depend on domain scheduling. *)
 
 val tune_matmul :
   device:Hidet_gpu.Device.t ->
   ?batch:int ->
   ?a_batched:bool ->
   ?b_batched:bool ->
+  ?parallel:bool ->
   m:int ->
   n:int ->
   k:int ->

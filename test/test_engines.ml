@@ -252,10 +252,13 @@ let test_libraries_tune_for_free () =
     [ (module Lib.Pytorch : E.S); (module Lib.Ort); (module Lib.Tensorrt) ]
 
 let test_tuners_pay_tuning_cost () =
+  (* Hidet's fresh trials may have been absorbed by the process-global
+     schedule cache (earlier tests compiled the same workloads), so the
+     from-scratch cost — fresh + cache-served — is the invariant. *)
   List.iter
     (fun (module Eng : E.S) ->
       Alcotest.(check bool) (Eng.name ^ " pays tuning") true
-        ((Eng.compile dev (M.Tiny.cnn ())).E.tuning_cost > 0.))
+        (E.total_tuning_cost (Eng.compile dev (M.Tiny.cnn ())) > 0.))
     [ (module IC.Autotvm : E.S); (module IC.Ansor); (module HE) ]
 
 let test_cross_engine_correctness () =

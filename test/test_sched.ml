@@ -165,21 +165,28 @@ let test_tuner_picks_minimum () =
   match Tu.tune ~device:dev ~candidates ~compile () with
   | Some (best, _, st) ->
     Alcotest.(check int) "best candidate" 3 best;
+    Alcotest.(check int) "best index" 2 st.Tu.best_index;
     Alcotest.(check int) "all trials counted" 4 st.Tu.trials;
+    Alcotest.(check int) "none rejected" 0 st.Tu.rejected;
     Alcotest.(check (float 1e-6)) "simulated cost" (4. *. Tu.seconds_per_trial)
       st.Tu.simulated_seconds
   | None -> Alcotest.fail "tuner found nothing"
 
 let test_tuner_skips_invalid () =
-  let candidates = [ `Bad; `Good ] in
+  (* Candidates the template rejects never reach the device: they are
+     reported as [rejected] and cost no simulated measurement seconds. *)
+  let candidates = [ `Bad; `Good; `Bad2 ] in
   let compile = function
-    | `Bad -> invalid_arg "bad"
+    | `Bad | `Bad2 -> invalid_arg "bad"
     | `Good -> MT.compile ~m:64 ~n:64 ~k:64 base
   in
   match Tu.tune ~device:dev ~candidates ~compile () with
   | Some (best, _, st) ->
     Alcotest.(check bool) "picked good" true (best = `Good);
-    Alcotest.(check int) "bad still billed" 2 st.Tu.trials
+    Alcotest.(check int) "only measured billed" 1 st.Tu.trials;
+    Alcotest.(check int) "rejected reported" 2 st.Tu.rejected;
+    Alcotest.(check (float 1e-6)) "rejected cost nothing" Tu.seconds_per_trial
+      st.Tu.simulated_seconds
   | None -> Alcotest.fail "tuner found nothing"
 
 let test_tune_matmul_end_to_end () =
