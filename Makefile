@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check clean
+.PHONY: all test check trace-smoke clean
 
 all:
 	dune build @all
@@ -8,10 +8,22 @@ all:
 test:
 	dune runtest
 
+# End-to-end observability smoke test: compile a real model with tracing
+# and profiling on, then validate the emitted Chrome trace JSON (parses,
+# non-empty, well-formed events). `trace-check` exits non-zero otherwise.
+TRACE_SMOKE := /tmp/hidet-trace-smoke.json
+
+trace-smoke:
+	dune build bin/hidetc.exe
+	./_build/default/bin/hidetc.exe compile --model mobilenet_v2 \
+	  --engine hidet --trace $(TRACE_SMOKE) --profile > /dev/null
+	./_build/default/bin/hidetc.exe trace-check $(TRACE_SMOKE)
+
 # The full gate: everything (libraries, tests, benches, examples) must
-# compile, and the test suite must pass.
+# compile, the test suite must pass, and the trace pipeline must produce
+# valid output.
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) trace-smoke
 
 clean:
 	dune clean

@@ -7,7 +7,8 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only fig16 # one experiment
      dune exec bench/main.exe -- --list       # experiment ids
-     dune exec bench/main.exe -- --cache F    # warm-start schedule cache *)
+     dune exec bench/main.exe -- --cache F    # warm-start schedule cache
+     dune exec bench/main.exe -- --trace F    # Chrome trace of the run *)
 
 module M = Hidet_models.Models
 module G = Hidet_graph.Graph
@@ -229,6 +230,7 @@ let fig16 () =
         match
           IC.tune_gemm ~strategy ~trials ~device:dev ~seed ~m ~n ~k
             ~compile:(fun s -> LS.gemm ~m ~n ~k s)
+            ()
         with
         | Some t -> Printf.sprintf "%12.1f" (us t.IC.latency)
         | None -> Printf.sprintf "%12s" "FAIL"
@@ -583,6 +585,15 @@ let () =
       in
       find args
     in
+    (* --trace FILE: record spans for the whole run, export Chrome JSON. *)
+    let trace_file =
+      let rec find = function
+        | "--trace" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
     (match cache_file with
     | Some path when Sys.file_exists path -> (
       match Hidet_sched.Schedule_cache.load path with
@@ -592,14 +603,23 @@ let () =
     let t0 = Unix.gettimeofday () in
     Printf.printf "Hidet reproduction benchmarks (device: %s)\n"
       (Format.asprintf "%a" Hidet_gpu.Device.pp dev);
-    (match only with
-    | Some id -> (
-      match List.assoc_opt id experiments with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown experiment %s (try --list)\n" id;
-        exit 1)
-    | None -> List.iter (fun (_, f) -> f ()) experiments);
+    let run_selected () =
+      match only with
+      | Some id -> (
+        match List.assoc_opt id experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (try --list)\n" id;
+          exit 1)
+      | None -> List.iter (fun (_, f) -> f ()) experiments
+    in
+    (match trace_file with
+    | None -> run_selected ()
+    | Some path ->
+      let (), events = Hidet_obs.Trace.with_collector run_selected in
+      Hidet_obs.Chrome_trace.save path events;
+      Printf.printf "\ntrace: wrote %d events to %s\n" (List.length events)
+        path);
     (match cache_file with
     | Some path -> (
       match Hidet_sched.Schedule_cache.save path with

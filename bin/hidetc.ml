@@ -1,20 +1,24 @@
 (* hidetc: command-line driver for the Hidet reproduction.
 
    Subcommands:
-     compile  — compile a model with an engine; report latency / tuning cost
-                and optionally dump the generated CUDA C
-     bench    — compare all engines on one model
-     models   — list the model zoo
-     inspect  — print a model's computation graph *)
+     compile     — compile a model with an engine; report latency / tuning
+                   cost and optionally dump the generated CUDA C
+     bench       — compare all engines on one model
+     profile     — per-kernel profiler table for a compiled plan
+     trace-check — validate a Chrome trace-event JSON file
+     models      — list the model zoo
+     inspect     — print a model's computation graph *)
 
 open Cmdliner
 module M = Hidet_models.Models
 module G = Hidet_graph.Graph
 module E = Hidet_runtime.Engine
 module Plan = Hidet_runtime.Plan
+module Profiler = Hidet_runtime.Profiler
 module HE = Hidet.Hidet_engine
 module Lib = Hidet_baselines.Library_engine
 module IC = Hidet_baselines.Input_centric
+module Obs = Hidet_obs
 
 let dev = Hidet_gpu.Device.rtx3090
 
@@ -79,12 +83,79 @@ let report (r : E.result) =
   Printf.printf "tuning cost:  %.0f simulated seconds (%.2f h), fresh\n"
     r.E.tuning_cost
     (r.E.tuning_cost /. 3600.);
-  if r.E.cached_tuning_cost > 0. then
-    Printf.printf "              %.0f simulated seconds served from the schedule cache\n"
-      r.E.cached_tuning_cost;
+  Printf.printf "tuning cost:  %.0f simulated seconds served from the schedule cache\n"
+    r.E.cached_tuning_cost;
   Printf.printf "tuning wall:  %.3f s on this machine\n" r.E.tuning_wall;
   Printf.printf "compile wall: %.2f s on this machine\n" r.E.compile_wall;
   Printf.printf "kernels:      %d\n" r.E.kernel_count
+
+(* --- observability flags ---------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans for the whole compilation and write a Chrome \
+           trace-event JSON to \\$(docv), loadable in Perfetto \
+           (ui.perfetto.dev) or chrome://tracing. Tuner worker domains \
+           appear as separate tracks.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print the per-kernel profiler table (latency, memory/compute \
+           split, occupancy, waves, tail waste, shared memory, registers, \
+           binding bottleneck) for the compiled plan.")
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:
+          "Print a human-readable span aggregation and the metrics registry \
+           after compiling.")
+
+let tuning_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tuning-log" ] ~docv:"FILE"
+        ~doc:
+          "Write a TSV with one record per tuning trial (engine, workload, \
+           candidate index, config, outcome, estimated latency) — the raw \
+           material of the Fig 14/15 reproductions.")
+
+(* Install collectors per the flags, run [f], then export. [--summary]
+   needs span events too, so it also turns the recorder on. *)
+let with_observability ~trace ~tuning_log ~summary f =
+  if tuning_log <> None then Obs.Tuning_log.start ();
+  let result, events =
+    if trace <> None || summary then Obs.Trace.with_collector f
+    else (f (), [])
+  in
+  (match trace with
+  | Some path ->
+    Obs.Chrome_trace.save path events;
+    Printf.printf "trace: wrote %d events to %s\n" (List.length events) path
+  | None -> ());
+  (match tuning_log with
+  | Some path ->
+    let trials = Obs.Tuning_log.stop () in
+    Obs.Tuning_log.save_tsv path trials;
+    Printf.printf "tuning log: wrote %d trials to %s\n" (List.length trials)
+      path
+  | None -> ());
+  if summary then Format.printf "@.%a@." Obs.Summary.pp events;
+  result
+
+let print_profile (r : E.result) =
+  match r.E.plan with
+  | Some plan -> Format.printf "@.%a@." (Profiler.pp dev) plan
+  | None -> prerr_endline "engine produced no executable plan"
 
 let cache_arg =
   Arg.(
@@ -129,13 +200,16 @@ let graph_of model file batch =
     | None -> failwith "pass --model or --file")
 
 let compile_cmd =
-  let run model batch engine dump_cuda breakdown file cache =
+  let run model batch engine dump_cuda breakdown file cache trace profile
+      summary tuning_log =
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
-    with_schedule_cache cache (fun () -> r := Some (Eng.compile dev g));
+    with_observability ~trace ~tuning_log ~summary (fun () ->
+        with_schedule_cache cache (fun () -> r := Some (Eng.compile dev g)));
     let r = Option.get !r in
     report r;
+    if profile then print_profile r;
     (if breakdown then
        match r.E.plan with
        | Some plan ->
@@ -160,25 +234,78 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile one model (or saved graph) with one engine.")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
-      $ breakdown_arg $ file_arg $ cache_arg)
+      $ breakdown_arg $ file_arg $ cache_arg $ trace_arg $ profile_arg
+      $ summary_arg $ tuning_log_arg)
 
 let bench_cmd =
-  let run model batch cache =
-    let header = Printf.sprintf "%-14s %12s %14s %10s" "engine" "latency(ms)"
-        "tuning(h)" "kernels" in
+  let run model batch cache trace summary tuning_log =
+    let header =
+      Printf.sprintf "%-14s %12s %10s %10s %12s %14s %8s" "engine"
+        "latency(ms)" "tuning(h)" "cached(h)" "tune-wall(s)" "compile-wall(s)"
+        "kernels"
+    in
     print_endline header;
-    with_schedule_cache cache (fun () ->
-        List.iter
-          (fun (name, (module Eng : E.S)) ->
-            let r = Eng.compile dev (M.by_name ~batch model) in
-            Printf.printf "%-14s %12.3f %14.2f %10d\n%!" name (r.E.latency *. 1e3)
-              (E.total_tuning_cost r /. 3600.)
-              r.E.kernel_count)
-          engines)
+    with_observability ~trace ~tuning_log ~summary (fun () ->
+        with_schedule_cache cache (fun () ->
+            List.iter
+              (fun (name, (module Eng : E.S)) ->
+                let r = Eng.compile dev (M.by_name ~batch model) in
+                Printf.printf "%-14s %12.3f %10.2f %10.2f %12.3f %14.2f %8d\n%!"
+                  name (r.E.latency *. 1e3)
+                  (r.E.tuning_cost /. 3600.)
+                  (r.E.cached_tuning_cost /. 3600.)
+                  r.E.tuning_wall r.E.compile_wall r.E.kernel_count)
+              engines))
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compare every engine on one model.")
-    Term.(const run $ model_arg $ batch_arg $ cache_arg)
+    Term.(
+      const run $ model_arg $ batch_arg $ cache_arg $ trace_arg $ summary_arg
+      $ tuning_log_arg)
+
+let profile_cmd =
+  let run model batch engine file cache =
+    let g = graph_of model file batch in
+    let (module Eng : E.S) = List.assoc engine engines in
+    let r = ref None in
+    with_schedule_cache cache (fun () -> r := Some (Eng.compile dev g));
+    let r = Option.get !r in
+    Printf.printf "%s / %s: %.3f ms predicted on %s\n" r.E.model r.E.engine
+      (r.E.latency *. 1e3) dev.Hidet_gpu.Device.name;
+    print_profile r
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile one model and print the per-kernel profiler table \
+          (analytic, nsight-style: per-kernel latency, memory/compute \
+          split, occupancy, waves, tail waste, resources, bottleneck).")
+    Term.(
+      const run $ model_opt_arg $ batch_arg $ engine_arg $ file_arg
+      $ cache_arg)
+
+let trace_check_cmd =
+  let file_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let run file =
+    match Obs.Chrome_trace.check_file file with
+    | Ok n ->
+      Printf.printf "%s: valid Chrome trace, %d events\n" file n;
+      if n = 0 then exit 1
+    | Error msg ->
+      Printf.eprintf "%s: invalid trace: %s\n" file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event JSON file (as written by --trace); \
+          exits non-zero if it fails to parse, is malformed, or is empty.")
+    Term.(const run $ file_pos)
 
 let models_cmd =
   let run () =
@@ -222,4 +349,15 @@ let () =
         "OCaml reproduction of Hidet (ASPLOS 2023): task-mapping tensor \
          program compiler on a simulated GPU."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; bench_cmd; models_cmd; inspect_cmd; export_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd;
+            bench_cmd;
+            profile_cmd;
+            trace_check_cmd;
+            models_cmd;
+            inspect_cmd;
+            export_cmd;
+          ]))

@@ -61,6 +61,7 @@ let () =
         IC.tune_gemm ~strategy ~trials ~device:dev ~seed:42 ~m ~n ~k
           ~compile:(fun s ->
             LS.conv2d ~x_shape ~w_shape ~stride ~pad_h:pad ~pad_w:pad s)
+          ()
       with
       | Some t ->
         Printf.printf

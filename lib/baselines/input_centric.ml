@@ -5,8 +5,15 @@ module Passes = Hidet_graph.Passes
 module Engine = Hidet_runtime.Engine
 module Plan = Hidet_runtime.Plan
 module GC = Hidet_runtime.Group_compiler
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+module Tuning_log = Hidet_obs.Tuning_log
 
 type strategy = Random_search | Evolutionary
+
+let strategy_engine = function
+  | Random_search -> "autotvm"
+  | Evolutionary -> "ansor"
 
 let seconds_per_trial = Hidet_sched.Tuner.seconds_per_trial
 let autotvm_trials = 1000
@@ -127,20 +134,44 @@ let guided_sample ~plausible sample rng =
   in
   go 12
 
-let measure device compile sched =
-  match compile sched with
-  | exception Invalid_argument _ -> None
-  | compiled ->
-    let lat = Compiled.latency device compiled in
-    if lat < infinity then Some (compiled, lat) else None
+(* Counted separately from the hidet tuner's ["tuner.trials"] so the two
+   families remain comparable side by side in one metrics dump. *)
+let m_trials = Metrics.counter "baseline.trials"
+let m_rejected = Metrics.counter "baseline.rejected"
 
-let generic_tune ~strategy ~budget ~device ~seed ~space_size ~sample ~mutate
-    ~compile =
+let classify device compile sched =
+  match compile sched with
+  | exception Invalid_argument _ ->
+    Metrics.incr m_rejected;
+    (`Rejected, infinity, None)
+  | compiled ->
+    Metrics.incr m_trials;
+    let lat = Compiled.latency device compiled in
+    if lat < infinity then (`Measured, lat, Some (compiled, lat))
+    else (`Infeasible, lat, None)
+
+let measure device compile sched =
+  let _, _, r = classify device compile sched in
+  r
+
+let generic_tune ?(key = "") ?(show = fun _ -> "") ~strategy ~budget ~device
+    ~seed ~space_size ~sample ~mutate ~compile () =
   let t0 = Unix.gettimeofday () in
+  let engine = strategy_engine strategy in
   let rng = Random.State.make [| seed; 0x5eed |] in
   (* Real tuners measure distinct configurations; a space smaller than the
      budget is exhausted early (the paper's AutoTVM-on-Bert case). *)
   let budget = min budget (max 1 (int_of_float (Float.min space_size 1e9))) in
+  let sp =
+    Trace.enter
+      ~attrs:
+        [
+          ("engine", engine);
+          ("workload", key);
+          ("budget", string_of_int budget);
+        ]
+      "tune"
+  in
   let best = ref None in
   let consider_lat sched lat =
     match lat with
@@ -151,13 +182,58 @@ let generic_tune ~strategy ~budget ~device ~seed ~space_size ~sample ~mutate
       | _ -> best := Some (sched, lat))
   in
   let measure_lat sched = Option.map snd (measure device compile sched) in
+  (* [i] is the trial number; a span + tuning-log record per candidate,
+     same shape as the hidet tuner's, so traces and logs line up across
+     engines. The unobserved path is a bare compile+measure. *)
+  let observed = Trace.enabled () || Tuning_log.enabled () in
+  let measure_idx i sched =
+    if not observed then measure_lat sched
+    else begin
+      let csp = Trace.enter "trial" in
+      let status, lat, r = classify device compile sched in
+      let status_str =
+        match status with
+        | `Rejected -> "rejected"
+        | `Infeasible -> "infeasible"
+        | `Measured -> "measured"
+      in
+      if Trace.enabled () then begin
+        Trace.add csp "workload" key;
+        Trace.add csp "index" (string_of_int i);
+        Trace.add csp "config" (show sched);
+        Trace.add csp "outcome" status_str;
+        if status = `Measured then
+          Trace.add csp "latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
+      end;
+      Trace.exit csp;
+      if Tuning_log.enabled () then
+        Tuning_log.record
+          {
+            Tuning_log.engine;
+            workload = key;
+            index = i;
+            config = show sched;
+            outcome =
+              (match status with
+              | `Rejected -> Tuning_log.Rejected
+              | `Infeasible -> Tuning_log.Infeasible
+              | `Measured -> Tuning_log.Measured);
+            latency = lat;
+          };
+      Option.map snd r
+    end
+  in
   (* Measure a pre-sampled batch across domains (AutoTVM's parallel
      measurement workers). Only wall clock improves: the *simulated*
      sequential cost model — budget x seconds_per_trial — is unchanged,
      and the batch is merged in sampling order with ties kept first, so the
      selected schedule is identical to the sequential path's. *)
   let measure_batch scheds =
-    let lats = Hidet_sched.Parallel.map measure_lat (Array.of_list scheds) in
+    let lats =
+      Hidet_sched.Parallel.map
+        (fun (i, s) -> measure_idx i s)
+        (Array.of_list (List.mapi (fun i s -> (i, s)) scheds))
+    in
     List.iteri (fun i sched -> consider_lat sched lats.(i)) scheds
   in
   (match strategy with
@@ -179,10 +255,16 @@ let generic_tune ~strategy ~budget ~device ~seed ~space_size ~sample ~mutate
           | _ -> sample rng)
       in
       let child = mutate rng parent in
-      consider_lat child (measure_lat child);
+      consider_lat child (measure_idx !used child);
       population := child :: (match !population with _ :: t -> t | [] -> []);
       incr used
     done);
+  Trace.add sp "trials" (string_of_int budget);
+  (match !best with
+  | Some (_, lat) ->
+    Trace.add sp "best_latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
+  | None -> Trace.add sp "outcome" "no feasible candidate");
+  Trace.exit sp;
   Option.map
     (fun (sched, lat) ->
       {
@@ -209,20 +291,30 @@ let mutate_gemm ~m ~n ~k rng (s : Loop_sched.sched) =
     { s with Loop_sched.tile_k = List.nth valid (Random.State.int rng (List.length valid)) }
   | _ -> { s with Loop_sched.unroll = not s.Loop_sched.unroll }
 
-let tune_gemm ~strategy ~trials ~device ~seed ~m ~n ~k ~compile =
-  generic_tune ~strategy ~budget:trials ~device ~seed
+let show_gemm (s : Loop_sched.sched) =
+  Printf.sprintf "tile=%dx%dx%d thread=%dx%d shared=%b unroll=%b"
+    s.Loop_sched.tile_m s.Loop_sched.tile_n s.Loop_sched.tile_k
+    s.Loop_sched.thread_m s.Loop_sched.thread_n s.Loop_sched.use_shared
+    s.Loop_sched.unroll
+
+let show_dw (s : Loop_sched.dw_sched) =
+  Printf.sprintf "tile_p=%d thread_p=%d unroll=%b" s.Loop_sched.dw_tile_p
+    s.Loop_sched.dw_thread_p s.Loop_sched.dw_unroll
+
+let tune_gemm ?key ~strategy ~trials ~device ~seed ~m ~n ~k ~compile () =
+  generic_tune ?key ~show:show_gemm ~strategy ~budget:trials ~device ~seed
     ~space_size:(matmul_space_size ~m ~n ~k)
     ~sample:
       (guided_sample ~plausible:plausible_gemm (fun rng ->
            sample_gemm_sched rng ~m ~n ~k))
-    ~mutate:(mutate_gemm ~m ~n ~k) ~compile
+    ~mutate:(mutate_gemm ~m ~n ~k) ~compile ()
 
-let tune_depthwise ~strategy ~trials ~device ~seed ~p ~compile =
-  generic_tune ~strategy ~budget:trials ~device ~seed
+let tune_depthwise ?key ~strategy ~trials ~device ~seed ~p ~compile () =
+  generic_tune ?key ~show:show_dw ~strategy ~budget:trials ~device ~seed
     ~space_size:(ordered_factorizations p 3 *. 2.)
     ~sample:(fun rng -> sample_dw_sched rng ~p)
     ~mutate:(fun rng _ -> sample_dw_sched rng ~p)
-    ~compile
+    ~compile ()
 
 (* --- engines ----------------------------------------------------------------------- *)
 
@@ -266,8 +358,10 @@ let schedule_anchor ~strategy ~trials ~device ~cache ~stats g (anchor : G.node) 
     let c =
       cached key
         (fun () ->
-          tune_gemm ~strategy ~trials ~device ~seed ~m ~n ~k
-            ~compile:(fun s -> Loop_sched.gemm ~batch ~a_batched ~b_batched ~m ~n ~k s))
+          tune_gemm ~key ~strategy ~trials ~device ~seed ~m ~n ~k
+            ~compile:(fun s ->
+              Loop_sched.gemm ~batch ~a_batched ~b_batched ~m ~n ~k s)
+            ())
         (fun () ->
           Hidet_sched.Rule_based.schedule (Op.to_def anchor.G.op in_shapes))
     in
@@ -296,8 +390,10 @@ let schedule_anchor ~strategy ~trials ~device ~cache ~stats g (anchor : G.node) 
     in
     cached key
       (fun () ->
-        tune_gemm ~strategy ~trials ~device ~seed ~m ~n ~k ~compile:(fun s ->
-            Loop_sched.conv2d ~x_shape ~w_shape ~stride ~pad_h ~pad_w s))
+        tune_gemm ~key ~strategy ~trials ~device ~seed ~m ~n ~k
+          ~compile:(fun s ->
+            Loop_sched.conv2d ~x_shape ~w_shape ~stride ~pad_h ~pad_w s)
+          ())
       (fun () -> Hidet_sched.Rule_based.schedule (Op.to_def anchor.G.op in_shapes))
   | Op.Depthwise_conv2d { stride; padding }, [ x_shape; w_shape ] ->
     let p =
@@ -313,8 +409,10 @@ let schedule_anchor ~strategy ~trials ~device ~cache ~stats g (anchor : G.node) 
     in
     cached key
       (fun () ->
-        tune_depthwise ~strategy ~trials ~device ~seed ~p ~compile:(fun s ->
-            Loop_sched.depthwise ~x_shape ~w_shape ~stride ~padding s))
+        tune_depthwise ~key ~strategy ~trials ~device ~seed ~p
+          ~compile:(fun s ->
+            Loop_sched.depthwise ~x_shape ~w_shape ~stride ~padding s)
+          ())
       (fun () -> Hidet_sched.Rule_based.schedule (Op.to_def anchor.G.op in_shapes))
   | Op.Softmax, [ s ] ->
     let cols = List.nth s (List.length s - 1) in
@@ -329,8 +427,12 @@ let schedule_anchor ~strategy ~trials ~device ~cache ~stats g (anchor : G.node) 
   | _ -> Hidet_sched.Rule_based.schedule (Op.to_def anchor.G.op in_shapes)
 
 let compile_with ~name ~strategy ~trials device g =
+  Trace.span
+    ~attrs:(fun () -> [ ("engine", name); ("model", G.get_name g) ])
+    "compile_plan"
+  @@ fun _root ->
   let t0 = Unix.gettimeofday () in
-  let g = Passes.optimize g in
+  let g = Trace.span "graph_optimize" (fun _ -> Passes.optimize g) in
   let cache = Hashtbl.create 32 in
   let stats = { cost = 0.; wall = 0. } in
   let gc_config =

@@ -59,6 +59,7 @@ type tuned = {
 }
 
 val tune_gemm :
+  ?key:string ->
   strategy:strategy ->
   trials:int ->
   device:Hidet_gpu.Device.t ->
@@ -67,16 +68,21 @@ val tune_gemm :
   n:int ->
   k:int ->
   compile:(Loop_sched.sched -> Hidet_sched.Compiled.t) ->
+  unit ->
   tuned option
-(** [None] when no sampled candidate is feasible (e.g. prime extents). *)
+(** [None] when no sampled candidate is feasible (e.g. prime extents).
+    [?key] labels the workload in trace spans and tuning-log records; the
+    engine label is derived from [strategy] ("autotvm" / "ansor"). *)
 
 val tune_depthwise :
+  ?key:string ->
   strategy:strategy ->
   trials:int ->
   device:Hidet_gpu.Device.t ->
   seed:int ->
   p:int ->
   compile:(Loop_sched.dw_sched -> Hidet_sched.Compiled.t) ->
+  unit ->
   tuned option
 
 (** {1 Engines} *)

@@ -180,9 +180,16 @@ let may_fuse_epilogue level (n : G.node) =
 
 let compile_with ~name ~level ?(tensor_core = false) ?(tactic_timing = false)
     ?(fused_attention = false) device g =
+  Hidet_obs.Trace.span
+    ~attrs:(fun () -> [ ("engine", name); ("model", G.get_name g) ])
+    "compile_plan"
+  @@ fun _root ->
   let t0 = Unix.gettimeofday () in
-  let g = Passes.lower_conv_to_gemm g in
-  let g = Passes.optimize g in
+  let g =
+    Hidet_obs.Trace.span "lower_conv_to_gemm" (fun _ ->
+        Passes.lower_conv_to_gemm g)
+  in
+  let g = Hidet_obs.Trace.span "graph_optimize" (fun _ -> Passes.optimize g) in
   let gc_config =
     {
       GC.schedule_anchor =

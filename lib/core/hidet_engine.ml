@@ -8,6 +8,7 @@ module Fuse = Hidet_fusion.Fuse
 module Plan = Hidet_runtime.Plan
 module Engine = Hidet_runtime.Engine
 module GC = Hidet_runtime.Group_compiler
+module Trace = Hidet_obs.Trace
 
 type options = {
   lower_convs : bool;
@@ -49,11 +50,11 @@ let hidet_seconds_per_trial = Hidet_sched.Tuner.seconds_per_trial /. 4.
 
 (* The tuning service: the process-global schedule cache in front of the
    parallel exhaustive tuner. Winners are re-instantiated per call site. *)
-let tuned (stats : tuning_stats) ~device ~key ~candidates ~compile =
+let tuned ?show (stats : tuning_stats) ~device ~key ~candidates ~compile =
   let t0 = Unix.gettimeofday () in
   let r =
-    Cache.tune ~seconds_per_trial:hidet_seconds_per_trial ~device ~key
-      ~candidates ~compile ()
+    Cache.tune ~seconds_per_trial:hidet_seconds_per_trial ~engine:"hidet"
+      ?show ~device ~key ~candidates ~compile ()
   in
   stats.tuner_wall <- stats.tuner_wall +. (Unix.gettimeofday () -. t0);
   (if not (Hashtbl.mem stats.billed key) then (
@@ -106,7 +107,7 @@ let schedule_matmul options device stats ~sa ~sb ~out_rank =
   in
   let space = restrict_space options (Hidet_sched.Space.matmul_with_split_k ~m ~n) in
   let compiled =
-    tuned stats ~device ~key ~candidates:space
+    tuned ~show:MT.config_to_string stats ~device ~key ~candidates:space
       ~compile:(fun cfg -> MT.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)
   in
   match compiled with
@@ -128,7 +129,7 @@ let schedule_anchor options device stats g (anchor : G.node) =
   | Op.Softmax, [ s ] ->
     let rows, cols = rows_cols s in
     Option.get
-      (tuned stats ~device
+      (tuned ~show:(Printf.sprintf "block=%d") stats ~device
          ~key:(Printf.sprintf "softmax_%d_%d" rows cols)
          ~candidates:block_candidates
          ~compile:(fun b ->
@@ -136,7 +137,7 @@ let schedule_anchor options device stats g (anchor : G.node) =
   | Op.Layernorm { eps }, [ s; _; _ ] ->
     let rows, cols = rows_cols s in
     Option.get
-      (tuned stats ~device
+      (tuned ~show:(Printf.sprintf "block=%d") stats ~device
          ~key:(Printf.sprintf "layernorm_%d_%d" rows cols)
          ~candidates:block_candidates
          ~compile:(fun b ->
@@ -148,6 +149,8 @@ let schedule_anchor options device stats g (anchor : G.node) =
     in
     let compiled =
       tuned stats ~device ~key
+        ~show:(fun (c : Hidet_sched.Reduce_template.config) ->
+          Printf.sprintf "block=%d" c.block_size)
         ~candidates:Hidet_sched.Reduce_template.space
         ~compile:(fun cfg ->
           Hidet_sched.Reduce_template.schedule ~config:cfg def)
@@ -161,39 +164,54 @@ let schedule_anchor options device stats g (anchor : G.node) =
 (* --- the engine ---------------------------------------------------------------- *)
 
 let compile_plan ?(options = default_options) device g =
-  let t0 = Unix.gettimeofday () in
-  let g = if options.lower_convs then Passes.lower_conv_to_gemm g else g in
-  let g = Passes.optimize g in
-  let stats =
-    {
-      fresh_cost = 0.;
-      cached_cost = 0.;
-      tuner_wall = 0.;
-      billed = Hashtbl.create 16;
-    }
-  in
-  let gc_config =
-    {
-      GC.schedule_anchor = (fun g n -> schedule_anchor options device stats g n);
-      may_fuse_prologue = (fun _ -> options.fuse);
-      may_fuse_epilogue = (fun _ -> options.fuse);
-    }
-  in
-  let plan = GC.compile_graph gc_config g in
-  let result =
-    {
-      Engine.engine = "hidet";
-      model = G.get_name g;
-      latency = Plan.latency device plan;
-      tuning_cost = stats.fresh_cost;
-      cached_tuning_cost = stats.cached_cost;
-      tuning_wall = stats.tuner_wall;
-      compile_wall = Unix.gettimeofday () -. t0;
-      kernel_count = Plan.kernel_count plan;
-      plan = Some plan;
-    }
-  in
-  (plan, result)
+  Trace.span
+    ~attrs:(fun () ->
+      [ ("engine", "hidet"); ("model", G.get_name g); ("device", device.Hidet_gpu.Device.name) ])
+    "compile_plan"
+    (fun root ->
+      let t0 = Unix.gettimeofday () in
+      let g =
+        if options.lower_convs then
+          Trace.span "lower_conv_to_gemm" (fun _ -> Passes.lower_conv_to_gemm g)
+        else g
+      in
+      let g = Trace.span "graph_optimize" (fun _ -> Passes.optimize g) in
+      let stats =
+        {
+          fresh_cost = 0.;
+          cached_cost = 0.;
+          tuner_wall = 0.;
+          billed = Hashtbl.create 16;
+        }
+      in
+      let gc_config =
+        {
+          GC.schedule_anchor =
+            (fun g n -> schedule_anchor options device stats g n);
+          may_fuse_prologue = (fun _ -> options.fuse);
+          may_fuse_epilogue = (fun _ -> options.fuse);
+        }
+      in
+      let plan = GC.compile_graph gc_config g in
+      let latency =
+        Trace.span "estimate_latency" (fun _ -> Plan.latency device plan)
+      in
+      Trace.add root "kernels" (string_of_int (Plan.kernel_count plan));
+      Trace.add root "latency_us" (Printf.sprintf "%.3f" (latency *. 1e6));
+      let result =
+        {
+          Engine.engine = "hidet";
+          model = G.get_name g;
+          latency;
+          tuning_cost = stats.fresh_cost;
+          cached_tuning_cost = stats.cached_cost;
+          tuning_wall = stats.tuner_wall;
+          compile_wall = Unix.gettimeofday () -. t0;
+          kernel_count = Plan.kernel_count plan;
+          plan = Some plan;
+        }
+      in
+      (plan, result))
 
 let name = "hidet"
 

@@ -135,6 +135,14 @@ let kernel (d : Device.t) (k : Kernel.t) =
     let latency =
       d.kernel_launch_overhead +. (float_of_int waves *. block_time)
     in
+    (* The binding bottleneck, nsight-style: launch overhead dominating the
+       whole run, else the larger of the two per-wave components. *)
+    let note =
+      if d.kernel_launch_overhead >= float_of_int waves *. block_time then
+        "launch-bound"
+      else if mem_time >= compute_time then "memory-bound"
+      else "compute-bound"
+    in
     {
       latency;
       mem_time;
@@ -144,7 +152,7 @@ let kernel (d : Device.t) (k : Kernel.t) =
       occupancy;
       pipelined;
       feasible = true;
-      note = "";
+      note;
     }
 
 let latency_exn d k =
@@ -158,7 +166,8 @@ let pp fmt e =
   else
     Format.fprintf fmt
       "%.1f us (mem %.1f us, compute %.1f us, %d waves, %d blocks/SM, occ \
-       %.0f%%%s)"
+       %.0f%%%s%s)"
       (e.latency *. 1e6) (e.mem_time *. 1e6) (e.compute_time *. 1e6) e.waves
       e.blocks_per_sm (e.occupancy *. 100.)
       (if e.pipelined then ", pipelined" else "")
+      (if e.note = "" then "" else ", " ^ e.note)

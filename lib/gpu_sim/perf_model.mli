@@ -27,7 +27,9 @@ type estimate = {
   occupancy : float;  (** resident threads / max threads per SM *)
   pipelined : bool;
   feasible : bool;
-  note : string;  (** reason when infeasible *)
+  note : string;
+      (** infeasible: the reason; feasible: the binding bottleneck —
+          ["memory-bound"], ["compute-bound"] or ["launch-bound"] *)
 }
 
 val infeasible : string -> estimate

@@ -1,3 +1,8 @@
+(* How many IR nodes the rewrites below actually removed or folded, across
+   the whole process — a cheap proxy for how much work the simplifier does
+   per compilation. *)
+let m_simplified = Hidet_obs.Metrics.counter "ir.nodes_simplified"
+
 let rec expr (e : Expr.t) : Expr.t =
   match e with
   | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> e
@@ -5,22 +10,32 @@ let rec expr (e : Expr.t) : Expr.t =
   | Unop (op, a) -> Expr.unop op (expr a)
   | Select (c, a, b) ->
     let c = expr c and a = expr a and b = expr b in
-    if Expr.equal a b then a else Expr.select c a b
+    if Expr.equal a b then (
+      Hidet_obs.Metrics.incr m_simplified;
+      a)
+    else Expr.select c a b
   | Load (buf, idx) -> Expr.Load (buf, List.map expr idx)
 
 and binop op a b =
   match (op, a, b) with
-  | Expr.Sub, a, b when Expr.equal a b -> Expr.Int 0
-  | (Expr.Min | Expr.Max), a, b when Expr.equal a b -> a
+  | Expr.Sub, a, b when Expr.equal a b ->
+    Hidet_obs.Metrics.incr m_simplified;
+    Expr.Int 0
+  | (Expr.Min | Expr.Max), a, b when Expr.equal a b ->
+    Hidet_obs.Metrics.incr m_simplified;
+    a
   (* (x * c + r) reassociation: fold constants across nested adds. *)
   | Expr.Add, Expr.Binop (Add, x, Expr.Int c1), Expr.Int c2 ->
+    Hidet_obs.Metrics.incr m_simplified;
     Expr.add x (Expr.Int (c1 + c2))
   | Expr.Mul, Expr.Binop (Mul, x, Expr.Int c1), Expr.Int c2 ->
+    Hidet_obs.Metrics.incr m_simplified;
     Expr.mul x (Expr.Int (c1 * c2))
   (* (x % c) % c = x % c  and  (x % c1) / c1 = 0 only when c1 = c; keep the
      safe same-divisor cases. *)
   | Expr.Mod, (Expr.Binop (Mod, _, Expr.Int c1) as inner), Expr.Int c2
     when c1 = c2 ->
+    Hidet_obs.Metrics.incr m_simplified;
     inner
   | _ -> Expr.binop op a b
 
@@ -35,6 +50,7 @@ let rec stmt (s : Stmt.t) : Stmt.t =
     let value = expr value in
     match value with
     | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx ->
+      Hidet_obs.Metrics.incr m_simplified;
       stmt (Stmt.subst var value body)
     | _ -> Stmt.let_ var value (stmt body))
   | Store { buf; indices; value } ->

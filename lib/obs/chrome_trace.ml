@@ -1,0 +1,101 @@
+let add_args b attrs =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (Json.escape k) (Json.escape v)))
+    attrs;
+  Buffer.add_string b "}"
+
+let add_event b ev =
+  match (ev : Trace.event) with
+  | Trace.Span { name; track; ts_us; dur_us; attrs } ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":"
+         (Json.escape name) track ts_us dur_us);
+    add_args b attrs;
+    Buffer.add_string b "}"
+  | Trace.Instant { name; track; ts_us; attrs } ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":"
+         (Json.escape name) track ts_us);
+    add_args b attrs;
+    Buffer.add_string b "}"
+
+let to_string events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  (* Name the process and each track; track 0 is the calling domain. *)
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"hidet\"}}";
+  let tracks = List.sort_uniq compare (List.map Trace.event_track events) in
+  List.iter
+    (fun t ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           t
+           (if t = 0 then "domain 0 (main)" else Printf.sprintf "domain %d (worker)" t)))
+    tracks;
+  List.iter
+    (fun ev ->
+      Buffer.add_string b ",";
+      add_event b ev)
+    events;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write oc events = output_string oc (to_string events)
+
+let save path events =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write oc events);
+  Sys.rename tmp path
+
+(* --- validation --------------------------------------------------------------- *)
+
+let check text =
+  match Json.parse text with
+  | Error msg -> Error (Printf.sprintf "not valid JSON (%s)" msg)
+  | Ok json -> (
+    match Option.bind (Json.member "traceEvents" json) Json.to_arr with
+    | None -> Error "no traceEvents array"
+    | Some events ->
+      let count = ref 0 in
+      let rec go = function
+        | [] -> Ok !count
+        | ev :: rest -> (
+          let num field = Option.bind (Json.member field ev) Json.to_num in
+          match Option.bind (Json.member "ph" ev) Json.to_str with
+          | None -> Error "event without \"ph\""
+          | Some "M" -> go rest
+          | Some ph -> (
+            match Option.bind (Json.member "name" ev) Json.to_str with
+            | None -> Error "event without a string name"
+            | Some name -> (
+              let bad msg = Error (Printf.sprintf "event %S: %s" name msg) in
+              match (ph, num "ts", num "dur") with
+              | "X", Some ts, Some dur when ts >= 0. && dur >= 0. ->
+                Stdlib.incr count;
+                go rest
+              | "X", Some _, Some _ -> bad "negative ts or dur"
+              | "X", _, _ -> bad "missing numeric ts/dur"
+              | "i", Some ts, _ when ts >= 0. ->
+                Stdlib.incr count;
+                go rest
+              | "i", _, _ -> bad "missing or negative ts"
+              | ph, _, _ -> bad (Printf.sprintf "unknown phase %S" ph))))
+      in
+      go events)
+
+let check_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    check text

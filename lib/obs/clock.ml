@@ -1,0 +1,2 @@
+let base = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. base) *. 1e6

@@ -1,0 +1,11 @@
+(** Process-relative clock for trace timestamps.
+
+    Timestamps are microseconds since the module was initialized (process
+    start, for all practical purposes), so traces from one process share one
+    origin and stay small enough to print with fixed precision. The source
+    is [Unix.gettimeofday]; span durations are clamped non-negative by the
+    recorder, so a (rare) wall-clock step cannot produce a negative
+    duration. *)
+
+val now_us : unit -> float
+(** Microseconds elapsed since process start. *)

@@ -1,0 +1,30 @@
+(** Minimal JSON support for the trace exporter and its validator.
+
+    No JSON library is among the repository's allowed dependencies, so the
+    Chrome-trace exporter escapes strings through {!escape} and the
+    [trace-check] tooling and tests parse its output back with {!parse} — a
+    strict, self-contained recursive-descent parser (objects, arrays,
+    strings with escapes, numbers, booleans, null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-literal escaping of [s] (without the surrounding quotes):
+    backslash, quote, and all control characters below 0x20. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. The error
+    string includes the offending byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields or non-objects. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option

@@ -1,0 +1,138 @@
+type counter = { name : string; cell : int Atomic.t }
+type gauge = { gname : string; gcell : float Atomic.t }
+
+type histogram = {
+  hname : string;
+  bounds : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable total : int;
+  hlock : Mutex.t;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let get_or_register name make unpack =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> (
+        match unpack i with
+        | Some x -> x
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as another kind" name))
+      | None ->
+        let x, i = make () in
+        Hashtbl.replace registry name i;
+        x)
+
+let counter name =
+  get_or_register name
+    (fun () ->
+      let c = { name; cell = Atomic.make 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let value c = Atomic.get c.cell
+
+let gauge name =
+  get_or_register name
+    (fun () ->
+      let g = { gname = name; gcell = Atomic.make 0. } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.gcell v
+let gauge_value g = Atomic.get g.gcell
+
+let default_bounds = [| 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000. |]
+
+let histogram ?(bounds = default_bounds) name =
+  get_or_register name
+    (fun () ->
+      let increasing = ref (Array.length bounds > 0) in
+      for i = 0 to Array.length bounds - 2 do
+        if bounds.(i) >= bounds.(i + 1) then increasing := false
+      done;
+      if not !increasing then
+        invalid_arg "Metrics.histogram: bounds must be non-empty and strictly increasing";
+      let h =
+        {
+          hname = name;
+          bounds = Array.copy bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.;
+          total = 0;
+          hlock = Mutex.create ();
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  Mutex.lock h.hlock;
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.total <- h.total + 1;
+  Mutex.unlock h.hlock
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  total : int;
+  sum : float;
+}
+
+let hist_snapshot h =
+  Mutex.lock h.hlock;
+  let s =
+    {
+      bounds = Array.copy h.bounds;
+      counts = Array.copy h.counts;
+      total = h.total;
+      sum = h.sum;
+    }
+  in
+  Mutex.unlock h.hlock;
+  s
+
+type snapshot = Counter of int | Gauge of float | Histogram of hist_snapshot
+
+let dump () =
+  let all =
+    locked (fun () -> Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [])
+  in
+  all
+  |> List.map (fun (name, i) ->
+         ( name,
+           match i with
+           | C c -> Counter (value c)
+           | G g -> Gauge (gauge_value g)
+           | H h -> Histogram (hist_snapshot h) ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  let all = locked (fun () -> Hashtbl.fold (fun _ i acc -> i :: acc) registry []) in
+  List.iter
+    (function
+      | C c -> Atomic.set c.cell 0
+      | G g -> Atomic.set g.gcell 0.
+      | H h ->
+        Mutex.lock h.hlock;
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0.;
+        h.total <- 0;
+        Mutex.unlock h.hlock)
+    all

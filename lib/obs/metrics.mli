@@ -1,0 +1,54 @@
+(** Process-global metrics registry: named counters, gauges and histograms.
+
+    Unlike tracing, metrics are always on — a counter bump is one atomic
+    fetch-and-add, cheap enough for the tuner's per-candidate hot path, and
+    counts from worker domains therefore sum exactly (no per-domain
+    buffering, no flush). Instruments are registered by name on first use;
+    asking for an existing name returns the existing instrument, and asking
+    for a name already registered as a different kind raises
+    [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or register the counter named [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Get or register a histogram. [bounds] are the upper edges of the
+    buckets, strictly increasing; an implicit overflow bucket catches the
+    rest. [bounds] is only consulted on first registration. *)
+
+val observe : histogram -> float -> unit
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;  (** one longer than [bounds]: last is overflow *)
+  total : int;
+  sum : float;
+}
+
+val hist_snapshot : histogram -> hist_snapshot
+
+(** {1 Registry} *)
+
+type snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+val dump : unit -> (string * snapshot) list
+(** All registered instruments with their current values, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (instruments stay registered). For
+    tests and for delimiting one compilation from the next. *)

@@ -1,0 +1,62 @@
+type agg = {
+  mutable count : int;
+  mutable total : float;
+  mutable max : float;
+}
+
+let pp_events fmt events =
+  let by_name : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      match (ev : Trace.event) with
+      | Trace.Span { name; dur_us; _ } ->
+        let a =
+          match Hashtbl.find_opt by_name name with
+          | Some a -> a
+          | None ->
+            let a = { count = 0; total = 0.; max = 0. } in
+            Hashtbl.add by_name name a;
+            a
+        in
+        a.count <- a.count + 1;
+        a.total <- a.total +. dur_us;
+        a.max <- Float.max a.max dur_us
+      | Trace.Instant _ -> ())
+    events;
+  let rows = Hashtbl.fold (fun name a acc -> (name, a) :: acc) by_name [] in
+  let rows = List.sort (fun (_, a) (_, b) -> Float.compare b.total a.total) rows in
+  Format.fprintf fmt "@[<v>%-28s %8s %12s %12s %12s@,"
+    "span" "count" "total(ms)" "mean(us)" "max(us)";
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf fmt "%-28s %8d %12.3f %12.1f %12.1f@," name a.count
+        (a.total /. 1e3)
+        (a.total /. float_of_int a.count)
+        a.max)
+    rows;
+  Format.fprintf fmt "@]"
+
+let pp_metrics fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, snap) ->
+      match (snap : Metrics.snapshot) with
+      | Metrics.Counter v -> Format.fprintf fmt "%-40s %12d@," name v
+      | Metrics.Gauge v -> Format.fprintf fmt "%-40s %12g@," name v
+      | Metrics.Histogram h ->
+        Format.fprintf fmt "%-40s n=%d sum=%g" name h.Metrics.total h.Metrics.sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.Metrics.bounds then
+                Format.fprintf fmt " [<=%g: %d]" h.Metrics.bounds.(i) c
+              else Format.fprintf fmt " [rest: %d]" c)
+          h.Metrics.counts;
+        Format.fprintf fmt "@,")
+    (Metrics.dump ());
+  Format.fprintf fmt "@]"
+
+let pp fmt events =
+  let spans = List.exists (function Trace.Span _ -> true | _ -> false) events in
+  if spans then Format.fprintf fmt "%a@," pp_events events;
+  pp_metrics fmt ()

@@ -1,0 +1,14 @@
+(** Human-readable observability summary.
+
+    Aggregates span events by name (count, total, mean, max wall time) and
+    appends the current {!Metrics} registry — the "read it in the terminal"
+    counterpart of the Chrome trace export. *)
+
+val pp_events : Format.formatter -> Trace.event list -> unit
+(** The span aggregation table alone, sorted by total time descending. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** The current metrics registry (counters, gauges, histograms). *)
+
+val pp : Format.formatter -> Trace.event list -> unit
+(** Both of the above. *)

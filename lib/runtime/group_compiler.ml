@@ -3,6 +3,16 @@ module Op = Hidet_graph.Op
 module Passes = Hidet_graph.Passes
 module Compiled = Hidet_sched.Compiled
 module Fuse = Hidet_fusion.Fuse
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+
+(* Fusion effectiveness: how many operators rode along with an anchor
+   versus how many fell back to standalone rule-based kernels. *)
+let m_groups = Metrics.counter "fusion.groups"
+let m_fused_prologues = Metrics.counter "fusion.fused_prologues"
+let m_fused_epilogues = Metrics.counter "fusion.fused_epilogues"
+let m_fallback = Metrics.counter "fusion.fallback_kernels"
+let m_kernels = Metrics.counter "plan.kernels_emitted"
 
 type config = {
   schedule_anchor : G.t -> G.node -> Compiled.t;
@@ -41,6 +51,7 @@ let epilogue_def g (e : G.node) out_buffer_dims =
   | exception Invalid_argument _ -> None
 
 let standalone_step g (n : G.node) =
+  Metrics.incr m_fallback;
   let def = Op.to_def n.G.op (List.map (G.node_shape g) n.G.inputs) in
   {
     Plan.compiled = Hidet_sched.Rule_based.schedule def;
@@ -78,6 +89,7 @@ let compile_group cfg g (grp : Passes.group) : Plan.step list =
          | Some def -> (
            match Fuse.fuse_prologue !compiled ~input_index:i def with
            | fused ->
+             Metrics.incr m_fused_prologues;
              compiled := fused;
              slots :=
                List.concat
@@ -128,6 +140,7 @@ let compile_group cfg g (grp : Passes.group) : Plan.step list =
         | Some def -> (
           match Fuse.fuse_epilogue !compiled def with
           | fused ->
+            Metrics.incr m_fused_epilogues;
             compiled := fused;
             slots := !slots @ List.tl e.G.inputs;
             out_node := e.G.id
@@ -147,6 +160,33 @@ let compile_group cfg g (grp : Passes.group) : Plan.step list =
   in
   pre_steps @ [ anchor_step ] @ !post_steps
 
+let compile_group cfg g (grp : Passes.group) : Plan.step list =
+  Metrics.incr m_groups;
+  if not (Trace.enabled ()) then compile_group cfg g grp
+  else
+    Trace.span
+      ~attrs:(fun () ->
+        let anchor = G.node g grp.Passes.anchor in
+        [
+          ("anchor", Op.name anchor.G.op);
+          ("prologues", string_of_int (List.length grp.Passes.prologues));
+          ("epilogues", string_of_int (List.length grp.Passes.epilogues));
+        ])
+      "compile_group"
+      (fun _sp -> compile_group cfg g grp)
+
 let compile_graph cfg g =
-  let groups = Passes.partition g in
-  { Plan.graph = g; steps = List.concat_map (compile_group cfg g) groups }
+  let groups =
+    Trace.span "partition" (fun sp ->
+        let groups = Passes.partition g in
+        Trace.add sp "groups" (string_of_int (List.length groups));
+        groups)
+  in
+  let steps =
+    Trace.span "schedule_and_fuse" (fun sp ->
+        let steps = List.concat_map (compile_group cfg g) groups in
+        Trace.add sp "kernels" (string_of_int (List.length steps));
+        steps)
+  in
+  Metrics.add m_kernels (List.length steps);
+  { Plan.graph = g; steps }

@@ -1,0 +1,96 @@
+module Compiled = Hidet_sched.Compiled
+module Device = Hidet_gpu.Device
+module Perf_model = Hidet_gpu.Perf_model
+module Traffic = Hidet_gpu.Traffic
+module Kernel = Hidet_ir.Kernel
+
+type row = {
+  step : int;
+  op : string;
+  kernel : string;
+  grid_dim : int;
+  block_dim : int;
+  latency : float;
+  mem_time : float;
+  compute_time : float;
+  pipelined : bool;
+  occupancy : float;
+  waves : int;
+  blocks_per_sm : int;
+  tail_waste : float;
+  smem_bytes : int;
+  regs_per_thread : int;
+  global_bytes : float;
+  flops : float;
+  note : string;
+}
+
+let kernel_row device ~step ~op (k : Kernel.t) =
+  let e = Perf_model.kernel device k in
+  let c = Traffic.kernel k in
+  (* Wave quantization: the final wave launches [concurrent] block slots but
+     only fills what is left of the grid. The idle fraction of all launched
+     slots is the schedule's partial-tile / tail waste. *)
+  let concurrent = device.Device.num_sms * e.Perf_model.blocks_per_sm in
+  let tail_waste =
+    if e.Perf_model.waves = 0 || concurrent = 0 then 0.
+    else
+      1.
+      -. (float_of_int k.Kernel.grid_dim
+         /. float_of_int (e.Perf_model.waves * concurrent))
+  in
+  let per_thread = float_of_int (k.Kernel.grid_dim * k.Kernel.block_dim) in
+  {
+    step;
+    op;
+    kernel = k.Kernel.name;
+    grid_dim = k.Kernel.grid_dim;
+    block_dim = k.Kernel.block_dim;
+    latency = e.Perf_model.latency;
+    mem_time = e.Perf_model.mem_time;
+    compute_time = e.Perf_model.compute_time;
+    pipelined = e.Perf_model.pipelined;
+    occupancy = e.Perf_model.occupancy;
+    waves = e.Perf_model.waves;
+    blocks_per_sm = e.Perf_model.blocks_per_sm;
+    tail_waste;
+    smem_bytes = Kernel.shared_bytes k;
+    regs_per_thread = Kernel.regs_per_thread k;
+    global_bytes =
+      (c.Traffic.global_load_bytes +. c.Traffic.global_store_bytes)
+      *. per_thread;
+    flops = c.Traffic.flops *. per_thread;
+    note = e.Perf_model.note;
+  }
+
+let report device (plan : Plan.t) =
+  List.concat
+    (List.mapi
+       (fun i (s : Plan.step) ->
+         List.map
+           (kernel_row device ~step:i ~op:s.Plan.compiled.Compiled.name)
+           s.Plan.compiled.Compiled.kernels)
+       plan.Plan.steps)
+
+let total_latency rows = List.fold_left (fun a r -> a +. r.latency) 0. rows
+
+let truncate n s = if String.length s <= n then s else String.sub s 0 (n - 1) ^ "~"
+
+let pp_rows fmt rows =
+  Format.fprintf fmt "@[<v>%-4s %-26s %7s %6s %9s %8s %8s %5s %5s %6s %7s %7s %8s %5s %s@,"
+    "step" "kernel" "grid" "block" "lat(us)" "mem(us)" "cmp(us)" "pipe"
+    "occ%" "waves" "blk/SM" "waste%" "smem(B)" "regs" "bottleneck";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-4d %-26s %7d %6d %9.1f %8.1f %8.1f %5s %5.0f %6d %7d %7.1f %8d %5d %s@,"
+        r.step (truncate 26 r.kernel) r.grid_dim r.block_dim
+        (r.latency *. 1e6) (r.mem_time *. 1e6) (r.compute_time *. 1e6)
+        (if r.pipelined then "yes" else "no")
+        (r.occupancy *. 100.) r.waves r.blocks_per_sm (r.tail_waste *. 100.)
+        r.smem_bytes r.regs_per_thread r.note)
+    rows;
+  Format.fprintf fmt "%-4s %-26s %7s %6s %9.1f@,@]" "" "total"
+    "" "" (total_latency rows *. 1e6)
+
+let pp device fmt plan = pp_rows fmt (report device plan)

@@ -1,0 +1,48 @@
+(** Per-kernel profiler report for a compiled plan.
+
+    One row per kernel launch, nsight-compute style, derived entirely from
+    the analytic model ({!Hidet_gpu.Perf_model}) and the structural traffic
+    counts ({!Hidet_gpu.Traffic}) — no execution involved, so profiling a
+    plan is instant and deterministic.
+
+    [tail_waste] is the wave-quantization loss: the fraction of launched
+    block slots the final, partially filled wave leaves idle
+    ([1 - grid / (waves * num_sms * blocks_per_sm)]). It is the whole-kernel
+    cousin of the partial-tile waste the hardware-centric schedule space
+    trades against — a grid that does not divide the machine pays for the
+    remainder just like a tile that does not divide the tensor. *)
+
+type row = {
+  step : int;  (** plan step index this kernel belongs to *)
+  op : string;  (** compiled operator name (one op may launch >1 kernel) *)
+  kernel : string;
+  grid_dim : int;
+  block_dim : int;
+  latency : float;  (** seconds, incl. launch overhead *)
+  mem_time : float;  (** per-wave memory component, seconds *)
+  compute_time : float;  (** per-wave compute component, seconds *)
+  pipelined : bool;
+  occupancy : float;  (** 0..1 *)
+  waves : int;
+  blocks_per_sm : int;
+  tail_waste : float;  (** 0..1, idle fraction of launched block slots *)
+  smem_bytes : int;  (** static shared memory per block *)
+  regs_per_thread : int;
+  global_bytes : float;  (** total global load+store bytes, whole grid *)
+  flops : float;  (** total scalar FLOPs, whole grid *)
+  note : string;  (** binding bottleneck, or the infeasibility reason *)
+}
+
+val kernel_row :
+  Hidet_gpu.Device.t -> step:int -> op:string -> Hidet_ir.Kernel.t -> row
+
+val report : Hidet_gpu.Device.t -> Plan.t -> row list
+(** One row per kernel, in launch order. *)
+
+val total_latency : row list -> float
+
+val pp_rows : Format.formatter -> row list -> unit
+(** The table, with a totals line. *)
+
+val pp : Hidet_gpu.Device.t -> Format.formatter -> Plan.t -> unit
+(** [pp device fmt plan = pp_rows fmt (report device plan)]. *)

@@ -10,6 +10,9 @@
    The table is mutex-protected: tuner workers run on separate domains, and
    nothing stops two engines from compiling concurrently. *)
 
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+
 type entry = {
   best_index : int;
   space_size : int;
@@ -144,14 +147,25 @@ let load path =
 
 (* --- the tuning service ----------------------------------------------------- *)
 
-let tune ?seconds_per_trial ?parallel ?workers ~device ~key ~candidates
-    ~compile () =
+(* Cache effectiveness, as seen by the tuning service: [hits] were served
+   from the cache, [misses] went to the tuner, [stale] looked like hits but
+   failed re-instantiation and were retuned (a stale entry also counts as a
+   miss — it did cost a full tuning run). *)
+let m_hits = Metrics.counter "schedule_cache.hits"
+let m_misses = Metrics.counter "schedule_cache.misses"
+let m_stale = Metrics.counter "schedule_cache.stale"
+
+let tune ?seconds_per_trial ?parallel ?workers ?engine ?show ~device ~key
+    ~candidates ~compile () =
   let device_name = device.Hidet_gpu.Device.name in
   let space_size = List.length candidates in
   let fresh () =
+    Metrics.incr m_misses;
+    if Trace.enabled () then
+      Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.miss";
     match
-      Tuner.tune ?seconds_per_trial ?parallel ?workers ~device ~candidates
-        ~compile ()
+      Tuner.tune ?seconds_per_trial ?parallel ?workers ?engine ~key ?show
+        ~device ~candidates ~compile ()
     with
     | None -> None
     | Some (cand, compiled, st) ->
@@ -170,10 +184,22 @@ let tune ?seconds_per_trial ?parallel ?workers ~device ~key ~candidates
   | Some e when e.space_size = space_size && e.best_index < space_size -> (
     let cand = List.nth candidates e.best_index in
     match compile cand with
-    | compiled -> Some (cand, compiled, Hit e)
+    | compiled ->
+      Metrics.incr m_hits;
+      if Trace.enabled () then
+        Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.hit";
+      Some (cand, compiled, Hit e)
     | exception Invalid_argument _ ->
       (* Stale entry (template or space changed underneath the key):
          retune and overwrite. *)
+      Metrics.incr m_stale;
+      if Trace.enabled () then
+        Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.stale";
       fresh ())
-  | Some _ -> fresh () (* space changed: the stored index is meaningless *)
+  | Some _ ->
+    (* space changed: the stored index is meaningless *)
+    Metrics.incr m_stale;
+    if Trace.enabled () then
+      Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.stale";
+    fresh ()
   | None -> fresh ()

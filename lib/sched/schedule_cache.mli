@@ -30,6 +30,8 @@ val tune :
   ?seconds_per_trial:float ->
   ?parallel:bool ->
   ?workers:int ->
+  ?engine:string ->
+  ?show:('a -> string) ->
   device:Hidet_gpu.Device.t ->
   key:string ->
   candidates:'a list ->
@@ -40,7 +42,10 @@ val tune :
     stored winner is re-instantiated (zero fresh trials); on a miss (or a
     stale entry) the tuner runs and its result is stored. [key] must
     identify the workload {e and} any restriction applied to [candidates]
-    (the device name is added automatically). *)
+    (the device name is added automatically). [?engine] and [?show] are
+    forwarded to the tuner's trace spans and tuning-log records; each call
+    also bumps the ["schedule_cache.hits"/"misses"/"stale"] metrics and,
+    when tracing, drops a matching instant event. *)
 
 (** {1 Direct cache access} *)
 

@@ -1,3 +1,7 @@
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+module Tuning_log = Hidet_obs.Tuning_log
+
 type stats = {
   trials : int;
   rejected : int;
@@ -12,6 +16,12 @@ let seconds_per_trial = 1.5
 
 let default_seconds_per_trial = seconds_per_trial
 
+(* Trials and rejections are counted where they happen — inside the worker
+   domains — so the observability tests can check that parallel counts sum
+   to the sequential run's totals. *)
+let m_trials = Metrics.counter "tuner.trials"
+let m_rejected = Metrics.counter "tuner.rejected"
+
 (* Outcome of one candidate. [Rejected]: the template refused the config
    ([Invalid_argument]); nothing was ever measured, so (per the cost
    accounting) no simulated seconds accrue. [Measured lat]: compiled and
@@ -20,20 +30,73 @@ let default_seconds_per_trial = seconds_per_trial
 type outcome = Rejected | Measured of float
 
 let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
-    ?workers ~device ~candidates ~compile () =
+    ?workers ?(engine = "hidet") ?(key = "") ?(show = fun _ -> "")
+    ~device ~candidates ~compile () =
   let t0 = Unix.gettimeofday () in
   let cands = Array.of_list candidates in
   let w =
     if not parallel then 1
     else max 1 (Option.value workers ~default:(Parallel.default_workers ()))
   in
+  let sp =
+    Trace.enter
+      ~attrs:
+        [
+          ("engine", engine);
+          ("workload", key);
+          ("candidates", string_of_int (Array.length cands));
+        ]
+      "tune"
+  in
+  let measure cand =
+    match compile cand with
+    | exception Invalid_argument _ ->
+      Metrics.incr m_rejected;
+      Rejected
+    | compiled ->
+      Metrics.incr m_trials;
+      Measured (Compiled.latency device compiled)
+  in
+  (* Whether each candidate gets its own trace span / tuning-log record is
+     decided once per tune call, so the untraced path stays a bare
+     compile+measure. *)
+  let observed = Trace.enabled () || Tuning_log.enabled () in
   let outcomes =
-    Parallel.map ~workers:w
-      (fun cand ->
-        match compile cand with
-        | exception Invalid_argument _ -> Rejected
-        | compiled -> Measured (Compiled.latency device compiled))
-      cands
+    if not observed then Parallel.map ~workers:w measure cands
+    else
+      Parallel.map ~workers:w
+        (fun (i, cand) ->
+          let csp = Trace.enter "trial" in
+          let outcome = measure cand in
+          if Trace.enabled () then begin
+            Trace.add csp "workload" key;
+            Trace.add csp "index" (string_of_int i);
+            Trace.add csp "config" (show cand);
+            (match outcome with
+            | Rejected -> Trace.add csp "outcome" "rejected"
+            | Measured lat when lat < infinity ->
+              Trace.add csp "outcome" "measured";
+              Trace.add csp "latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
+            | Measured _ -> Trace.add csp "outcome" "infeasible")
+          end;
+          Trace.exit csp;
+          if Tuning_log.enabled () then
+            Tuning_log.record
+              {
+                Tuning_log.engine;
+                workload = key;
+                index = i;
+                config = show cand;
+                outcome =
+                  (match outcome with
+                  | Rejected -> Tuning_log.Rejected
+                  | Measured lat when lat < infinity -> Tuning_log.Measured
+                  | Measured _ -> Tuning_log.Infeasible);
+                latency =
+                  (match outcome with Measured lat -> lat | Rejected -> infinity);
+              };
+          outcome)
+        (Array.mapi (fun i c -> (i, c)) cands)
   in
   (* Deterministic merge: scan in candidate order and replace only on a
      strictly lower latency, so ties break toward the lowest index and the
@@ -51,6 +114,14 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
           | _ -> best := Some (lat, i))
     outcomes;
   let wall = Unix.gettimeofday () -. t0 in
+  Trace.add sp "trials" (string_of_int !trials);
+  Trace.add sp "rejected" (string_of_int !rejected);
+  (match !best with
+  | Some (lat, i) ->
+    Trace.add sp "best_index" (string_of_int i);
+    Trace.add sp "best_latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
+  | None -> Trace.add sp "outcome" "no feasible candidate");
+  Trace.exit sp;
   Option.map
     (fun (lat, i) ->
       let cand = cands.(i) in
@@ -72,6 +143,8 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
 let tune_matmul ~device ?(batch = 1) ?(a_batched = true) ?(b_batched = false)
     ?parallel ~m ~n ~k () =
   tune ~device ?parallel
+    ~key:(Printf.sprintf "matmul_%d_%d_%d_%d" batch m n k)
+    ~show:Matmul_template.config_to_string
     ~candidates:(Space.matmul_with_split_k ~m ~n)
     ~compile:(fun cfg ->
       Matmul_template.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)

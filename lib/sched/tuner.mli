@@ -32,6 +32,9 @@ val tune :
   ?seconds_per_trial:float ->
   ?parallel:bool ->
   ?workers:int ->
+  ?engine:string ->
+  ?key:string ->
+  ?show:('a -> string) ->
   device:Hidet_gpu.Device.t ->
   candidates:'a list ->
   compile:('a -> Compiled.t) ->
@@ -42,7 +45,17 @@ val tune :
     forces the sequential path (same result, one domain); [?workers]
     overrides {!Parallel.default_workers}. The winning candidate is
     re-instantiated in the calling domain, so the returned [Compiled.t]
-    does not depend on domain scheduling. *)
+    does not depend on domain scheduling.
+
+    Observability: every call maintains the ["tuner.trials"] and
+    ["tuner.rejected"] counters (incremented inside the worker domains).
+    When tracing ({!Hidet_obs.Trace.enabled}) or the tuning log
+    ({!Hidet_obs.Tuning_log.enabled}) is on, the call is wrapped in a
+    ["tune"] span and each candidate gets a ["trial"] span / log record
+    carrying [?engine] (default ["hidet"]), the workload signature [?key],
+    the candidate index, the printable config from [?show], the outcome
+    (measured / infeasible / rejected) and the estimated latency. With both
+    disabled, the per-candidate path is a bare compile+measure. *)
 
 val tune_matmul :
   device:Hidet_gpu.Device.t ->

@@ -147,6 +147,7 @@ let test_prime_sizes_fail () =
     IC.tune_gemm ~strategy:IC.Random_search ~trials:500 ~device:dev ~seed:1
       ~m:size ~n:size ~k:size
       ~compile:(fun s -> LS.gemm ~m:size ~n:size ~k:size s)
+      ()
   in
   Alcotest.(check bool) "prime 2039 fails" true (tune 2039 = None);
   (match Hidet_sched.Tuner.tune_matmul ~device:dev ~m:2039 ~n:2039 ~k:2039 () with
@@ -170,6 +171,7 @@ let test_budget_capped_by_space () =
       ~compile:(fun s ->
         LS.depthwise ~x_shape:[ 1; 8; 7; 7 ] ~w_shape:[ 8; 1; 3; 3 ] ~stride:1
           ~padding:1 s)
+      ()
   with
   | Some t ->
     Alcotest.(check bool)
@@ -184,6 +186,7 @@ let test_strategies_find_schedules () =
         IC.tune_gemm ~strategy ~trials:300 ~device:dev ~seed:3 ~m:256 ~n:256
           ~k:256
           ~compile:(fun s -> LS.gemm ~m:256 ~n:256 ~k:256 s)
+          ()
       with
       | Some t -> Alcotest.(check bool) "positive latency" true (t.IC.latency > 0.)
       | None -> Alcotest.fail "no schedule for 256^3")

@@ -1,0 +1,404 @@
+(* Tests for the observability layer: span nesting and containment, the
+   Chrome trace-event export and its validator, the hand-written JSON
+   parser, always-on metrics summing exactly across domains, the tuner's
+   per-candidate spans and tuning-log records, and the cost of the
+   instrumentation when tracing is off. *)
+
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+module Chrome = Hidet_obs.Chrome_trace
+module Json = Hidet_obs.Json
+module Tlog = Hidet_obs.Tuning_log
+module Tu = Hidet_sched.Tuner
+module MT = Hidet_sched.Matmul_template
+module Space = Hidet_sched.Space
+
+let dev = Hidet_gpu.Device.rtx3090
+
+let span_tuples evs =
+  List.filter_map
+    (function
+      | Trace.Span { name; track; ts_us; dur_us; attrs } ->
+        Some (name, track, ts_us, dur_us, attrs)
+      | Trace.Instant _ -> None)
+    evs
+
+(* --- spans ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let (), evs =
+    Trace.with_collector (fun () ->
+        Trace.span "outer" (fun _ ->
+            Trace.span "inner1" (fun sp -> Trace.add sp "k" "v");
+            Trace.span "inner2" (fun _ -> ())))
+  in
+  let spans = span_tuples evs in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find n = List.find (fun (name, _, _, _, _) -> name = n) spans in
+  let _, _, ots, odur, _ = find "outer" in
+  let check_contained n =
+    let _, _, ts, dur, _ = find n in
+    Alcotest.(check bool) (n ^ " dur >= 0") true (dur >= 0.);
+    Alcotest.(check bool)
+      (n ^ " contained in outer")
+      true
+      (ots <= ts && ts +. dur <= ots +. odur +. 1e-6)
+  in
+  check_contained "inner1";
+  check_contained "inner2";
+  (* Sorted by start time, parent ahead of its children. *)
+  (match spans with
+  | ("outer", _, _, _, _) :: _ -> ()
+  | _ -> Alcotest.fail "outer span must sort first");
+  let _, _, _, _, attrs = find "inner1" in
+  Alcotest.(check (list (pair string string))) "attrs" [ ("k", "v") ] attrs
+
+let test_span_error_attr () =
+  let (), evs =
+    Trace.with_collector (fun () ->
+        try Trace.span "boom" (fun _ -> failwith "expected") with
+        | Failure _ -> ())
+  in
+  match span_tuples evs with
+  | [ ("boom", _, _, _, attrs) ] ->
+    Alcotest.(check bool) "error attr recorded" true (List.mem_assoc "error" attrs)
+  | _ -> Alcotest.fail "expected exactly the failed span"
+
+let test_noop_allocation_light () =
+  Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    let sp = Trace.enter "x" in
+    Trace.add sp "k" "v";
+    Trace.exit sp
+  done;
+  let per_iter = (Gc.minor_words () -. w0) /. float_of_int iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "noop span costs ~no allocation (%.2f words/iter)" per_iter)
+    true (per_iter < 1.
+
+)
+
+(* --- domains: distinct tracks, exact counter sums --------------------------- *)
+
+let test_domains_tracks_and_counters () =
+  let c = Metrics.counter "test.obs.domain_increments" in
+  let v0 = Metrics.value c in
+  let ready = Atomic.make 0 in
+  let (), evs =
+    Trace.with_collector (fun () ->
+        let work () =
+          for _ = 1 to 1000 do
+            Metrics.incr c
+          done;
+          Trace.instant "worker_mark";
+          (* Hold the domain alive until all three have recorded, so their
+             track assignments are concurrent and therefore distinct. *)
+          Atomic.incr ready;
+          while Atomic.get ready < 3 do
+            Domain.cpu_relax ()
+          done
+        in
+        let ds = List.init 3 (fun _ -> Domain.spawn work) in
+        List.iter Domain.join ds)
+  in
+  Alcotest.(check int) "counters sum exactly" 3000 (Metrics.value c - v0);
+  let tracks =
+    List.sort_uniq compare
+      (List.filter_map
+         (function
+           | Trace.Instant { name = "worker_mark"; track; _ } -> Some track
+           | _ -> None)
+         evs)
+  in
+  Alcotest.(check int) "three concurrent domains, three tracks" 3
+    (List.length tracks)
+
+(* --- tuner instrumentation --------------------------------------------------- *)
+
+let sub_space ~m ~n ~stride ~offset =
+  Space.matmul_with_split_k ~m ~n
+  |> List.filteri (fun i _ -> i mod stride = offset)
+
+let test_tuner_spans_and_log () =
+  let candidates = sub_space ~m:64 ~n:64 ~stride:7 ~offset:0 in
+  let compile cfg = MT.compile ~m:64 ~n:64 ~k:64 cfg in
+  Tlog.start ();
+  let r, evs =
+    Trace.with_collector (fun () ->
+        Tu.tune ~workers:4 ~key:"mm_test" ~show:MT.config_to_string
+          ~device:dev ~candidates ~compile ())
+  in
+  let logged = Tlog.stop () in
+  match r with
+  | None -> Alcotest.fail "tuner found nothing"
+  | Some (_, _, st) ->
+    let spans = span_tuples evs in
+    let trials =
+      List.filter (fun (name, _, _, _, _) -> name = "trial") spans
+    in
+    Alcotest.(check int) "one trial span per candidate"
+      (List.length candidates) (List.length trials);
+    Alcotest.(check int) "one log record per candidate"
+      (List.length candidates) (List.length logged);
+    Alcotest.(check int) "log indices are distinct"
+      (List.length candidates)
+      (List.length
+         (List.sort_uniq compare (List.map (fun t -> t.Tlog.index) logged)));
+    Alcotest.(check int) "measured+infeasible records = stats.trials"
+      st.Tu.trials
+      (List.length
+         (List.filter (fun t -> t.Tlog.outcome <> Tlog.Rejected) logged));
+    Alcotest.(check int) "rejected records = stats.rejected" st.Tu.rejected
+      (List.length
+         (List.filter (fun t -> t.Tlog.outcome = Tlog.Rejected) logged));
+    List.iter
+      (fun t ->
+        Alcotest.(check string) "engine label" "hidet" t.Tlog.engine;
+        Alcotest.(check string) "workload label" "mm_test" t.Tlog.workload;
+        Alcotest.(check bool) "config rendered" true (t.Tlog.config <> ""))
+      logged;
+    (match
+       List.find_opt (fun (name, _, _, _, _) -> name = "tune") spans
+     with
+    | None -> Alcotest.fail "missing tune span"
+    | Some (_, _, ts, dur, attrs) ->
+      Alcotest.(check (option string)) "tune engine attr" (Some "hidet")
+        (List.assoc_opt "engine" attrs);
+      List.iter
+        (fun (_, _, cts, cdur, _) ->
+          Alcotest.(check bool) "trial within tune span" true
+            (ts <= cts && cts +. cdur <= ts +. dur +. 1e-6))
+        trials)
+
+(* Metric deltas from the always-on counters must be identical whether the
+   enumeration ran on one domain or several, over random matmul sub-spaces
+   (the counters are bumped inside the worker domains). *)
+let gen_case =
+  let open QCheck.Gen in
+  let size = oneofa [| 17; 32; 49; 64; 96 |] in
+  let* m = size and* n = size and* k = size in
+  let* stride = int_range 5 19 in
+  let* offset = int_range 0 4 in
+  return (m, n, k, stride, offset)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (m, n, k, stride, offset) ->
+      Printf.sprintf "m=%d n=%d k=%d stride=%d offset=%d" m n k stride offset)
+    gen_case
+
+let counter_deltas f =
+  let t = Metrics.counter "tuner.trials" in
+  let rj = Metrics.counter "tuner.rejected" in
+  let t0 = Metrics.value t and r0 = Metrics.value rj in
+  f ();
+  (Metrics.value t - t0, Metrics.value rj - r0)
+
+let prop_parallel_counter_parity =
+  QCheck.Test.make ~name:"parallel metric deltas = sequential" ~count:8
+    arb_case (fun (m, n, k, stride, offset) ->
+      let candidates = sub_space ~m ~n ~stride ~offset in
+      QCheck.assume (candidates <> []);
+      let compile cfg = MT.compile ~m ~n ~k cfg in
+      let seq =
+        counter_deltas (fun () ->
+            ignore (Tu.tune ~parallel:false ~device:dev ~candidates ~compile ()))
+      in
+      let par =
+        counter_deltas (fun () ->
+            ignore (Tu.tune ~workers:4 ~device:dev ~candidates ~compile ()))
+      in
+      seq = par && fst seq = List.length candidates - snd seq)
+
+(* --- Chrome trace export ------------------------------------------------------ *)
+
+let collect_some_events () =
+  let (), evs =
+    Trace.with_collector (fun () ->
+        Trace.span "a" (fun _ -> Trace.span "b" (fun _ -> Trace.instant "i")))
+  in
+  evs
+
+let test_chrome_json_valid () =
+  let evs = collect_some_events () in
+  let s = Chrome.to_string evs in
+  (match Json.parse s with
+  | Error msg -> Alcotest.fail ("export does not parse: " ^ msg)
+  | Ok _ -> ());
+  match Chrome.check s with
+  | Error msg -> Alcotest.fail ("validator rejects export: " ^ msg)
+  | Ok n -> Alcotest.(check int) "3 events" 3 n
+
+let test_chrome_ts_consistent () =
+  let evs = collect_some_events () in
+  let s = Chrome.to_string evs in
+  let json = Result.get_ok (Json.parse s) in
+  let events =
+    Option.get (Json.member "traceEvents" json) |> Json.to_arr |> Option.get
+  in
+  let prev = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      match Json.member "ph" ev |> Option.get |> Json.to_str with
+      | Some "M" -> ()
+      | _ ->
+        let num field =
+          match Json.member field ev with
+          | Some v -> Json.to_num v
+          | None -> None
+        in
+        let ts = Option.get (num "ts") in
+        Alcotest.(check bool) "ts >= 0" true (ts >= 0.);
+        Alcotest.(check bool) "ts ascending" true (ts >= !prev);
+        prev := ts;
+        (match num "dur" with
+        | Some dur -> Alcotest.(check bool) "dur >= 0" true (dur >= 0.)
+        | None -> ()))
+    events
+
+let test_chrome_check_rejects () =
+  (match Chrome.check "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Chrome.check "{\"foo\": 1}" with
+  | Ok _ -> Alcotest.fail "missing traceEvents accepted"
+  | Error _ -> ()
+
+(* --- JSON parser --------------------------------------------------------------- *)
+
+let test_json_parse () =
+  let j =
+    Result.get_ok
+      (Json.parse
+         "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\\"\\u0041\", \"t\": true, \
+          \"n\": null}")
+  in
+  Alcotest.(check (option (list (pair string string)))) "structure"
+    (Some [])
+    (match j with Json.Obj _ -> Some [] | _ -> None);
+  (match Json.member "a" j |> Option.get |> Json.to_arr with
+  | Some [ x; y; z ] ->
+    Alcotest.(check (option (float 1e-9))) "1" (Some 1.) (Json.to_num x);
+    Alcotest.(check (option (float 1e-9))) "2.5" (Some 2.5) (Json.to_num y);
+    Alcotest.(check (option (float 1e-9))) "-3e2" (Some (-300.)) (Json.to_num z)
+  | _ -> Alcotest.fail "array");
+  Alcotest.(check (option string)) "escapes" (Some "q\"A")
+    (Json.member "s" j |> Option.get |> Json.to_str);
+  (match Json.parse "{\"a\": 1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  match Json.parse "{\"a\": }" with
+  | Ok _ -> Alcotest.fail "malformed accepted"
+  | Error _ -> ()
+
+let test_json_escape_roundtrip () =
+  let s = "tab\t nl\n quote\" backslash\\ ctrl\x01" in
+  match Json.parse ("\"" ^ Json.escape s ^ "\"") with
+  | Ok (Json.Str s') -> Alcotest.(check string) "roundtrip" s s'
+  | _ -> Alcotest.fail "escaped string does not parse"
+
+(* --- metrics ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let c = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "counter" 42 (Metrics.value c);
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same instrument by name" 43 (Metrics.value c);
+  (match Metrics.gauge "test.obs.counter" with
+  | _ -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ());
+  let h = Metrics.histogram ~bounds:[| 1.; 10. |] "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50.; 500. ];
+  let s = Metrics.hist_snapshot h in
+  Alcotest.(check (array int)) "buckets" [| 1; 1; 2 |] s.Metrics.counts;
+  Alcotest.(check int) "total" 4 s.Metrics.total
+
+(* --- tuning log TSV ------------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "hidet_obs" ".tsv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_tuning_log_tsv () =
+  let trials =
+    [
+      {
+        Tlog.engine = "hidet";
+        workload = "w\twith\ttabs";
+        index = 0;
+        config = "cfg";
+        outcome = Tlog.Measured;
+        latency = 1.5e-6;
+      };
+      {
+        Tlog.engine = "ansor";
+        workload = "w2";
+        index = 1;
+        config = "";
+        outcome = Tlog.Rejected;
+        latency = infinity;
+      };
+    ]
+  in
+  with_temp_file (fun path ->
+      Tlog.save_tsv path trials;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "header + 2 records" 3 (List.length lines);
+      Alcotest.(check string) "header"
+        "engine\tworkload\tindex\tconfig\toutcome\tlatency_us" (List.hd lines);
+      let fields l = String.split_on_char '\t' l in
+      Alcotest.(check int) "sanitized record width" 6
+        (List.length (fields (List.nth lines 1)));
+      Alcotest.(check string) "rejected latency sentinel" "-1.000"
+        (List.nth (fields (List.nth lines 2)) 5))
+
+let () =
+  Alcotest.run "hidet_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting and containment" `Quick
+            test_span_nesting;
+          Alcotest.test_case "error attribute on raise" `Quick
+            test_span_error_attr;
+          Alcotest.test_case "noop recorder is allocation-light" `Quick
+            test_noop_allocation_light;
+          Alcotest.test_case "domains: tracks and counter sums" `Quick
+            test_domains_tracks_and_counters;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "per-candidate spans and log records" `Quick
+            test_tuner_spans_and_log;
+          QCheck_alcotest.to_alcotest prop_parallel_counter_parity;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "export parses and validates" `Quick
+            test_chrome_json_valid;
+          Alcotest.test_case "ts/dur consistent" `Quick test_chrome_ts_consistent;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_chrome_check_rejects;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser" `Quick test_json_parse;
+          Alcotest.test_case "escape roundtrip" `Quick test_json_escape_roundtrip;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+      ( "tuning log",
+        [ Alcotest.test_case "tsv export" `Quick test_tuning_log_tsv ] );
+    ]
