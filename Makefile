@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke clean
 
 all:
 	dune build @all
@@ -19,11 +19,19 @@ trace-smoke:
 	  --engine hidet --trace $(TRACE_SMOKE) --profile > /dev/null
 	./_build/default/bin/hidetc.exe trace-check $(TRACE_SMOKE)
 
+# Differential fuzzing smoke test: a fixed-seed run of the compute/graph
+# fuzzer across all four lowering paths (reference vs rule-based vs
+# template vs fused vs baselines). Any failure prints a shrunk,
+# re-runnable repro (seed + offset + case text). See EXPERIMENTS.md.
+fuzz-smoke:
+	dune build bin/hidetc.exe
+	./_build/default/bin/hidetc.exe fuzz --seed 42 --cases 200 --quiet
+
 # The full gate: everything (libraries, tests, benches, examples) must
-# compile, the test suite must pass, and the trace pipeline must produce
-# valid output.
+# compile, the test suite must pass, the trace pipeline must produce
+# valid output, and the differential fuzzer must run clean.
 check:
-	dune build @all && dune runtest && $(MAKE) trace-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) fuzz-smoke
 
 clean:
 	dune clean

@@ -334,6 +334,105 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Serialize a zoo model to the HGF text format.")
     Term.(const run $ model_arg $ batch_arg $ out_arg)
 
+let fuzz_cmd =
+  let module Check = Hidet_check.Check in
+  let module Oracle = Hidet_check.Oracle in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Suite seed. Case \\$(i,i) is generated from (seed, i) alone, so \
+             a failure replays with the same seed plus --offset \\$(i,i) \
+             --cases 1.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to run.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Size budget: bounds tensor extents and graph depth.")
+  in
+  let offset_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "offset" ] ~docv:"N"
+          ~doc:"Index of the first case (for replaying one case of a run).")
+  in
+  let paths_arg =
+    let parse s =
+      let names = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+          match Oracle.path_of_string (String.trim n) with
+          | Some p -> go (p :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown path %S" n)))
+      in
+      go [] names
+    in
+    let print fmt ps =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Oracle.path_to_string ps))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Oracle.all_paths
+      & info [ "paths" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Comma-separated lowering paths to cross-check: rule, template, \
+             fused, baseline (default: all four).")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-fusion-bug" ]
+          ~doc:
+            "Fault injection: flip on the intentional epilogue index-remap \
+             bug in the fusion pass, to demonstrate that the harness \
+             detects, shrinks and reports it. The run is expected to FAIL.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress the per-case progress line.")
+  in
+  let run seed cases max_size offset paths inject quiet trace summary =
+    if inject then Hidet_fusion.Fuse.inject_index_bug := true;
+    let progress =
+      if quiet then None
+      else
+        Some
+          (fun i case ->
+            Printf.printf "\rcase %d/%d (%s)        %!" (i + 1)
+              (offset + cases)
+              (Hidet_check.Gen.case_kind case))
+    in
+    let s =
+      with_observability ~trace ~tuning_log:None ~summary (fun () ->
+          Check.run_suite ~paths ~max_size ~offset ?progress ~seed ~cases ())
+    in
+    if not quiet then print_newline ();
+    print_string (Check.summary_to_string s);
+    if not (Check.ok s) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential correctness fuzzing: generate random computation \
+          definitions and graphs, run them through the rule-based, \
+          template-based, fused and loop-oriented baseline lowerings, and \
+          compare every result against the CPU reference. Failures are \
+          shrunk and printed as self-contained repros; exits non-zero if \
+          any check fails.")
+    Term.(
+      const run $ seed_arg $ cases_arg $ max_size_arg $ offset_arg $ paths_arg
+      $ inject_arg $ quiet_arg $ trace_arg $ summary_arg)
+
 let inspect_cmd =
   let run model batch =
     Format.printf "%a@." G.pp (M.by_name ~batch model)
@@ -360,4 +459,5 @@ let () =
             models_cmd;
             inspect_cmd;
             export_cmd;
+            fuzz_cmd;
           ]))

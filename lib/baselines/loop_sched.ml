@@ -28,6 +28,44 @@ let check s ~m ~n ~k =
     else if s.thread_m * s.thread_n > 160 then err "register tile too large"
     else Ok ()
 
+let divisors_desc n =
+  List.filter (fun d -> n mod d = 0) (List.init n (fun i -> n - i))
+
+let first_valid ~m ~n ~k =
+  (* Deterministic divisor search: prefer larger (but capped) tiles and
+     modest register tiles, first candidate that passes [check] wins.
+     [None] exactly when the space is empty (e.g. prime extents with no
+     usable factorization — the paper's Fig. 16 failure mode). *)
+  let cap lim xs = List.filter (fun d -> d <= lim) xs in
+  let tms = cap 64 (divisors_desc m)
+  and tns = cap 64 (divisors_desc n)
+  and tks = cap 32 (divisors_desc k) in
+  let pick () =
+    List.find_map
+      (fun tile_m ->
+        List.find_map
+          (fun tile_n ->
+            List.find_map
+              (fun tile_k ->
+                List.find_map
+                  (fun thread_m ->
+                    List.find_map
+                      (fun thread_n ->
+                        let s =
+                          { tile_m; tile_n; tile_k; thread_m; thread_n;
+                            use_shared = true; unroll = false }
+                        in
+                        match check s ~m ~n ~k with
+                        | Ok () -> Some s
+                        | Error _ -> None)
+                      (cap 8 (divisors_desc tile_n)))
+                  (cap 8 (divisors_desc tile_m)))
+              tks)
+          tns)
+      tms
+  in
+  pick ()
+
 let sched_to_string s =
   Printf.sprintf "t%dx%dx%d_th%dx%d%s%s" s.tile_m s.tile_n s.tile_k s.thread_m
     s.thread_n
@@ -239,6 +277,17 @@ let dw_check s ~oh ~ow =
     let threads = s.dw_tile_p / s.dw_thread_p in
     if threads < 1 || threads > 1024 then err "bad thread count %d" threads
     else Ok ()
+
+let first_valid_dw ~oh ~ow =
+  let p = oh * ow in
+  List.find_map
+    (fun dw_tile_p ->
+      List.find_map
+        (fun dw_thread_p ->
+          let s = { dw_tile_p; dw_thread_p; dw_unroll = false } in
+          match dw_check s ~oh ~ow with Ok () -> Some s | Error _ -> None)
+        (List.filter (fun d -> d <= 8) (divisors_desc dw_tile_p)))
+    (List.filter (fun d -> d <= 256) (divisors_desc p))
 
 let depthwise ~x_shape ~w_shape ~stride ~padding s =
   match (x_shape, w_shape) with

@@ -33,6 +33,12 @@ val check : sched -> m:int -> n:int -> k:int -> (unit, string) result
     factorizations give 1 or the extent itself, so no schedule passes —
     reproducing the paper's Fig. 16 failure. *)
 
+val first_valid : m:int -> n:int -> k:int -> sched option
+(** Deterministic divisor search for any schedule passing {!check}; [None]
+    when the input-centric space is empty for these extents (e.g. primes).
+    The differential fuzzer uses this as the baseline-lowering oracle
+    without paying for a full tuning run. *)
+
 val sched_to_string : sched -> string
 
 val gemm :
@@ -66,6 +72,9 @@ type dw_sched = {
 }
 
 val dw_check : dw_sched -> oh:int -> ow:int -> (unit, string) result
+
+val first_valid_dw : oh:int -> ow:int -> dw_sched option
+(** Depthwise analog of {!first_valid}. *)
 
 val depthwise :
   x_shape:int list ->

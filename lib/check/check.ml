@@ -1,0 +1,148 @@
+module Trace = Hidet_obs.Trace
+module Metrics = Hidet_obs.Metrics
+
+type failure = {
+  f_index : int;
+  f_seed : int;
+  f_kind : string;
+  f_path : Oracle.path;
+  f_message : string;
+  f_repro : string;
+}
+
+type summary = {
+  s_seed : int;
+  s_cases : int;
+  s_checks : int;
+  s_skips : int;
+  s_per_path : (Oracle.path * int) list;
+  s_failures : failure list;
+}
+
+let ok s = s.s_failures = []
+
+let input_seed_of ~seed i = (seed * 1_000_003) + (i * 7919) + 13
+
+let c_cases = lazy (Metrics.counter "check.cases")
+let c_checks = lazy (Metrics.counter "check.checks")
+let c_skips = lazy (Metrics.counter "check.skips")
+let c_failures = lazy (Metrics.counter "check.failures")
+
+let path_counter p =
+  Metrics.counter ("check.path." ^ Oracle.path_to_string p)
+
+let repro_text ~seed ~index ~paths ~max_size shrunk =
+  let path_arg =
+    if List.length paths = List.length Oracle.all_paths then ""
+    else
+      Printf.sprintf " --paths %s"
+        (String.concat "," (List.map Oracle.path_to_string paths))
+  in
+  Printf.sprintf
+    "rerun: hidetc fuzz --seed %d --cases 1 --offset %d --max-size %d%s\n\
+     shrunk case:\n%s"
+    seed index max_size path_arg
+    (Gen.case_to_string shrunk)
+
+let run_suite ?(device = Hidet_gpu.Device.rtx3090)
+    ?(paths = Oracle.all_paths) ?(max_size = 8) ?(offset = 0)
+    ?(max_shrunk = 5) ?progress ~seed ~cases () =
+  let checks = ref 0 and skips = ref 0 in
+  let per_path = Hashtbl.create 4 in
+  let bump_path p n =
+    Hashtbl.replace per_path p
+      (n + try Hashtbl.find per_path p with Not_found -> 0);
+    Metrics.add (path_counter p) n
+  in
+  let failures = ref [] in
+  let shrunk_count = ref 0 in
+  for i = offset to offset + cases - 1 do
+    let rs = Random.State.make [| seed; i |] in
+    let case = Gen.gen_case rs ~max_size in
+    (match progress with Some f -> f i case | None -> ());
+    Metrics.incr (Lazy.force c_cases);
+    Trace.span "fuzz_case"
+      ~attrs:(fun () ->
+        [ ("index", string_of_int i); ("kind", Gen.case_kind case) ])
+      (fun span ->
+        let input_seed = input_seed_of ~seed i in
+        let results = Oracle.run_case ~device ~paths ~input_seed case in
+        List.iter
+          (fun (p, outcome) ->
+            match outcome with
+            | Oracle.Pass n ->
+              checks := !checks + n;
+              Metrics.add (Lazy.force c_checks) n;
+              bump_path p n
+            | Oracle.Skip _ ->
+              incr skips;
+              Metrics.incr (Lazy.force c_skips)
+            | Oracle.Fail _ -> ())
+          results;
+        match Oracle.failed results with
+        | None -> ()
+        | Some (path, message) ->
+          Metrics.incr (Lazy.force c_failures);
+          Trace.add span "failed" (Oracle.path_to_string path);
+          let shrunk =
+            if !shrunk_count >= max_shrunk then case
+            else begin
+              incr shrunk_count;
+              Shrink.shrink
+                (fun c ->
+                  Oracle.failed
+                    (Oracle.run_case ~device ~paths ~input_seed c)
+                  <> None)
+                case
+            end
+          in
+          failures :=
+            {
+              f_index = i;
+              f_seed = seed;
+              f_kind = Gen.case_kind case;
+              f_path = path;
+              f_message = message;
+              f_repro = repro_text ~seed ~index:i ~paths ~max_size shrunk;
+            }
+            :: !failures)
+  done;
+  {
+    s_seed = seed;
+    s_cases = cases;
+    s_checks = !checks;
+    s_skips = !skips;
+    s_per_path =
+      List.filter_map
+        (fun p ->
+          match Hashtbl.find_opt per_path p with
+          | Some n -> Some (p, n)
+          | None -> Some (p, 0))
+        paths;
+    s_failures = List.rev !failures;
+  }
+
+let summary_to_string s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "fuzz: seed %d, %d cases, %d checks passed, %d skipped\n"
+       s.s_seed s.s_cases s.s_checks s.s_skips);
+  List.iter
+    (fun (p, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-9s %d checks\n" (Oracle.path_to_string p) n))
+    s.s_per_path;
+  if s.s_failures = [] then Buffer.add_string b "  all differential checks passed\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "  %d FAILURES\n" (List.length s.s_failures));
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf "\ncase %d (%s) failed on path %s:\n  %s\n%s\n"
+             f.f_index f.f_kind
+             (Oracle.path_to_string f.f_path)
+             f.f_message f.f_repro))
+      s.s_failures
+  end;
+  Buffer.contents b

@@ -1,0 +1,47 @@
+(** The differential-testing suite engine, shared by the qcheck tests and
+    the [hidetc fuzz] subcommand.
+
+    Determinism contract: case [i] of a run is generated from
+    [Random.State.make [| seed; i |]] and its input tensors from a seed
+    derived from [(seed, i)], so [run_suite ~seed ~cases:1 ()] with
+    [~offset:i] replays exactly case [i] of a larger run — that pair is the
+    whole repro. Each case is wrapped in a [hidet_obs] span
+    (["fuzz_case"]) and bumps the [check.*] counters. *)
+
+type failure = {
+  f_index : int;  (** case index (the [--offset] to replay it) *)
+  f_seed : int;
+  f_kind : string;  (** generator kind: def / matmul / conv / graph *)
+  f_path : Oracle.path;
+  f_message : string;
+  f_repro : string;  (** self-contained: rerun command + shrunk case text *)
+}
+
+type summary = {
+  s_seed : int;
+  s_cases : int;
+  s_checks : int;  (** individual comparisons that passed *)
+  s_skips : int;
+  s_per_path : (Oracle.path * int) list;  (** passed checks per path *)
+  s_failures : failure list;
+}
+
+val ok : summary -> bool
+
+val run_suite :
+  ?device:Hidet_gpu.Device.t ->
+  ?paths:Oracle.path list ->
+  ?max_size:int ->
+  ?offset:int ->
+  ?max_shrunk:int ->
+  ?progress:(int -> Gen.case -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  summary
+(** Defaults: device rtx3090, all four paths, [max_size 8], [offset 0].
+    Every failing case is recorded; the first [max_shrunk] (default 5) are
+    also minimized with {!Shrink.shrink} before their repro is printed
+    (shrinking re-runs the oracle many times, so it is budgeted). *)
+
+val summary_to_string : summary -> string

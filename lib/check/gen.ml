@@ -1,0 +1,416 @@
+module Expr = Hidet_ir.Expr
+module Def = Hidet_compute.Def
+module Graph = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+module Graph_io = Hidet_graph.Graph_io
+
+type idx_pat =
+  | P_axis of int
+  | P_raxis of int
+  | P_axis_plus_raxis of int * int
+  | P_strided of int * int
+  | P_rev of int
+  | P_shifted of int * int
+  | P_const of int
+
+type body =
+  | B_in of int
+  | B_const of float
+  | B_axis of int
+  | B_bin of Expr.binop * body * body
+  | B_un of Expr.unop * body
+  | B_sel of int * int * body * body
+
+type def_spec = {
+  ds_name : string;
+  ds_out : int list;
+  ds_reduce : (int list * Def.reduce_kind) option;
+  ds_inputs : idx_pat list list;
+  ds_body : body;
+}
+
+type epi =
+  | E_scale of float
+  | E_relu
+  | E_tanh
+  | E_add_residual
+  | E_reshape_flat
+  | E_transpose
+
+type case =
+  | C_def of { spec : def_spec; pro : bool; epis : epi list }
+  | C_matmul of {
+      batch : int;
+      m : int;
+      n : int;
+      k : int;
+      n_cfgs : int;
+      pro : bool;
+      epis : epi list;
+    }
+  | C_conv of {
+      n : int;
+      c : int;
+      h : int;
+      w : int;
+      oc : int;
+      kh : int;
+      kw : int;
+      stride : int;
+      pad : int;
+    }
+  | C_graph of Graph.t
+
+(* --- spec -> definition ----------------------------------------------------- *)
+
+let pat_extent ~out ~red = function
+  | P_axis a -> List.nth out a
+  | P_raxis r -> List.nth red r
+  | P_axis_plus_raxis (a, r) -> List.nth out a + List.nth red r - 1
+  | P_strided (a, s) -> ((List.nth out a - 1) * s) + 1
+  | P_rev a -> List.nth out a
+  | P_shifted (a, _) -> List.nth out a
+  | P_const c -> c + 1
+
+let pat_index ~out = function
+  | P_axis a -> Def.axis a
+  | P_raxis r -> Def.raxis r
+  | P_axis_plus_raxis (a, r) -> Def.(axis a + raxis r)
+  | P_strided (a, s) -> Def.(axis a * iconst s)
+  | P_rev a ->
+    let dm1 = List.nth out a - 1 in
+    Def.(iconst dm1 - axis a)
+  | P_shifted (a, s) -> Def.(axis a - iconst s)
+  | P_const c -> Def.iconst c
+
+let build_def spec =
+  let out = spec.ds_out in
+  let red = match spec.ds_reduce with None -> [] | Some (e, _) -> e in
+  let in_shapes =
+    List.map (List.map (pat_extent ~out ~red)) spec.ds_inputs
+  in
+  (* A shifted pattern reads index [i - s], negative for the first [s]
+     output positions: guard the whole read with a padding Sel (the Sel
+     short-circuits in both the reference evaluator and the interpreter's
+     Select, so the guarded load never executes out of bounds). *)
+  let read k =
+    let pats = List.nth spec.ds_inputs k in
+    let load = Def.input k (List.map (pat_index ~out) pats) in
+    let guards =
+      List.filter_map
+        (function
+          | P_shifted (a, s) ->
+            Some Def.(ges (axis a - iconst s) (iconst 0))
+          | _ -> None)
+        pats
+    in
+    match guards with
+    | [] -> load
+    | g :: gs ->
+      Def.sel (List.fold_left Def.ands g gs) load (Def.const 0.)
+  in
+  let rec scalar = function
+    | B_in k -> read k
+    | B_const f -> Def.const f
+    | B_axis a -> Def.axis a
+    | B_bin (op, a, b) -> Def.Bin (op, scalar a, scalar b)
+    | B_un (op, a) -> Def.Un (op, scalar a)
+    | B_sel (a, t, x, y) ->
+      Def.sel Def.(lts (axis a) (iconst t)) (scalar x) (scalar y)
+  in
+  Def.create ?reduce:spec.ds_reduce ~name:spec.ds_name ~in_shapes
+    ~out_shape:out (scalar spec.ds_body)
+
+(* --- epilogues -------------------------------------------------------------- *)
+
+let numel = List.fold_left ( * ) 1
+
+let epi_def e shape =
+  let via op in_shapes =
+    let d = Op.to_def op in_shapes in
+    Some (d, d.Def.out_shape)
+  in
+  match e with
+  | E_scale f -> via (Op.Unary (Op.Scale_by f)) [ shape ]
+  | E_relu -> via (Op.Unary Op.Relu) [ shape ]
+  | E_tanh -> via (Op.Unary Op.Tanh_act) [ shape ]
+  | E_add_residual -> via (Op.Binary Op.Add) [ shape; shape ]
+  | E_reshape_flat -> via (Op.Reshape [ numel shape ]) [ shape ]
+  | E_transpose -> (
+    match shape with
+    | [ _; _ ] -> via (Op.Transpose [ 1; 0 ]) [ shape ]
+    | _ -> None)
+
+(* --- random pieces ---------------------------------------------------------- *)
+
+let pick rs l = List.nth l (Random.State.int rs (List.length l))
+let dim rs max_size = 1 + Random.State.int rs max_size
+
+let gen_epis rs =
+  let vocab =
+    [ E_scale 0.5; E_relu; E_tanh; E_add_residual; E_reshape_flat; E_transpose ]
+  in
+  List.init (Random.State.int rs 3) (fun _ -> pick rs vocab)
+
+let gen_pat rs ~rank ~rrank =
+  let axis () = Random.State.int rs rank in
+  let choices =
+    [
+      (4, fun () -> P_axis (axis ()));
+      (1, fun () -> P_strided (axis (), 2 + Random.State.int rs 2));
+      (1, fun () -> P_rev (axis ()));
+      (1, fun () -> P_shifted (axis (), 1 + Random.State.int rs 2));
+      (1, fun () -> P_const (Random.State.int rs 3));
+    ]
+    @
+    if rrank > 0 then
+      [
+        (3, fun () -> P_raxis (Random.State.int rs rrank));
+        (2, fun () -> P_axis_plus_raxis (axis (), Random.State.int rs rrank));
+      ]
+    else []
+  in
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  let rec go n = function
+    | (w, f) :: rest -> if n < w then f () else go (n - w) rest
+    | [] -> assert false
+  in
+  go (Random.State.int rs total) choices
+
+let gen_body rs ~rank ~n_inputs =
+  let binops = [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Min; Expr.Max ] in
+  let unops = [ Expr.Neg; Expr.Abs; Expr.Tanh ] in
+  (* Combine every input exactly once, then decorate: all inputs are
+     exercised and tree size stays bounded. *)
+  let leaves = List.init n_inputs (fun k -> B_in k) in
+  let combined =
+    match leaves with
+    | [] -> B_const 1.0
+    | first :: rest ->
+      List.fold_left (fun acc l -> B_bin (pick rs binops, acc, l)) first rest
+  in
+  let decorate b =
+    match Random.State.int rs 5 with
+    | 0 -> B_un (pick rs unops, b)
+    | 1 -> B_bin (pick rs binops, b, B_const (Random.State.float rs 2.0 -. 1.0))
+    | 2 when rank > 0 ->
+      B_bin (Expr.Add, b, B_axis (Random.State.int rs rank))
+    | 3 when rank > 0 ->
+      let a = Random.State.int rs rank in
+      B_sel (a, 1 + Random.State.int rs 2, b, B_const 0.25)
+    | _ -> b
+  in
+  decorate (decorate combined)
+
+let gen_def_spec rs ~max_size =
+  let rank = 1 + Random.State.int rs 3 in
+  let out = List.init rank (fun _ -> dim rs max_size) in
+  let reduce =
+    if Random.State.bool rs then
+      let rrank = 1 + Random.State.int rs 2 in
+      let ext = List.init rrank (fun _ -> dim rs max_size) in
+      let kind =
+        if Random.State.int rs 4 = 0 then Def.Max_reduce else Def.Sum
+      in
+      Some (ext, kind)
+    else None
+  in
+  let rrank = match reduce with None -> 0 | Some (e, _) -> List.length e in
+  let n_inputs = 1 + Random.State.int rs 3 in
+  let inputs =
+    List.init n_inputs (fun _ ->
+        let in_rank = 1 + Random.State.int rs 3 in
+        List.init in_rank (fun _ -> gen_pat rs ~rank ~rrank))
+  in
+  {
+    ds_name = "fuzz_def";
+    ds_out = out;
+    ds_reduce = reduce;
+    ds_inputs = inputs;
+    ds_body = gen_body rs ~rank ~n_inputs;
+  }
+
+let gen_def_case rs ~max_size =
+  let spec = gen_def_spec rs ~max_size in
+  C_def { spec; pro = Random.State.int rs 4 = 0; epis = gen_epis rs }
+
+let gen_matmul_case rs ~max_size =
+  let side () = 1 + Random.State.int rs (4 * max_size) in
+  C_matmul
+    {
+      batch = (if Random.State.int rs 5 = 0 then 2 else 1);
+      m = side ();
+      n = side ();
+      k = side ();
+      n_cfgs = 2 + Random.State.int rs 2;
+      pro = Random.State.int rs 3 = 0;
+      epis = gen_epis rs;
+    }
+
+let gen_conv_case rs ~max_size =
+  let hw = 3 + Random.State.int rs (max 1 (max_size - 2)) in
+  let kk = pick rs [ 1; 3 ] in
+  C_conv
+    {
+      n = 1 + Random.State.int rs 2;
+      c = 1 + Random.State.int rs 4;
+      h = hw;
+      w = hw;
+      oc = 1 + Random.State.int rs 4;
+      kh = kk;
+      kw = kk;
+      stride = pick rs [ 1; 1; 2 ];
+      pad = (if kk = 1 then 0 else pick rs [ 0; 1 ]);
+    }
+
+(* --- graph generator -------------------------------------------------------- *)
+
+(* Quantized dimension menus: tuning an anchor is the expensive step of the
+   graph oracle, so repeated cases should hit the process-global schedule
+   cache rather than retune. *)
+let mat_dims = [ 8; 16; 32 ]
+let chan_dims = [ 3; 4; 8 ]
+let spatial_dims = [ 8; 14 ]
+
+let gen_graph rs ~max_size =
+  let g = Graph.create () in
+  Graph.name g (Printf.sprintf "fuzz_graph_%d" (Random.State.int rs 100000));
+  let cseed () = Random.State.int rs 1_000_000 in
+  let start_4d = Random.State.bool rs in
+  let x0 =
+    if start_4d then
+      Graph.input g
+        [ 1; pick rs chan_dims; pick rs spatial_dims; pick rs spatial_dims ]
+    else Graph.input g [ pick rs mat_dims; pick rs mat_dims ]
+  in
+  let last = ref x0 in
+  let n_ops = 2 + Random.State.int rs (max 2 (max_size - 2)) in
+  for _ = 1 to n_ops do
+    let t = !last in
+    let st = Graph.node_shape g t in
+    let same_shape_peer () =
+      let cands =
+        List.filter
+          (fun (n : Graph.node) ->
+            n.Graph.id <> t && n.Graph.shape = st
+            && n.Graph.op <> Op.Input
+            && (match n.Graph.op with Op.Constant _ -> false | _ -> true))
+          (Graph.nodes g)
+      in
+      match cands with [] -> None | l -> Some (pick rs l).Graph.id
+    in
+    let choices =
+      (* Every choice appends one op consuming [t] (plus fresh constants). *)
+      [
+        (fun () -> Graph.relu g t);
+        (fun () -> Graph.gelu g t);
+        (fun () -> Graph.add_op g (Op.Unary (Op.Scale_by 0.5)) [ t ]);
+        (fun () -> Graph.add_op g (Op.Unary (Op.Clip (0., 6.))) [ t ]);
+        (fun () -> Graph.add_op g (Op.Unary Op.Sigmoid) [ t ]);
+        (fun () ->
+          let b = Graph.constant_rand g ~seed:(cseed ()) [ List.hd (List.rev st) ] in
+          Graph.bias_add g t b);
+        (fun () ->
+          match same_shape_peer () with
+          | Some p -> Graph.add g t p
+          | None -> Graph.relu g t);
+        (fun () -> Graph.softmax g t);
+      ]
+      @ (match st with
+        | [ _; b ] ->
+          [
+            (fun () ->
+              let w = Graph.constant_rand g ~seed:(cseed ()) [ b; pick rs mat_dims ] in
+              Graph.matmul g t w);
+            (fun () -> Graph.transpose g t [ 1; 0 ]);
+            (fun () ->
+              let gamma = Graph.constant_rand g ~seed:(cseed ()) [ b ] in
+              let beta = Graph.constant_rand g ~seed:(cseed ()) [ b ] in
+              Graph.layernorm g t ~gamma ~beta);
+            (fun () -> Graph.reshape g t [ numel st ]);
+          ]
+        | _ -> [])
+      @
+      match st with
+      | [ _; c; h; w ] ->
+        [
+          (fun () ->
+            let oc = pick rs chan_dims in
+            let wt = Graph.constant_rand g ~seed:(cseed ()) [ oc; c; 3; 3 ] in
+            Graph.conv2d g t wt ~stride:1 ~padding:1);
+          (fun () ->
+            let wt = Graph.constant_rand g ~seed:(cseed ()) [ c; 1; 3; 3 ] in
+            Graph.depthwise_conv2d g t wt ~stride:1 ~padding:1);
+          (fun () ->
+            let scale = Graph.constant_rand g ~seed:(cseed ()) [ c ] in
+            let shift = Graph.constant_rand g ~seed:(cseed ()) [ c ] in
+            Graph.scale_shift g t ~scale ~shift);
+          (fun () -> Graph.global_avgpool g t);
+          (fun () ->
+            if h >= 2 && w >= 2 && h mod 2 = 0 && w mod 2 = 0 then
+              Graph.maxpool g t ~kernel:2 ~stride:2 ~padding:0
+            else Graph.relu g t);
+        ]
+      | _ -> []
+    in
+    last := (pick rs choices) ()
+  done;
+  Graph.set_outputs g [ !last ];
+  g
+
+let gen_graph_case rs ~max_size = C_graph (gen_graph rs ~max_size)
+
+let gen_case rs ~max_size =
+  match Random.State.int rs 10 with
+  | 0 | 1 | 2 | 3 -> gen_def_case rs ~max_size
+  | 4 | 5 -> gen_matmul_case rs ~max_size
+  | 6 -> gen_conv_case rs ~max_size
+  | _ -> gen_graph_case rs ~max_size
+
+(* --- printing --------------------------------------------------------------- *)
+
+let pat_to_string = function
+  | P_axis a -> Printf.sprintf "i%d" a
+  | P_raxis r -> Printf.sprintf "r%d" r
+  | P_axis_plus_raxis (a, r) -> Printf.sprintf "i%d+r%d" a r
+  | P_strided (a, s) -> Printf.sprintf "i%d*%d" a s
+  | P_rev a -> Printf.sprintf "rev(i%d)" a
+  | P_shifted (a, s) -> Printf.sprintf "i%d-%d(pad)" a s
+  | P_const c -> string_of_int c
+
+let epi_to_string = function
+  | E_scale f -> Printf.sprintf "scale(%g)" f
+  | E_relu -> "relu"
+  | E_tanh -> "tanh"
+  | E_add_residual -> "add_residual"
+  | E_reshape_flat -> "reshape_flat"
+  | E_transpose -> "transpose"
+
+let epis_to_string epis =
+  if epis = [] then "none" else String.concat "," (List.map epi_to_string epis)
+
+let case_kind = function
+  | C_def _ -> "def"
+  | C_matmul _ -> "matmul"
+  | C_conv _ -> "conv"
+  | C_graph _ -> "graph"
+
+let case_to_string = function
+  | C_def { spec; pro; epis } ->
+    let d = build_def spec in
+    Format.asprintf
+      "def case:@\n  %a@\n  input patterns: %s@\n  prologue: %b  epilogues: %s"
+      Def.pp d
+      (String.concat " ; "
+         (List.map
+            (fun pats -> "[" ^ String.concat ", " (List.map pat_to_string pats) ^ "]")
+            spec.ds_inputs))
+      pro (epis_to_string epis)
+  | C_matmul { batch; m; n; k; n_cfgs; pro; epis } ->
+    Printf.sprintf
+      "matmul case: batch=%d m=%d n=%d k=%d configs=%d prologue=%b epilogues=%s"
+      batch m n k n_cfgs pro (epis_to_string epis)
+  | C_conv { n; c; h; w; oc; kh; kw; stride; pad } ->
+    Printf.sprintf "conv case: x=[%d,%d,%d,%d] w=[%d,%d,%d,%d] stride=%d pad=%d"
+      n c h w oc c kh kw stride pad
+  | C_graph g -> "graph case (HGF):\n" ^ Graph_io.to_string g

@@ -1,0 +1,335 @@
+module T = Hidet_tensor.Tensor
+module Def = Hidet_compute.Def
+module Op = Hidet_graph.Op
+module Graph = Hidet_graph.Graph
+module Reference = Hidet_graph.Reference
+module Compiled = Hidet_sched.Compiled
+module Rule_based = Hidet_sched.Rule_based
+module Reduce_template = Hidet_sched.Reduce_template
+module MT = Hidet_sched.Matmul_template
+module Space = Hidet_sched.Space
+module Fuse = Hidet_fusion.Fuse
+module LS = Hidet_baselines.Loop_sched
+module HE = Hidet.Hidet_engine
+module Plan = Hidet_runtime.Plan
+
+type path = Rule | Template | Fused | Baseline
+
+let all_paths = [ Rule; Template; Fused; Baseline ]
+
+let path_to_string = function
+  | Rule -> "rule"
+  | Template -> "template"
+  | Fused -> "fused"
+  | Baseline -> "baseline"
+
+let path_of_string = function
+  | "rule" -> Some Rule
+  | "template" -> Some Template
+  | "fused" -> Some Fused
+  | "baseline" -> Some Baseline
+  | _ -> None
+
+type outcome = Pass of int | Skip of string | Fail of string
+
+(* --- comparison ------------------------------------------------------------- *)
+
+(* Reference and interpreter both evaluate in double precision with
+   identical elementary functions, so legitimate differences come only from
+   reordered floating-point reductions (register tiles, shared-memory trees,
+   split-k, software pipelines). The tolerance is ULP-scaled with a budget
+   proportional to the reduction size; anything past it is a real
+   divergence, not noise. *)
+let close ~budget a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b)
+     <= budget *. epsilon_float
+        *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let tensors_match ~budget expect got =
+  if T.numel expect <> T.numel got then
+    Error
+      (Printf.sprintf "element count mismatch: expected [%s], got [%s]"
+         (String.concat "," (List.map string_of_int (T.shape expect)))
+         (String.concat "," (List.map string_of_int (T.shape got))))
+  else begin
+    let n = T.numel expect in
+    let rec go i =
+      if i = n then Ok ()
+      else
+        let a = T.flat_get expect i and b = T.flat_get got i in
+        if close ~budget a b then go (i + 1)
+        else
+          Error
+            (Printf.sprintf "element %d: expected %.17g, got %.17g (budget %g)"
+               i a b budget)
+    in
+    go 0
+  end
+
+let numel = List.fold_left ( * ) 1
+
+(* Structural [Invalid_argument] while building a kernel means the path does
+   not apply to this case; anything raised while running one is a bug. *)
+let checking name thunks =
+  try
+    let n = ref 0 in
+    let rec go = function
+      | [] -> Pass !n
+      | t :: rest -> (
+        match t () with
+        | Ok () ->
+          incr n;
+          go rest
+        | Error e -> Fail (name ^ ": " ^ e))
+    in
+    go thunks
+  with
+  | Invalid_argument e -> Skip (name ^ ": " ^ e)
+  | Failure e -> Fail (name ^ ": verification/runtime failure: " ^ e)
+  | Hidet_gpu.Interp.Barrier_divergence e ->
+    Fail (name ^ ": Barrier_divergence: " ^ e)
+  | Hidet_gpu.Interp.Invalid_access e -> Fail (name ^ ": Invalid_access: " ^ e)
+
+let run_and_compare ~budget compiled inputs expect () =
+  let got = Compiled.run compiled inputs in
+  tensors_match ~budget expect got
+
+(* --- epilogue chains -------------------------------------------------------- *)
+
+(* Fold the case's epilogue list onto a scheduled anchor, dropping epilogues
+   that do not apply at the current shape. Returns the fused operator, the
+   extra input tensors appended by residual epilogues, the expected output,
+   and how many epilogues were actually fused. *)
+let apply_epis ~input_seed anchor expect epis =
+  let fused, extras, expect, n =
+    List.fold_left
+      (fun (acc, extras, expect, n) epi ->
+        match Gen.epi_def epi (T.shape expect) with
+        | None -> (acc, extras, expect, n)
+        | Some (d, _) when not (Def.is_bijective d) -> (acc, extras, expect, n)
+        | Some (d, _) ->
+          let extra_ts =
+            List.mapi
+              (fun i s -> T.rand ~seed:(input_seed + 1000 + (97 * n) + i) s)
+              (List.tl d.Def.in_shapes)
+          in
+          let acc = Fuse.fuse_epilogue acc d in
+          let expect = Def.eval d (expect :: extra_ts) in
+          (acc, extras @ extra_ts, expect, n + 1))
+      (anchor, [], expect, 0) epis
+  in
+  (fused, extras, expect, n)
+
+(* --- per-kind oracles ------------------------------------------------------- *)
+
+let prologue_def shape = Op.to_def (Op.Unary (Op.Scale_by 0.75)) [ shape ]
+
+let def_paths ~input_seed spec pro epis =
+  let def = Gen.build_def spec in
+  (match Def.well_formed def with
+  | Ok () -> ()
+  | Error e -> failwith ("generator produced ill-formed definition: " ^ e));
+  let inputs =
+    List.mapi (fun i s -> T.rand ~seed:(input_seed + i) s) def.Def.in_shapes
+  in
+  let expect = Def.eval def inputs in
+  let reduce_elems =
+    match def.Def.reduce with None -> 1 | Some (e, _) -> numel e
+  in
+  let budget = 256. *. float_of_int reduce_elems in
+  function
+  | Rule ->
+    checking "rule" [ run_and_compare ~budget (Rule_based.schedule def) inputs expect ]
+  | Template -> (
+    match def.Def.reduce with
+    | None -> Skip "injective definition: no reduction template applies"
+    | Some _ ->
+      checking "reduce_template"
+        (List.map
+           (fun block_size ->
+             run_and_compare ~budget
+               (Reduce_template.schedule ~config:{ Reduce_template.block_size } def)
+               inputs expect)
+           [ 32; 128 ]))
+  | Fused ->
+    checking "fused"
+      [
+        (fun () ->
+          let anchor = Rule_based.schedule def in
+          let anchor, expect, n_pro =
+            if pro && def.Def.in_shapes <> [] then
+              let pd = prologue_def (List.hd def.Def.in_shapes) in
+              let anchor = Fuse.fuse_prologue anchor ~input_index:0 pd in
+              let inputs' =
+                List.mapi
+                  (fun i t -> if i = 0 then Def.eval pd [ t ] else t)
+                  inputs
+              in
+              (anchor, Def.eval def inputs', 1)
+            else (anchor, expect, 0)
+          in
+          let fused, extras, expect, n_epi =
+            apply_epis ~input_seed anchor expect epis
+          in
+          if n_pro + n_epi = 0 then
+            invalid_arg "no applicable prologue or epilogue"
+          else
+            run_and_compare ~budget fused (inputs @ extras) expect ());
+      ]
+  | Baseline -> Skip "no loop-oriented lowering for arbitrary definitions"
+
+let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
+  let a = T.rand ~seed:input_seed [ batch; m; k ] in
+  let b = T.rand ~seed:(input_seed + 1) [ k; n ] in
+  let expect = T.matmul a b in
+  let budget = 256. *. float_of_int k in
+  function
+  | Rule ->
+    checking "rule"
+      [
+        (fun () ->
+          let def = Op.to_def Op.Matmul [ [ batch; m; k ]; [ k; n ] ] in
+          run_and_compare ~budget (Rule_based.schedule def) [ a; b ] expect ());
+      ]
+  | Template ->
+    (* Sampled hardware-centric configs (tile sizes independent of m/n/k:
+       odd sizes exercise the predicated partial tiles), plus one split-k
+       variant when the space extension offers one. *)
+    let cfgs =
+      Space.sample_matmul (Random.State.make [| input_seed; 7 |]) n_cfgs
+    in
+    let split_k =
+      List.filter (fun c -> c.MT.split_k > 1) (Space.matmul_with_split_k ~m ~n)
+    in
+    let cfgs = match split_k with c :: _ -> cfgs @ [ c ] | [] -> cfgs in
+    checking "matmul_template"
+      (List.map
+         (fun cfg () ->
+           run_and_compare ~budget (MT.compile ~batch ~m ~n ~k cfg) [ a; b ]
+             expect ())
+         cfgs)
+  | Fused ->
+    checking "fused"
+      [
+        (fun () ->
+          let anchor = MT.compile ~batch ~m ~n ~k MT.default_config in
+          let anchor, expect, n_pro =
+            if pro then
+              let pd = prologue_def [ batch; m; k ] in
+              ( Fuse.fuse_prologue anchor ~input_index:0 pd,
+                T.matmul (Def.eval pd [ a ]) b,
+                1 )
+            else (anchor, expect, 0)
+          in
+          let fused, extras, expect, n_epi =
+            apply_epis ~input_seed anchor expect epis
+          in
+          if n_pro + n_epi = 0 then
+            invalid_arg "no applicable prologue or epilogue"
+          else run_and_compare ~budget fused ([ a; b ] @ extras) expect ());
+      ]
+  | Baseline -> (
+    match LS.first_valid ~m ~n ~k with
+    | None -> Skip "input-centric space empty for these extents"
+    | Some s ->
+      checking "loop_gemm"
+        [ run_and_compare ~budget (LS.gemm ~batch ~m ~n ~k s) [ a; b ] expect ])
+
+let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
+  let x_shape = [ n; c; h; w ] and w_shape = [ oc; c; kh; kw ] in
+  let x = T.rand ~seed:input_seed x_shape in
+  let wt = T.rand ~seed:(input_seed + 1) w_shape in
+  let expect = T.conv2d x wt ~stride ~padding:pad in
+  let budget = 256. *. float_of_int (c * kh * kw) in
+  let def () =
+    Op.to_def (Op.Conv2d { stride; pad_h = pad; pad_w = pad })
+      [ x_shape; w_shape ]
+  in
+  function
+  | Rule ->
+    checking "rule"
+      [ (fun () ->
+          run_and_compare ~budget (Rule_based.schedule (def ())) [ x; wt ] expect ()) ]
+  | Template -> Skip "conv templates exercised through the graph pipeline"
+  | Fused ->
+    checking "fused"
+      [
+        (fun () ->
+          let anchor = Rule_based.schedule (def ()) in
+          let rd = Op.to_def (Op.Unary Op.Relu) [ T.shape expect ] in
+          run_and_compare ~budget (Fuse.fuse_epilogue anchor rd) [ x; wt ]
+            (T.relu expect) ());
+      ]
+  | Baseline -> (
+    let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+    let ow = ((w + (2 * pad) - kw) / stride) + 1 in
+    match LS.first_valid ~m:oc ~n:(oh * ow) ~k:(c * kh * kw) with
+    | None -> Skip "input-centric space empty for these extents"
+    | Some s ->
+      checking "loop_conv"
+        [
+          run_and_compare ~budget
+            (LS.conv2d ~x_shape ~w_shape ~stride ~pad_h:pad ~pad_w:pad s)
+            [ x; wt ] expect;
+        ])
+
+let graph_paths ~device ~input_seed g =
+  let inputs =
+    List.mapi
+      (fun i id -> T.rand ~seed:(input_seed + i) (Graph.node_shape g id))
+      (Graph.input_ids g)
+  in
+  let expect = Reference.run1 g inputs in
+  (* Whole-pipeline outputs accumulate reordering across several kernels;
+     use the repo-wide graph tolerance instead of per-kernel ULP budgets. *)
+  let compare_plan options () =
+    let plan, _ = HE.compile_plan ~options device g in
+    let got = Plan.run1 plan inputs in
+    if T.allclose ~rtol:1e-3 ~atol:1e-4 expect got then Ok ()
+    else
+      Error
+        (Printf.sprintf "graph output diverges: max |diff| = %g"
+           (T.max_abs_diff expect got))
+  in
+  let opts = HE.default_options in
+  function
+  | Fused -> checking "engine_fused" [ compare_plan opts ]
+  | Template ->
+    checking "engine_unfused" [ compare_plan { opts with HE.fuse = false } ]
+  | Rule ->
+    checking "engine_rule"
+      [ compare_plan { opts with HE.fuse = false; lower_convs = false } ]
+  | Baseline -> Skip "loop-oriented baselines exercised by matmul/conv cases"
+
+(* --- entry ------------------------------------------------------------------ *)
+
+let run_case ~device ~paths ~input_seed case =
+  (* Lazy so that an exception during case setup (building the definition,
+     evaluating the reference) is reported as a per-path failure instead of
+     escaping the suite. *)
+  let oracle =
+    lazy
+      (match case with
+      | Gen.C_def { spec; pro; epis } -> def_paths ~input_seed spec pro epis
+      | Gen.C_matmul { batch; m; n; k; n_cfgs; pro; epis } ->
+        matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis
+      | Gen.C_conv { n; c; h; w; oc; kh; kw; stride; pad } ->
+        conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad
+      | Gen.C_graph g -> graph_paths ~device ~input_seed g)
+  in
+  List.map
+    (fun p ->
+      ( p,
+        try Lazy.force oracle p with
+        | Invalid_argument e -> Skip e
+        | Failure e -> Fail e
+        | Hidet_gpu.Interp.Barrier_divergence e ->
+          Fail ("Barrier_divergence: " ^ e)
+        | Hidet_gpu.Interp.Invalid_access e -> Fail ("Invalid_access: " ^ e) ))
+    paths
+
+let failed results =
+  List.find_map
+    (fun (p, o) -> match o with Fail e -> Some (p, e) | _ -> None)
+    results

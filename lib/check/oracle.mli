@@ -1,0 +1,45 @@
+(** Differential oracles: run one generated case through every lowering path
+    and compare each result against the CPU reference within an ULP-scaled
+    tolerance.
+
+    Paths (the four surfaces named in the issue):
+    - [Rule]: rule-based schedule of the computation definition, executed on
+      the interpreter (for graphs: the whole pipeline with implicit-GEMM
+      lowering and fusion off);
+    - [Template]: template-based schedules sampled from the hardware-centric
+      space — matmul configs (predicated partial tiles included, plus a
+      split-k variant when available) and the block-parallel reduction
+      template (for graphs: the pipeline with fusion off, templates on);
+    - [Fused]: post-scheduling fusion — generated prologue/epilogue chains
+      fused into a scheduled anchor, or the full engine pipeline for graphs;
+    - [Baseline]: loop-oriented lowerings ({!Hidet_baselines.Loop_sched})
+      where the input-centric space is non-empty.
+
+    Outcome policy: a structural [Invalid_argument] while {e constructing} a
+    kernel (inapplicable fusion, empty baseline space) is a [Skip] — the
+    path genuinely does not apply; any exception while {e running} a built
+    kernel (interpreter traps, verification failures) is a [Fail], as is a
+    numeric mismatch. *)
+
+type path = Rule | Template | Fused | Baseline
+
+val all_paths : path list
+val path_to_string : path -> string
+val path_of_string : string -> path option
+
+type outcome =
+  | Pass of int  (** number of individual comparisons performed *)
+  | Skip of string
+  | Fail of string
+
+val run_case :
+  device:Hidet_gpu.Device.t ->
+  paths:path list ->
+  input_seed:int ->
+  Gen.case ->
+  (path * outcome) list
+(** Evaluate the case on every requested path. Input tensors are derived
+    deterministically from [input_seed]. *)
+
+val failed : (path * outcome) list -> (path * string) option
+(** First failing path, if any. *)

@@ -1,0 +1,208 @@
+module Graph = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+open Gen
+
+(* --- list surgery ----------------------------------------------------------- *)
+
+let set_nth l i v = List.mapi (fun j x -> if j = i then v else x) l
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+let halve d = (d + 1) / 2
+
+(* --- def specs -------------------------------------------------------------- *)
+
+(* Dropping the reduction invalidates patterns that reference reduction
+   axes; rewrite them to reduction-free equivalents. *)
+let drop_raxis_pat = function
+  | P_raxis _ -> P_const 0
+  | P_axis_plus_raxis (a, _) -> P_axis a
+  | p -> p
+
+(* Output axes are never dropped (extents are only halved), so B_axis/B_sel
+   references and axis patterns always stay in range. *)
+let body_subtrees = function
+  | B_bin (_, a, b) -> [ a; b ]
+  | B_un (_, a) -> [ a ]
+  | B_sel (_, _, x, y) -> [ x; y ]
+  | B_in _ | B_const _ | B_axis _ -> []
+
+let spec_candidates spec =
+  let dims =
+    (* Halve each output dimension that is > 1. *)
+    List.concat
+      (List.mapi
+         (fun i d ->
+           if d > 1 then [ { spec with ds_out = set_nth spec.ds_out i (halve d) } ]
+           else [])
+         spec.ds_out)
+  in
+  let reduce =
+    match spec.ds_reduce with
+    | None -> []
+    | Some (ext, kind) ->
+      { spec with
+        ds_reduce = None;
+        ds_inputs = List.map (List.map drop_raxis_pat) spec.ds_inputs;
+      }
+      :: List.concat
+           (List.mapi
+              (fun i d ->
+                if d > 1 then
+                  [ { spec with ds_reduce = Some (set_nth ext i (halve d), kind) } ]
+                else [])
+              ext)
+  in
+  let body =
+    List.map (fun b -> { spec with ds_body = b }) (body_subtrees spec.ds_body)
+  in
+  let pats =
+    (* Simplify exotic index patterns to a plain axis read. *)
+    List.concat
+      (List.mapi
+         (fun k pl ->
+           List.concat
+             (List.mapi
+                (fun i p ->
+                  match p with
+                  | P_axis _ | P_const _ -> []
+                  | P_raxis _ | P_axis_plus_raxis _ | P_strided _ | P_rev _
+                  | P_shifted _ ->
+                    [ { spec with
+                        ds_inputs =
+                          set_nth spec.ds_inputs k (set_nth pl i (P_const 0));
+                      } ])
+                pl))
+         spec.ds_inputs)
+  in
+  reduce @ body @ dims @ pats
+
+(* --- graphs ----------------------------------------------------------------- *)
+
+(* Rebuild [g] keeping only the ancestors of [out], with node inputs first
+   passed through [redirect]; the same replay loop as [Graph_io.of_string]
+   uses, so rebuilt graphs are exactly as valid as parsed ones. *)
+let rebuild g ~out ~redirect =
+  let red i = match redirect i with Some j -> j | None -> i in
+  let keep = Hashtbl.create 32 in
+  let rec mark id =
+    if not (Hashtbl.mem keep id) then begin
+      Hashtbl.add keep id ();
+      List.iter (fun i -> mark (red i)) (Graph.node g id).Graph.inputs
+    end
+  in
+  mark (red out);
+  let g' = Graph.create () in
+  Graph.name g' (Graph.get_name g);
+  let remap = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Graph.node) ->
+      if Hashtbl.mem keep n.Graph.id then begin
+        let new_id =
+          match n.Graph.op with
+          | Op.Input -> Graph.input g' n.Graph.shape
+          | Op.Constant { value } -> Graph.constant_lazy g' n.Graph.shape value
+          | op ->
+            Graph.add_op g' op
+              (List.map (fun i -> Hashtbl.find remap (red i)) n.Graph.inputs)
+        in
+        Hashtbl.replace remap n.Graph.id new_id
+      end)
+    (Graph.nodes g);
+  Graph.set_outputs g' [ Hashtbl.find remap (red out) ];
+  g'
+
+let graph_candidates g =
+  match Graph.outputs g with
+  | [ out ] ->
+    let nodes = Graph.nodes g in
+    let computed (n : Graph.node) =
+      match n.Graph.op with Op.Input | Op.Constant _ -> false | _ -> true
+    in
+    (* Truncate: re-root the graph at an earlier computed node (earliest
+       first — the most aggressive shrink leads). *)
+    let truncations =
+      List.filter_map
+        (fun (n : Graph.node) ->
+          if computed n && n.Graph.id <> out then
+            try Some (C_graph (rebuild g ~out:n.Graph.id ~redirect:(fun _ -> None)))
+            with _ -> None
+          else None)
+        nodes
+    in
+    (* Bypass: delete one computed interior node whose shape matches one of
+       its producers, rewiring its consumers to that producer. *)
+    let bypasses =
+      List.filter_map
+        (fun (n : Graph.node) ->
+          if not (computed n) || n.Graph.id = out then None
+          else
+            match
+              List.find_opt
+                (fun i -> (Graph.node g i).Graph.shape = n.Graph.shape)
+                n.Graph.inputs
+            with
+            | None -> None
+            | Some producer -> (
+              let redirect i = if i = n.Graph.id then Some producer else None in
+              try Some (C_graph (rebuild g ~out ~redirect)) with _ -> None))
+        nodes
+    in
+    truncations @ bypasses
+  | _ -> []
+
+(* --- cases ------------------------------------------------------------------ *)
+
+let drop_each_epi rebuild epis =
+  List.init (List.length epis) (fun i -> rebuild (drop_nth epis i))
+
+let candidates = function
+  | C_def { spec; pro; epis } ->
+    (if pro then [ C_def { spec; pro = false; epis } ] else [])
+    @ drop_each_epi (fun epis -> C_def { spec; pro; epis }) epis
+    @ List.map (fun spec -> C_def { spec; pro; epis }) (spec_candidates spec)
+  | C_matmul ({ batch; m; n; k; n_cfgs; pro; epis } as c) ->
+    let dim_shrinks =
+      List.filter_map
+        (fun c' -> if c' <> C_matmul c then Some c' else None)
+        [
+          C_matmul { c with m = halve m };
+          C_matmul { c with n = halve n };
+          C_matmul { c with k = halve k };
+          C_matmul { c with batch = halve batch };
+        ]
+    in
+    (if n_cfgs > 1 then [ C_matmul { c with n_cfgs = 1 } ] else [])
+    @ (if pro then [ C_matmul { c with pro = false } ] else [])
+    @ drop_each_epi (fun epis -> C_matmul { c with epis }) epis
+    @ dim_shrinks
+  | C_conv ({ n; c; h; w; oc; kh; stride; _ } as cc) ->
+    List.filter_map
+      (fun c' -> if c' <> C_conv cc then Some c' else None)
+      [
+        C_conv { cc with kh = 1; kw = 1; pad = 0 };
+        C_conv { cc with pad = 0 };
+        C_conv { cc with stride = max 1 (stride - 1) };
+        C_conv { cc with n = halve n };
+        C_conv { cc with c = halve c };
+        C_conv { cc with oc = halve oc };
+        (if h > kh + 1 then C_conv { cc with h = halve h; w = halve w }
+         else C_conv cc);
+      ]
+  | C_graph g -> graph_candidates g
+
+let shrink ?(max_tries = 200) still_fails case =
+  let tries = ref 0 in
+  let test c =
+    if !tries >= max_tries then false
+    else begin
+      incr tries;
+      try still_fails c with _ -> false
+    end
+  in
+  let rec go case =
+    if !tries >= max_tries then case
+    else
+      match List.find_opt test (candidates case) with
+      | Some smaller -> go smaller
+      | None -> case
+  in
+  go case

@@ -1,0 +1,20 @@
+(** Greedy case minimization.
+
+    [shrink still_fails case] repeatedly tries structurally smaller variants
+    of [case] (halved shapes, dropped reductions, pruned scalar trees,
+    dropped fusion stages, truncated or bypassed graph nodes) and commits to
+    the first variant on which [still_fails] returns [true], until no
+    candidate reproduces the failure or the evaluation budget is exhausted.
+
+    Shrinking operates on the generator's {e spec}, never on built
+    artifacts, so every intermediate candidate is as well-formed as a
+    freshly generated case and its repro text is printable and
+    re-runnable. *)
+
+val candidates : Gen.case -> Gen.case list
+(** Structurally smaller variants, most aggressive first. Exposed for
+    tests. *)
+
+val shrink : ?max_tries:int -> (Gen.case -> bool) -> Gen.case -> Gen.case
+(** [max_tries] bounds the number of [still_fails] evaluations (default
+    200). *)

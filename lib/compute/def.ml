@@ -51,6 +51,62 @@ let iconst n = Const_int n
 
 let num_out_elems d = List.fold_left Stdlib.( * ) 1 d.out_shape
 
+(* --- structural validation ------------------------------------------------ *)
+
+let well_formed d =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error (d.name ^ ": " ^ s)) fmt in
+  let rank = List.length d.out_shape in
+  let rrank =
+    match d.reduce with None -> 0 | Some (ext, _) -> List.length ext
+  in
+  let* () =
+    if List.for_all (fun x -> x > 0) d.out_shape then Ok ()
+    else err "non-positive output dimension"
+  in
+  let* () =
+    if List.for_all (List.for_all (fun x -> x > 0)) d.in_shapes then Ok ()
+    else err "non-positive input dimension"
+  in
+  let* () =
+    match d.reduce with
+    | Some (ext, _) when not (List.for_all (fun x -> x > 0) ext) ->
+      err "non-positive reduction extent"
+    | _ -> Ok ()
+  in
+  let n_inputs = List.length d.in_shapes in
+  let rec check s =
+    match s with
+    | Const _ | Const_int _ -> Ok ()
+    | Axis i ->
+      if i >= 0 && i < rank then Ok ()
+      else err "axis i%d out of range (rank %d)" i rank
+    | Raxis i ->
+      if i >= 0 && i < rrank then Ok ()
+      else err "reduction axis r%d out of range (%d reduction axes)" i rrank
+    | Input (k, idx) ->
+      if k < 0 || k >= n_inputs then err "input %d out of range (%d inputs)" k n_inputs
+      else
+        let arity = List.length (List.nth d.in_shapes k) in
+        if List.length idx <> arity then
+          err "input %d indexed with %d indices, rank is %d" k (List.length idx) arity
+        else check_all idx
+    | Bin (_, a, b) ->
+      let* () = check a in
+      check b
+    | Un (_, a) -> check a
+    | Sel (c, a, b) ->
+      let* () = check c in
+      let* () = check a in
+      check b
+  and check_all = function
+    | [] -> Ok ()
+    | s :: rest ->
+      let* () = check s in
+      check_all rest
+  in
+  check d.body
+
 (* --- reference evaluation ------------------------------------------------- *)
 
 let rec eval_scalar ~inputs ~axes ~raxes s : float =

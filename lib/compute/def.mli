@@ -56,6 +56,14 @@ val is_bijective : t -> bool
     count as the output: qualified as an epilogue operator (extra inputs,
     e.g. a residual tensor, are loaded at the fused store site). *)
 
+val well_formed : t -> (unit, string) result
+(** Structural validation: every [Axis]/[Raxis]/[Input] reference in the
+    body is in range and indexed at the right arity, and all shapes and
+    reduction extents are positive. Used by the differential fuzzer to
+    reject malformed generated definitions before lowering; does {e not}
+    check index bounds (the generators are in-bounds by construction, and
+    the interpreter traps violations as [Invalid_access]). *)
+
 (** {1 Scalar helpers} *)
 
 val ( + ) : scalar -> scalar -> scalar

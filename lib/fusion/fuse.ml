@@ -53,6 +53,20 @@ let fuse_prologue (anchor : Compiled.t) ~input_index (def : Def.t) =
     ins = splice_at input_index p_ins anchor.Compiled.ins;
   }
 
+(* Fault injection for the differential fuzzer: when set, epilogue fusion
+   mirrors the innermost store index, a realistic index-remap bug that stays
+   in bounds (so only the differential check — not Verify or the interpreter
+   bounds trap — can catch it). *)
+let inject_index_bug = ref false
+
+let maybe_mangle_out_idx (out_shape : int list) (idx : Expr.t list) =
+  if not !inject_index_bug then idx
+  else
+    match (List.rev idx, List.rev out_shape) with
+    | last :: rest, extent :: _ when extent > 1 ->
+      List.rev (Expr.sub (Expr.int (extent - 1)) last :: rest)
+    | _ -> idx
+
 let fuse_epilogue (anchor : Compiled.t) (def : Def.t) =
   if not (Def.is_injective def) then
     invalid_arg (Printf.sprintf "fuse_epilogue: %s is not injective" def.Def.name);
@@ -78,7 +92,10 @@ let fuse_epilogue (anchor : Compiled.t) (def : Def.t) =
   in
   let rewrite_store buf idx value =
     if Buffer.equal buf target then begin
-      let out_idx = List.map Simplify.expr (bijection idx) in
+      let out_idx =
+        maybe_mangle_out_idx def.Def.out_shape
+          (List.map Simplify.expr (bijection idx))
+      in
       let new_value =
         Def.scalar_to_expr
           ~inputs:(fun k idx' ->

@@ -38,3 +38,10 @@ val fuse_epilogue :
     (e.g. a residual tensor) are appended to the fused operator's inputs.
     Raises [Invalid_argument] if [def] is not bijective w.r.t. input 0 or
     shapes disagree. *)
+
+val inject_index_bug : bool ref
+(** Test-only fault injection: when [true], {!fuse_epilogue} mirrors the
+    innermost store index ([d-1 - i] over the last output dimension), a
+    realistic in-bounds index-remap bug. Exists so the differential fuzzer
+    can demonstrate that it detects, shrinks, and reports fusion bugs
+    (default [false]; never set outside tests). *)

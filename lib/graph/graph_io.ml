@@ -37,12 +37,25 @@ let parse_sexps (s : string) : sexp list =
   let atom () =
     if s.[!pos] = '"' then begin
       incr pos;
-      let start = !pos in
-      while !pos < n && s.[!pos] <> '"' do incr pos done;
-      if !pos >= n then fail "unterminated string";
-      let a = String.sub s start (!pos - start) in
-      incr pos;
-      Atom a
+      let b = Buffer.create 16 in
+      let rec chars () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            Buffer.add_char b s.[!pos];
+            incr pos;
+            chars ()
+          | c ->
+            Buffer.add_char b c;
+            incr pos;
+            chars ()
+      in
+      chars ();
+      Atom (Buffer.contents b)
     end
     else begin
       let start = !pos in
@@ -186,9 +199,19 @@ let op_of_sexp ~shape ~node_id (s : sexp) : Op.t =
 
 (* --- graph <-> text --------------------------------------------------------- *)
 
+let escape_name s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      (match c with '"' | '\\' -> Buffer.add_char b '\\' | _ -> ());
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let to_string (g : Graph.t) =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "(graph \"%s\"\n" (Graph.get_name g));
+  Buffer.add_string buf
+    (Printf.sprintf "(graph \"%s\"\n" (escape_name (Graph.get_name g)));
   List.iter
     (fun (n : Graph.node) ->
       let fields =

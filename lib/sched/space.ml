@@ -74,6 +74,24 @@ let matmul =
 
 let size () = List.length matmul
 
+let sample_matmul rs count =
+  let all = Array.of_list matmul in
+  let n = Array.length all in
+  if count >= n then Array.to_list all
+  else begin
+    (* Partial Fisher–Yates over a copy: [count] distinct draws, order
+       determined entirely by [rs], so the same seed yields the same
+       configs on every run. *)
+    let a = Array.copy all in
+    for i = 0 to count - 1 do
+      let j = i + Random.State.int rs (n - i) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.to_list (Array.sub a 0 count)
+  end
+
 let matmul_with_split_k ~m ~n =
   (* When the m x n tile grid cannot fill the SMs with mid-size tiles, add
      split-k variants of the smaller tiles (parallel k reduction). *)

@@ -17,4 +17,10 @@ val matmul_with_split_k : m:int -> n:int -> Matmul_template.config list
     §6.2.4) — still a property of tile shapes versus the device, not of
     divisibility. *)
 
+val sample_matmul : Random.State.t -> int -> Matmul_template.config list
+(** [sample_matmul rs count]: [count] distinct configs drawn uniformly (and
+    deterministically, given [rs]) from {!matmul}; the whole space when
+    [count >= size ()]. Used by the differential fuzzer to cross-check a
+    manageable subset of the space per case. *)
+
 val size : unit -> int

@@ -156,6 +156,43 @@ let test_out_of_bounds_detected () =
        false
      with Interp.Invalid_access _ -> true)
 
+let test_runtime_barrier_divergence () =
+  (* The divergent condition hides behind a let-bound copy of the thread
+     index, so static verification cannot see it; the lockstep interpreter
+     must still catch the divergence when the barrier executes. *)
+  let c = Buffer.create "C" [ 32 ] in
+  let x = Var.fresh "x" in
+  let body =
+    Stmt.seq
+      [
+        Stmt.let_ x Expr.Thread_idx
+          (Stmt.if_ (Expr.lt (Expr.var x) (Expr.int 16)) Stmt.sync);
+        Stmt.store c [ Expr.Thread_idx ] (Expr.float 0.);
+      ]
+  in
+  let k = Kernel.create ~name:"rt_diverge" ~params:[ c ] ~grid_dim:1 ~block_dim:32 body in
+  Alcotest.(check bool) "passes static verification" true
+    (Result.is_ok (Verify.kernel k));
+  Alcotest.(check bool) "caught at runtime" true
+    (try
+       Interp.run k [ (c, Array.make 32 0.) ];
+       false
+     with Interp.Barrier_divergence _ -> true)
+
+let test_negative_index_detected () =
+  (* Indices below zero are as invalid as ones past the end. *)
+  let a = Buffer.create "A" [ 32 ] and c = Buffer.create "C" [ 32 ] in
+  let body =
+    Stmt.store c [ Expr.Thread_idx ]
+      (Expr.load a [ Expr.sub Expr.Thread_idx (Expr.int 1) ])
+  in
+  let k = Kernel.create ~name:"neg" ~params:[ a; c ] ~grid_dim:1 ~block_dim:32 body in
+  Alcotest.(check bool) "raises" true
+    (try
+       Interp.run k [ (a, Array.make 32 0.); (c, Array.make 32 0.) ];
+       false
+     with Interp.Invalid_access _ -> true)
+
 let test_missing_binding () =
   let c = Buffer.create "C" [ 8 ] in
   let k =
@@ -481,6 +518,9 @@ let () =
           Alcotest.test_case "register privacy" `Quick test_register_privacy;
           Alcotest.test_case "barrier divergence" `Quick test_barrier_divergence_detected;
           Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_detected;
+          Alcotest.test_case "runtime barrier divergence" `Quick
+            test_runtime_barrier_divergence;
+          Alcotest.test_case "negative index" `Quick test_negative_index_detected;
           Alcotest.test_case "missing binding" `Quick test_missing_binding;
           Alcotest.test_case "mma tile" `Quick test_mma_tile;
           Alcotest.test_case "select guards OOB" `Quick test_select_guards_oob;

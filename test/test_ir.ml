@@ -278,6 +278,58 @@ let test_verify_rank_mismatch () =
   Alcotest.(check bool) "rank mismatch" true
     (Result.is_error (Verify.kernel (make_kernel body [ a ])))
 
+let mma_stmt a b c ~m ~n ~k =
+  Stmt.Mma
+    {
+      m; n; k;
+      a; a_off = [ Expr.int 0; Expr.int 0 ];
+      b; b_off = [ Expr.int 0; Expr.int 0 ];
+      c; c_off = [ Expr.int 0; Expr.int 0 ];
+    }
+
+let test_verify_mma_tile_too_big () =
+  (* An 8x8x8 MMA tile cannot fit in 4x4 operands. *)
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 4; 4 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 4; 4 ] in
+  let sc = Buffer.create ~scope:Buffer.Warp "sc" [ 4; 4 ] in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~warp_bufs:[ sc ] ~name:"mma_big"
+      ~params:[] ~grid_dim:1 ~block_dim:32
+      (mma_stmt sa sb sc ~m:8 ~n:8 ~k:8)
+  in
+  Alcotest.(check bool) "tile exceeds dims" true (Result.is_error (Verify.kernel k))
+
+let test_verify_mma_rank1_operand () =
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 16 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 4; 4 ] in
+  let sc = Buffer.create ~scope:Buffer.Warp "sc" [ 4; 4 ] in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~warp_bufs:[ sc ] ~name:"mma_rank1"
+      ~params:[] ~grid_dim:1 ~block_dim:32
+      (Stmt.Mma
+         {
+           m = 4; n = 4; k = 4;
+           a = sa; a_off = [ Expr.int 0 ];
+           b = sb; b_off = [ Expr.int 0; Expr.int 0 ];
+           c = sc; c_off = [ Expr.int 0; Expr.int 0 ];
+         })
+  in
+  Alcotest.(check bool) "rank-1 operand rejected" true
+    (Result.is_error (Verify.kernel k))
+
+let test_verify_mma_undeclared_operand () =
+  (* The accumulator is not declared as a warp buffer of the kernel. *)
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 4; 4 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 4; 4 ] in
+  let ghost = Buffer.create ~scope:Buffer.Warp "ghost" [ 4; 4 ] in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~name:"mma_ghost" ~params:[] ~grid_dim:1
+      ~block_dim:32
+      (mma_stmt sa sb ghost ~m:4 ~n:4 ~k:4)
+  in
+  Alcotest.(check bool) "undeclared operand rejected" true
+    (Result.is_error (Verify.kernel k))
+
 let test_verify_block_too_big () =
   let a = Buffer.create "a" [ 4 ] in
   let k =
@@ -359,6 +411,10 @@ let () =
           Alcotest.test_case "divergent sync" `Quick test_verify_divergent_sync;
           Alcotest.test_case "uniform sync" `Quick test_verify_uniform_sync_ok;
           Alcotest.test_case "rank mismatch" `Quick test_verify_rank_mismatch;
+          Alcotest.test_case "mma tile too big" `Quick test_verify_mma_tile_too_big;
+          Alcotest.test_case "mma rank-1 operand" `Quick test_verify_mma_rank1_operand;
+          Alcotest.test_case "mma undeclared operand" `Quick
+            test_verify_mma_undeclared_operand;
           Alcotest.test_case "block too big" `Quick test_verify_block_too_big;
         ] );
       ( "codegen",
