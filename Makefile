@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke clean
 
 all:
 	dune build @all
@@ -20,18 +20,34 @@ trace-smoke:
 	./_build/default/bin/hidetc.exe trace-check $(TRACE_SMOKE)
 
 # Differential fuzzing smoke test: a fixed-seed run of the compute/graph
-# fuzzer across all four lowering paths (reference vs rule-based vs
-# template vs fused vs baselines). Any failure prints a shrunk,
-# re-runnable repro (seed + offset + case text). See EXPERIMENTS.md.
+# fuzzer across all five lowering paths (reference vs rule-based vs
+# template vs fused vs baselines, plus compiled-vs-legacy backend
+# parity). Any failure prints a shrunk, re-runnable repro (seed + offset
+# + case text). The closure-compiled backend made each case cheap enough
+# to double the case count and still finish faster than the old 200-case
+# run. See EXPERIMENTS.md.
 fuzz-smoke:
 	dune build bin/hidetc.exe
-	./_build/default/bin/hidetc.exe fuzz --seed 42 --cases 200 --quiet
+	./_build/default/bin/hidetc.exe fuzz --seed 42 --cases 400 --quiet
+
+# Simulator backend smoke test: compare the legacy tree-walking
+# interpreter against the closure-compiled backend on the quickstart
+# matmul and a fused conv; exits non-zero if the compiled backend is not
+# faster. Writes its report under _build/ so it never clobbers the
+# committed full-mode BENCH_interp.json (refresh that one with
+# `./_build/default/bench/main.exe --only interp`).
+bench-interp-smoke:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only interp --quick \
+	  --out _build/BENCH_interp.smoke.json
 
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
-# valid output, and the differential fuzzer must run clean.
+# valid output, the differential fuzzer must run clean, and the compiled
+# simulator backend must beat the legacy interpreter.
 check:
-	dune build @all && dune runtest && $(MAKE) trace-smoke && $(MAKE) fuzz-smoke
+	dune build @all && dune runtest && $(MAKE) trace-smoke && \
+	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke
 
 clean:
 	dune clean

@@ -496,6 +496,97 @@ let tuning_service () =
     (Hidet_sched.Schedule_cache.size ())
 
 (* ------------------------------------------------------------------ *)
+(* Simulator backends: legacy tree-walking vs closure-compiled         *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by --quick / --out in main. *)
+let interp_quick = ref false
+let interp_out = ref "BENCH_interp.json"
+
+let bench_interp () =
+  section "bench: interp — legacy tree-walking vs closure-compiled execution";
+  let module Metrics = Hidet_obs.Metrics in
+  let module T = Hidet_tensor.Tensor in
+  let stmt_counter = Metrics.counter "sim.statements" in
+  let quick = !interp_quick in
+  let matmul =
+    let m = 123 and n = 77 and k = 45 in
+    ( Printf.sprintf "quickstart_matmul_%dx%dx%d" m n k,
+      MT.compile ~m ~n ~k MT.default_config,
+      [ T.rand ~seed:3 [ 1; m; k ]; T.rand ~seed:4 [ k; n ] ] )
+  in
+  let fused_conv =
+    let x_shape = [ 1; 8; 14; 14 ] and w_shape = [ 16; 8; 3; 3 ] in
+    let def =
+      Op.to_def (Op.Conv2d { stride = 1; pad_h = 1; pad_w = 1 })
+        [ x_shape; w_shape ]
+    in
+    let anchor = Hidet_sched.Rule_based.schedule def in
+    let relu = Op.to_def (Op.Unary Op.Relu) [ [ 1; 16; 14; 14 ] ] in
+    ( "fused_conv_relu_1x8x14x14_oc16_k3",
+      Hidet_fusion.Fuse.fuse_epilogue anchor relu,
+      [ T.rand ~seed:5 x_shape; T.rand ~seed:6 w_shape ] )
+  in
+  let time reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  Printf.printf "%-36s %12s %12s %12s %14s %14s %8s\n" "workload" "stmts/launch"
+    "legacy (ms)" "compiled(ms)" "legacy st/s" "compiled st/s" "speedup";
+  let rows =
+    List.map
+      (fun (name, c, inputs) ->
+        (* A warm run (also JIT/allocator warm-up) yields the per-launch
+           statement count; the two backends execute the same statements, so
+           one count serves both throughput figures. *)
+        let before = Metrics.value stmt_counter in
+        ignore (C.run c inputs);
+        let stmts = Metrics.value stmt_counter - before in
+        let wall_legacy =
+          time (if quick then 1 else 3) (fun () -> C.run ~legacy:true c inputs)
+        in
+        let wall_compiled =
+          time (if quick then 3 else 10) (fun () -> C.run c inputs)
+        in
+        let legacy_sps = float_of_int stmts /. wall_legacy in
+        let compiled_sps = float_of_int stmts /. wall_compiled in
+        let speedup = compiled_sps /. legacy_sps in
+        Printf.printf "%-36s %12d %12.2f %12.2f %14.3g %14.3g %7.1fx\n%!" name
+          stmts (ms wall_legacy) (ms wall_compiled) legacy_sps compiled_sps
+          speedup;
+        (name, stmts, wall_legacy, wall_compiled, legacy_sps, compiled_sps))
+      [ matmul; fused_conv ]
+  in
+  let oc = open_out !interp_out in
+  Printf.fprintf oc "{\n  \"experiment\": \"interp\",\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, stmts, wl, wc, lsps, csps) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"statements_per_launch\": %d,\n\
+        \     \"legacy_wall_s\": %.6f, \"compiled_wall_s\": %.6f,\n\
+        \     \"legacy_stmts_per_s\": %.1f, \"compiled_stmts_per_s\": %.1f,\n\
+        \     \"speedup\": %.2f}%s\n"
+        name stmts wl wc lsps csps (csps /. lsps)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !interp_out;
+  (* The compiled backend exists to be faster; treat a slowdown as a
+     failure so `make bench-interp-smoke` gates on it. *)
+  List.iter
+    (fun (name, _, _, _, lsps, csps) ->
+      if csps < lsps then begin
+        Printf.eprintf "FAIL: compiled backend slower than legacy on %s\n" name;
+        exit 1
+      end)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -560,6 +651,7 @@ let experiments =
     ("ablation_tensor_core", ablation_tensor_core);
     ("ablation_device_sweep", ablation_device_sweep);
     ("tuning_service", tuning_service);
+    ("interp", bench_interp);
     ("micro", micro);
   ]
 
@@ -585,6 +677,15 @@ let () =
       in
       find args
     in
+    (* --quick / --out FILE: fewer repetitions and the output path for the
+       interp backend comparison. *)
+    interp_quick := List.mem "--quick" args;
+    (let rec find = function
+       | "--out" :: path :: _ -> interp_out := path
+       | _ :: rest -> find rest
+       | [] -> ()
+     in
+     find args);
     (* --trace FILE: record spans for the whole run, export Chrome JSON. *)
     let trace_file =
       let rec find = function

@@ -264,7 +264,17 @@ let bench_cmd =
       $ tuning_log_arg)
 
 let profile_cmd =
-  let run model batch engine file cache =
+  let measure_arg =
+    Arg.(
+      value & flag
+      & info [ "measure" ]
+          ~doc:
+            "Also execute the plan once on the closure-compiling simulator \
+             backend with random inputs and print the measured per-step \
+             table: wall time, simulated threads, IR statements executed \
+             and statements/sec (from the sim.* observability counters).")
+  in
+  let run model batch engine file cache measure =
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
@@ -272,17 +282,31 @@ let profile_cmd =
     let r = Option.get !r in
     Printf.printf "%s / %s: %.3f ms predicted on %s\n" r.E.model r.E.engine
       (r.E.latency *. 1e3) dev.Hidet_gpu.Device.name;
-    print_profile r
+    print_profile r;
+    if measure then
+      match r.E.plan with
+      | Some plan ->
+        let inputs =
+          List.mapi
+            (fun i id ->
+              Hidet_tensor.Tensor.rand ~seed:(97 + i) (G.node_shape g id))
+            (G.input_ids g)
+        in
+        print_endline "measured execution (simulator):";
+        Format.printf "%a@." Profiler.pp_measured (Profiler.measure plan inputs)
+      | None -> prerr_endline "engine produced no executable plan"
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Compile one model and print the per-kernel profiler table \
           (analytic, nsight-style: per-kernel latency, memory/compute \
-          split, occupancy, waves, tail waste, resources, bottleneck).")
+          split, occupancy, waves, tail waste, resources, bottleneck). \
+          With --measure, also run the plan on the simulator and report \
+          measured throughput per step.")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ file_arg
-      $ cache_arg)
+      $ cache_arg $ measure_arg)
 
 let trace_check_cmd =
   let file_pos =
@@ -385,7 +409,9 @@ let fuzz_cmd =
       & info [ "paths" ] ~docv:"P1,P2,..."
           ~doc:
             "Comma-separated lowering paths to cross-check: rule, template, \
-             fused, baseline (default: all four).")
+             fused, baseline, compiled (default: all five). The compiled \
+             path checks the closure-compiling simulator backend against \
+             the legacy interpreter bit for bit.")
   in
   let inject_arg =
     Arg.(
@@ -426,9 +452,10 @@ let fuzz_cmd =
          "Differential correctness fuzzing: generate random computation \
           definitions and graphs, run them through the rule-based, \
           template-based, fused and loop-oriented baseline lowerings, and \
-          compare every result against the CPU reference. Failures are \
-          shrunk and printed as self-contained repros; exits non-zero if \
-          any check fails.")
+          compare every result against the CPU reference; the compiled \
+          path additionally cross-checks the two simulator backends bit \
+          for bit. Failures are shrunk and printed as self-contained \
+          repros; exits non-zero if any check fails.")
     Term.(
       const run $ seed_arg $ cases_arg $ max_size_arg $ offset_arg $ paths_arg
       $ inject_arg $ quiet_arg $ trace_arg $ summary_arg)

@@ -13,21 +13,23 @@ module LS = Hidet_baselines.Loop_sched
 module HE = Hidet.Hidet_engine
 module Plan = Hidet_runtime.Plan
 
-type path = Rule | Template | Fused | Baseline
+type path = Rule | Template | Fused | Baseline | Compiled_backend
 
-let all_paths = [ Rule; Template; Fused; Baseline ]
+let all_paths = [ Rule; Template; Fused; Baseline; Compiled_backend ]
 
 let path_to_string = function
   | Rule -> "rule"
   | Template -> "template"
   | Fused -> "fused"
   | Baseline -> "baseline"
+  | Compiled_backend -> "compiled"
 
 let path_of_string = function
   | "rule" -> Some Rule
   | "template" -> Some Template
   | "fused" -> Some Fused
   | "baseline" -> Some Baseline
+  | "compiled" -> Some Compiled_backend
   | _ -> None
 
 type outcome = Pass of int | Skip of string | Fail of string
@@ -94,6 +96,28 @@ let checking name thunks =
 let run_and_compare ~budget compiled inputs expect () =
   let got = Compiled.run compiled inputs in
   tensors_match ~budget expect got
+
+(* The closure-compiling backend claims bit-identical semantics to the
+   legacy tree-walking interpreter; hold it to that (exact bit equality,
+   not ULP tolerance), then also check against the CPU reference. *)
+let backend_parity ~budget compiled inputs expect () =
+  let legacy = Compiled.run ~legacy:true compiled inputs in
+  let got = Compiled.run compiled inputs in
+  let n = T.numel legacy in
+  let rec go i =
+    if i = n then Ok ()
+    else
+      let a = T.flat_get legacy i and b = T.flat_get got i in
+      if Int64.bits_of_float a = Int64.bits_of_float b then go (i + 1)
+      else
+        Error
+          (Printf.sprintf
+             "backend divergence at element %d: legacy %.17g, compiled %.17g"
+             i a b)
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () -> tensors_match ~budget expect got
 
 (* --- epilogue chains -------------------------------------------------------- *)
 
@@ -178,6 +202,9 @@ let def_paths ~input_seed spec pro epis =
             run_and_compare ~budget fused (inputs @ extras) expect ());
       ]
   | Baseline -> Skip "no loop-oriented lowering for arbitrary definitions"
+  | Compiled_backend ->
+    checking "compiled_backend"
+      [ backend_parity ~budget (Rule_based.schedule def) inputs expect ]
 
 let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
   let a = T.rand ~seed:input_seed [ batch; m; k ] in
@@ -235,6 +262,15 @@ let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
     | Some s ->
       checking "loop_gemm"
         [ run_and_compare ~budget (LS.gemm ~batch ~m ~n ~k s) [ a; b ] expect ])
+  | Compiled_backend ->
+    (* The default template config exercises shared memory, barriers and
+       (on tensor-core devices) MMA tiles through both backends. *)
+    checking "compiled_backend"
+      [
+        backend_parity ~budget
+          (MT.compile ~batch ~m ~n ~k MT.default_config)
+          [ a; b ] expect;
+      ]
 
 let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
   let x_shape = [ n; c; h; w ] and w_shape = [ oc; c; kh; kw ] in
@@ -273,6 +309,9 @@ let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
             (LS.conv2d ~x_shape ~w_shape ~stride ~pad_h:pad ~pad_w:pad s)
             [ x; wt ] expect;
         ])
+  | Compiled_backend ->
+    checking "compiled_backend"
+      [ backend_parity ~budget (Rule_based.schedule (def ())) [ x; wt ] expect ]
 
 let graph_paths ~device ~input_seed g =
   let inputs =
@@ -301,6 +340,8 @@ let graph_paths ~device ~input_seed g =
     checking "engine_rule"
       [ compare_plan { opts with HE.fuse = false; lower_convs = false } ]
   | Baseline -> Skip "loop-oriented baselines exercised by matmul/conv cases"
+  | Compiled_backend ->
+    Skip "per-kernel backend parity exercised by def/matmul/conv cases"
 
 (* --- entry ------------------------------------------------------------------ *)
 

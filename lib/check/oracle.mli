@@ -13,7 +13,12 @@
     - [Fused]: post-scheduling fusion — generated prologue/epilogue chains
       fused into a scheduled anchor, or the full engine pipeline for graphs;
     - [Baseline]: loop-oriented lowerings ({!Hidet_baselines.Loop_sched})
-      where the input-centric space is non-empty.
+      where the input-centric space is non-empty;
+    - [Compiled_backend] ("compiled"): the closure-compiling simulator
+      backend ({!Hidet_gpu.Compile_exec}) versus the legacy tree-walking
+      interpreter on the same schedule — results must match {e bit for
+      bit} (the backends promise identical semantics, so no tolerance),
+      and the compiled result must also match the CPU reference.
 
     Outcome policy: a structural [Invalid_argument] while {e constructing} a
     kernel (inapplicable fusion, empty baseline space) is a [Skip] — the
@@ -21,7 +26,7 @@
     kernel (interpreter traps, verification failures) is a [Fail], as is a
     numeric mismatch. *)
 
-type path = Rule | Template | Fused | Baseline
+type path = Rule | Template | Fused | Baseline | Compiled_backend
 
 val all_paths : path list
 val path_to_string : path -> string

@@ -1,0 +1,829 @@
+open Hidet_ir
+module Metrics = Hidet_obs.Metrics
+module Trace = Hidet_obs.Trace
+module Int_map = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything mutable lives here, one record per simulated thread, so the
+   compiled closures themselves are immutable and safe to share across the
+   domains running different blocks. *)
+type rt = {
+  tid : int;
+  bid : int;
+  bufs : float array array;  (** buffer slot -> backing storage *)
+  ints : int array;  (** int-typed variable frame *)
+  floats : float array;
+  bools : bool array;
+  vals : Expr.value array;  (** boxed fallback frame (rare) *)
+  mutable stmts : int;  (** statements executed by this thread *)
+}
+
+let invalid_access msg = raise (Interp.Invalid_access msg)
+
+let oob i d name =
+  invalid_access
+    (Printf.sprintf "Buffer.flat_index: index %d out of bound %d on %s" i d
+       name)
+
+let not_allocated (b : Buffer.t) =
+  invalid_access
+    (Printf.sprintf "buffer %s (%s) not allocated" b.Buffer.name
+       (Buffer.scope_name b.Buffer.scope))
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time state                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Frame slots are allocated with stack discipline while walking the
+   statement tree: sibling scopes reuse the same slots, and the high-water
+   mark gives the frame size. *)
+type cstate = {
+  buf_slot : (int, int) Hashtbl.t;  (** Buffer.id -> bufs slot *)
+  mutable next_int : int;
+  mutable max_int : int;
+  mutable next_float : int;
+  mutable max_float : int;
+  mutable next_bool : int;
+  mutable max_bool : int;
+  mutable next_dyn : int;
+  mutable max_dyn : int;
+}
+
+type vslot = S_int of int | S_float of int | S_bool of int | S_dyn of int
+
+let push_int st =
+  let s = st.next_int in
+  st.next_int <- s + 1;
+  if st.next_int > st.max_int then st.max_int <- st.next_int;
+  s
+
+let push_float st =
+  let s = st.next_float in
+  st.next_float <- s + 1;
+  if st.next_float > st.max_float then st.max_float <- st.next_float;
+  s
+
+let push_bool st =
+  let s = st.next_bool in
+  st.next_bool <- s + 1;
+  if st.next_bool > st.max_bool then st.max_bool <- st.next_bool;
+  s
+
+let push_dyn st =
+  let s = st.next_dyn in
+  st.next_dyn <- s + 1;
+  if st.next_dyn > st.max_dyn then st.max_dyn <- st.next_dyn;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A compiled expression is an unboxed closure at its statically inferred
+   type. [C_dyn] is the boxed escape hatch for expressions whose type
+   depends on runtime control flow (e.g. a [Select] mixing bool and
+   numeric branches); it dispatches exactly like [Expr.eval], so parity
+   with the reference interpreter holds even there. *)
+type cexpr =
+  | C_int of (rt -> int)
+  | C_float of (rt -> float)
+  | C_bool of (rt -> bool)
+  | C_dyn of (rt -> Expr.value)
+
+(* Coercions mirror [Expr.int_of_value] / [float_of_value] /
+   [bool_of_value] exactly: int_of_float truncates, bools read as 1/0,
+   numbers test as <> 0. *)
+let as_int = function
+  | C_int f -> f
+  | C_float f -> fun rt -> int_of_float (f rt)
+  | C_bool f -> fun rt -> if f rt then 1 else 0
+  | C_dyn f -> fun rt -> Expr.int_of_value (f rt)
+
+let as_float = function
+  | C_float f -> f
+  | C_int f -> fun rt -> float_of_int (f rt)
+  | C_bool f -> fun rt -> if f rt then 1. else 0.
+  | C_dyn f -> fun rt -> Expr.float_of_value (f rt)
+
+let as_bool = function
+  | C_bool f -> f
+  | C_int f -> fun rt -> f rt <> 0
+  | C_float f -> fun rt -> f rt <> 0.
+  | C_dyn f -> fun rt -> Expr.bool_of_value (f rt)
+
+let as_value = function
+  | C_int f -> fun rt -> Expr.V_int (f rt)
+  | C_float f -> fun rt -> Expr.V_float (f rt)
+  | C_bool f -> fun rt -> Expr.V_bool (f rt)
+  | C_dyn f -> f
+
+(* Flat index with [Buffer.flat_index]'s exact left-to-right per-dimension
+   bounds checks, strength-reduced to stride arithmetic. All indices are
+   evaluated (left to right) before any check runs, matching the reference
+   interpreter's [List.map eval_int]-then-[flat_index] order. Ranks 1-4
+   get dedicated closures with no per-call allocation. *)
+let comp_flat_read (buf : Buffer.t) (cidx : (rt -> int) array) slot :
+    rt -> float =
+  let name = buf.Buffer.name in
+  let dims = Array.of_list buf.Buffer.dims in
+  if Array.length cidx <> Array.length dims then fun rt ->
+    Array.iter (fun c -> ignore (c rt)) cidx;
+    invalid_access (Printf.sprintf "Buffer.flat_index: rank mismatch on %s" name)
+  else
+    match dims with
+    | [| d0 |] ->
+      let c0 = cidx.(0) in
+      fun rt ->
+        let i0 = c0 rt in
+        if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+        rt.bufs.(slot).(i0)
+    | [| d0; d1 |] ->
+      let c0 = cidx.(0) and c1 = cidx.(1) in
+      fun rt ->
+        let i0 = c0 rt in
+        let i1 = c1 rt in
+        if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+        if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+        rt.bufs.(slot).((i0 * d1) + i1)
+    | [| d0; d1; d2 |] ->
+      let c0 = cidx.(0) and c1 = cidx.(1) and c2 = cidx.(2) in
+      fun rt ->
+        let i0 = c0 rt in
+        let i1 = c1 rt in
+        let i2 = c2 rt in
+        if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+        if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+        if i2 < 0 || i2 >= d2 then oob i2 d2 name;
+        rt.bufs.(slot).((((i0 * d1) + i1) * d2) + i2)
+    | [| d0; d1; d2; d3 |] ->
+      let c0 = cidx.(0) and c1 = cidx.(1) and c2 = cidx.(2) and c3 = cidx.(3) in
+      fun rt ->
+        let i0 = c0 rt in
+        let i1 = c1 rt in
+        let i2 = c2 rt in
+        let i3 = c3 rt in
+        if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+        if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+        if i2 < 0 || i2 >= d2 then oob i2 d2 name;
+        if i3 < 0 || i3 >= d3 then oob i3 d3 name;
+        rt.bufs.(slot).((((((i0 * d1) + i1) * d2) + i2) * d3) + i3)
+    | _ ->
+      let n = Array.length dims in
+      fun rt ->
+        let idx = Array.make n 0 in
+        for p = 0 to n - 1 do
+          idx.(p) <- cidx.(p) rt
+        done;
+        let acc = ref 0 in
+        for p = 0 to n - 1 do
+          let i = idx.(p) and d = dims.(p) in
+          if i < 0 || i >= d then oob i d name;
+          acc := (!acc * d) + i
+        done;
+        rt.bufs.(slot).(!acc)
+
+let rec comp st (venv : vslot Int_map.t) (e : Expr.t) : cexpr =
+  match e with
+  | Expr.Int n -> C_int (fun _ -> n)
+  | Float f -> C_float (fun _ -> f)
+  | Bool b -> C_bool (fun _ -> b)
+  | Thread_idx -> C_int (fun rt -> rt.tid)
+  | Block_idx -> C_int (fun rt -> rt.bid)
+  | Var v -> (
+    match Int_map.find_opt v.Var.id venv with
+    | Some (S_int s) -> C_int (fun rt -> rt.ints.(s))
+    | Some (S_float s) -> C_float (fun rt -> rt.floats.(s))
+    | Some (S_bool s) -> C_bool (fun rt -> rt.bools.(s))
+    | Some (S_dyn s) -> C_dyn (fun rt -> rt.vals.(s))
+    | None ->
+      (* Rejected by the verifier; kept for parity with [Interp]'s runtime
+         error should an unverified kernel ever reach execution. *)
+      let msg = Printf.sprintf "unbound variable %s" (Var.name v) in
+      C_dyn (fun _ -> invalid_access msg))
+  | Load (buf, idx) -> (
+    let cidx =
+      Array.of_list (List.map (fun i -> as_int (comp st venv i)) idx)
+    in
+    match Hashtbl.find_opt st.buf_slot buf.Buffer.id with
+    | Some slot -> C_float (comp_flat_read buf cidx slot)
+    | None ->
+      C_float
+        (fun rt ->
+          Array.iter (fun c -> ignore (c rt)) cidx;
+          not_allocated buf))
+  | Select (c, a, b) -> (
+    let cc = as_bool (comp st venv c) in
+    let xa = comp st venv a and xb = comp st venv b in
+    match (xa, xb) with
+    | C_int fa, C_int fb -> C_int (fun rt -> if cc rt then fa rt else fb rt)
+    | C_bool fa, C_bool fb -> C_bool (fun rt -> if cc rt then fa rt else fb rt)
+    | (C_float _ | C_int _), (C_float _ | C_int _) ->
+      let fa = as_float xa and fb = as_float xb in
+      C_float (fun rt -> if cc rt then fa rt else fb rt)
+    | _ ->
+      let fa = as_value xa and fb = as_value xb in
+      C_dyn (fun rt -> if cc rt then fa rt else fb rt))
+  | Unop (op, a) -> comp_unop st venv op a
+  | Binop (op, a, b) -> comp_binop st venv op a b
+
+and comp_unop st venv op a =
+  match op with
+  | Expr.Not ->
+    let f = as_bool (comp st venv a) in
+    C_bool (fun rt -> not (f rt))
+  | Neg -> (
+    match comp st venv a with
+    | C_int f -> C_int (fun rt -> -f rt)
+    | C_float f -> C_float (fun rt -> -.f rt)
+    | C_bool f ->
+      (* [Expr.eval] evaluates the operand, then rejects it. *)
+      C_int
+        (fun rt ->
+          ignore (f rt);
+          invalid_arg "Expr.eval: neg of bool")
+    | C_dyn f ->
+      C_dyn
+        (fun rt ->
+          match f rt with
+          | Expr.V_int n -> Expr.V_int (-n)
+          | V_float x -> V_float (-.x)
+          | V_bool _ -> invalid_arg "Expr.eval: neg of bool"))
+  | Abs -> (
+    match comp st venv a with
+    | C_int f -> C_int (fun rt -> Stdlib.abs (f rt))
+    | C_float f -> C_float (fun rt -> Float.abs (f rt))
+    | C_bool f ->
+      C_int
+        (fun rt ->
+          ignore (f rt);
+          invalid_arg "Expr.eval: abs of bool")
+    | C_dyn f ->
+      C_dyn
+        (fun rt ->
+          match f rt with
+          | Expr.V_int n -> Expr.V_int (Stdlib.abs n)
+          | V_float x -> V_float (Float.abs x)
+          | V_bool _ -> invalid_arg "Expr.eval: abs of bool"))
+  | Exp ->
+    let f = as_float (comp st venv a) in
+    C_float (fun rt -> Stdlib.exp (f rt))
+  | Log ->
+    let f = as_float (comp st venv a) in
+    C_float (fun rt -> Stdlib.log (f rt))
+  | Sqrt ->
+    let f = as_float (comp st venv a) in
+    C_float (fun rt -> Stdlib.sqrt (f rt))
+  | Tanh ->
+    let f = as_float (comp st venv a) in
+    C_float (fun rt -> Stdlib.tanh (f rt))
+  | Erf ->
+    let f = as_float (comp st venv a) in
+    C_float (fun rt -> Expr.erf (f rt))
+
+and comp_binop st venv op a b =
+  match op with
+  | Expr.And ->
+    let fa = as_bool (comp st venv a) and fb = as_bool (comp st venv b) in
+    C_bool (fun rt -> fa rt && fb rt)
+  | Or ->
+    let fa = as_bool (comp st venv a) and fb = as_bool (comp st venv b) in
+    C_bool (fun rt -> fa rt || fb rt)
+  | _ -> (
+    let xa = comp st venv a and xb = comp st venv b in
+    match (xa, xb) with
+    | (C_dyn _, _ | _, C_dyn _) ->
+      (* Statically untypeable operand: fall back to [Expr.eval]'s exact
+         dynamic dispatch (including the bool-operand rejection). *)
+      let fa = as_value xa and fb = as_value xb in
+      C_dyn
+        (fun rt ->
+          let va = fa rt in
+          let vb = fb rt in
+          match (va, vb) with
+          | Expr.V_int x, Expr.V_int y -> Expr.eval_int_binop op x y
+          | (V_float _ | V_int _), (V_float _ | V_int _) ->
+            Expr.eval_float_binop op (Expr.float_of_value va)
+              (Expr.float_of_value vb)
+          | _ -> invalid_arg "Expr.eval: bool operand to arithmetic binop")
+    | (C_bool _, _ | _, C_bool _) ->
+      (* [Expr.eval] evaluates both operands first, then rejects. *)
+      let fa = as_value xa and fb = as_value xb in
+      C_int
+        (fun rt ->
+          ignore (fa rt);
+          ignore (fb rt);
+          invalid_arg "Expr.eval: bool operand to arithmetic binop")
+    | C_int fa, C_int fb -> (
+      match op with
+      | Add -> C_int (fun rt -> fa rt + fb rt)
+      | Sub -> C_int (fun rt -> fa rt - fb rt)
+      | Mul -> C_int (fun rt -> fa rt * fb rt)
+      | Div -> C_int (fun rt -> fa rt / fb rt)
+      | Mod -> C_int (fun rt -> fa rt mod fb rt)
+      | Min -> C_int (fun rt -> min (fa rt) (fb rt))
+      | Max -> C_int (fun rt -> max (fa rt) (fb rt))
+      | Lt -> C_bool (fun rt -> fa rt < fb rt)
+      | Le -> C_bool (fun rt -> fa rt <= fb rt)
+      | Gt -> C_bool (fun rt -> fa rt > fb rt)
+      | Ge -> C_bool (fun rt -> fa rt >= fb rt)
+      | Eq -> C_bool (fun rt -> fa rt = fb rt)
+      | Ne -> C_bool (fun rt -> fa rt <> fb rt)
+      | And | Or -> assert false)
+    | _ -> (
+      (* Mixed int/float promotes to float, exactly like [eval_binop]. *)
+      let fa = as_float xa and fb = as_float xb in
+      match op with
+      | Add -> C_float (fun rt -> fa rt +. fb rt)
+      | Sub -> C_float (fun rt -> fa rt -. fb rt)
+      | Mul -> C_float (fun rt -> fa rt *. fb rt)
+      | Div -> C_float (fun rt -> fa rt /. fb rt)
+      | Mod -> C_float (fun rt -> Float.rem (fa rt) (fb rt))
+      | Min -> C_float (fun rt -> Float.min (fa rt) (fb rt))
+      | Max -> C_float (fun rt -> Float.max (fa rt) (fb rt))
+      | Lt -> C_bool (fun rt -> fa rt < fb rt)
+      | Le -> C_bool (fun rt -> fa rt <= fb rt)
+      | Gt -> C_bool (fun rt -> fa rt > fb rt)
+      | Ge -> C_bool (fun rt -> fa rt >= fb rt)
+      | Eq -> C_bool (fun rt -> fa rt = fb rt)
+      | Ne -> C_bool (fun rt -> fa rt <> fb rt)
+      | And | Or -> assert false))
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let noop (_ : rt) = ()
+
+(* Store evaluates all indices (left to right), then the value, then
+   resolves the buffer, then bounds-checks — the reference interpreter's
+   exact order, so a failing statement raises the same error at the same
+   point. *)
+let comp_store st venv (buf : Buffer.t) indices value : rt -> unit =
+  let cidx =
+    Array.of_list (List.map (fun i -> as_int (comp st venv i)) indices)
+  in
+  let cv = as_float (comp st venv value) in
+  let name = buf.Buffer.name in
+  let dims = Array.of_list buf.Buffer.dims in
+  let generic_fail fail rt =
+    rt.stmts <- rt.stmts + 1;
+    Array.iter (fun c -> ignore (c rt)) cidx;
+    ignore (cv rt);
+    fail ()
+  in
+  match Hashtbl.find_opt st.buf_slot buf.Buffer.id with
+  | None -> generic_fail (fun () -> not_allocated buf)
+  | Some slot ->
+    if Array.length cidx <> Array.length dims then
+      generic_fail (fun () ->
+          invalid_access
+            (Printf.sprintf "Buffer.flat_index: rank mismatch on %s" name))
+    else (
+      match dims with
+      | [| d0 |] ->
+        let c0 = cidx.(0) in
+        fun rt ->
+          rt.stmts <- rt.stmts + 1;
+          let i0 = c0 rt in
+          let v = cv rt in
+          if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+          rt.bufs.(slot).(i0) <- v
+      | [| d0; d1 |] ->
+        let c0 = cidx.(0) and c1 = cidx.(1) in
+        fun rt ->
+          rt.stmts <- rt.stmts + 1;
+          let i0 = c0 rt in
+          let i1 = c1 rt in
+          let v = cv rt in
+          if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+          if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+          rt.bufs.(slot).((i0 * d1) + i1) <- v
+      | [| d0; d1; d2 |] ->
+        let c0 = cidx.(0) and c1 = cidx.(1) and c2 = cidx.(2) in
+        fun rt ->
+          rt.stmts <- rt.stmts + 1;
+          let i0 = c0 rt in
+          let i1 = c1 rt in
+          let i2 = c2 rt in
+          let v = cv rt in
+          if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+          if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+          if i2 < 0 || i2 >= d2 then oob i2 d2 name;
+          rt.bufs.(slot).((((i0 * d1) + i1) * d2) + i2) <- v
+      | [| d0; d1; d2; d3 |] ->
+        let c0 = cidx.(0)
+        and c1 = cidx.(1)
+        and c2 = cidx.(2)
+        and c3 = cidx.(3) in
+        fun rt ->
+          rt.stmts <- rt.stmts + 1;
+          let i0 = c0 rt in
+          let i1 = c1 rt in
+          let i2 = c2 rt in
+          let i3 = c3 rt in
+          let v = cv rt in
+          if i0 < 0 || i0 >= d0 then oob i0 d0 name;
+          if i1 < 0 || i1 >= d1 then oob i1 d1 name;
+          if i2 < 0 || i2 >= d2 then oob i2 d2 name;
+          if i3 < 0 || i3 >= d3 then oob i3 d3 name;
+          rt.bufs.(slot).((((((i0 * d1) + i1) * d2) + i2) * d3) + i3) <- v
+      | _ ->
+        let n = Array.length dims in
+        fun rt ->
+          rt.stmts <- rt.stmts + 1;
+          let idx = Array.make n 0 in
+          for p = 0 to n - 1 do
+            idx.(p) <- cidx.(p) rt
+          done;
+          let v = cv rt in
+          let acc = ref 0 in
+          for p = 0 to n - 1 do
+            let i = idx.(p) and d = dims.(p) in
+            if i < 0 || i >= d then oob i d name;
+            acc := (!acc * d) + i
+          done;
+          rt.bufs.(slot).(!acc) <- v)
+
+(* Evaluate an offset list left to right into a fresh array (fresh per
+   execution: compiled closures are shared across domains). *)
+let eval_offs (co : (rt -> int) array) rt =
+  let n = Array.length co in
+  let o = Array.make n 0 in
+  for p = 0 to n - 1 do
+    o.(p) <- co.(p) rt
+  done;
+  o
+
+(* MMA: lane 0 of each warp multiplies an [m x k] by a [k x n] tile into an
+   [m x n] accumulator. The reference rebuilds an index list per element
+   ([List.mapi]); here the tile origin is flattened once and elements are
+   addressed as [origin + row * leading_stride + col]. Per-element bounds
+   checks on the two trailing dims are kept (offsets are runtime values);
+   leading-dim checks are hoisted out of the loops since their indices are
+   loop-invariant. The only observable deviation from the reference is
+   which error surfaces when several operands are simultaneously out of
+   bounds — unreachable for verified kernels. *)
+let comp_mma st venv (m : Stmt.mma) : rt -> unit =
+  let comp_offs l =
+    Array.of_list (List.map (fun e -> as_int (comp st venv e)) l)
+  in
+  let ca_off = comp_offs m.a_off
+  and cb_off = comp_offs m.b_off
+  and cc_off = comp_offs m.c_off in
+  let slot (b : Buffer.t) = Hashtbl.find_opt st.buf_slot b.Buffer.id in
+  (* Leading-dim check + tile-origin flattening (trailing dims zeroed). *)
+  let origin name (dims : int array) r (base : int array) =
+    let acc = ref 0 in
+    for p = 0 to r - 1 do
+      let d = dims.(p) in
+      if p < r - 2 then begin
+        let i = base.(p) in
+        if i < 0 || i >= d then oob i d name;
+        acc := (!acc * d) + i
+      end
+      else acc := !acc * d
+    done;
+    !acc
+  in
+  match (slot m.a, slot m.b, slot m.c) with
+  | Some sa, Some sb, Some sc
+    when Buffer.rank m.a >= 2 && Buffer.rank m.b >= 2 && Buffer.rank m.c >= 2
+    ->
+    let dims_of (b : Buffer.t) = Array.of_list b.Buffer.dims in
+    let a_dims = dims_of m.a and b_dims = dims_of m.b and c_dims = dims_of m.c in
+    let a_r = Array.length a_dims
+    and b_r = Array.length b_dims
+    and c_r = Array.length c_dims in
+    let a_name = m.a.Buffer.name
+    and b_name = m.b.Buffer.name
+    and c_name = m.c.Buffer.name in
+    let a_rdim = a_dims.(a_r - 2) and a_cdim = a_dims.(a_r - 1) in
+    let b_rdim = b_dims.(b_r - 2) and b_cdim = b_dims.(b_r - 1) in
+    let c_rdim = c_dims.(c_r - 2) and c_cdim = c_dims.(c_r - 1) in
+    let mm = m.m and nn = m.n and kk = m.k in
+    fun rt ->
+      rt.stmts <- rt.stmts + 1;
+      if rt.tid mod Interp.warp_size = 0 then begin
+        let ao = eval_offs ca_off rt in
+        let bo = eval_offs cb_off rt in
+        let co = eval_offs cc_off rt in
+        let aarr = rt.bufs.(sa)
+        and barr = rt.bufs.(sb)
+        and carr = rt.bufs.(sc) in
+        let c0 = origin c_name c_dims c_r co in
+        let b0 = origin b_name b_dims b_r bo in
+        let a0 = origin a_name a_dims a_r ao in
+        let ar0 = ao.(a_r - 2) and ac0 = ao.(a_r - 1) in
+        let br0 = bo.(b_r - 2) and bc0 = bo.(b_r - 1) in
+        let cr0 = co.(c_r - 2) and cc0 = co.(c_r - 1) in
+        for i = 0 to mm - 1 do
+          for j = 0 to nn - 1 do
+            let ri = cr0 + i and cj = cc0 + j in
+            if ri < 0 || ri >= c_rdim then oob ri c_rdim c_name;
+            if cj < 0 || cj >= c_cdim then oob cj c_cdim c_name;
+            let cix = c0 + (ri * c_cdim) + cj in
+            let acc = ref carr.(cix) in
+            for k = 0 to kk - 1 do
+              let brk = br0 + k and bcj = bc0 + j in
+              if brk < 0 || brk >= b_rdim then oob brk b_rdim b_name;
+              if bcj < 0 || bcj >= b_cdim then oob bcj b_cdim b_name;
+              let ari = ar0 + i and ack = ac0 + k in
+              if ari < 0 || ari >= a_rdim then oob ari a_rdim a_name;
+              if ack < 0 || ack >= a_cdim then oob ack a_cdim a_name;
+              acc :=
+                !acc
+                +. aarr.(a0 + (ari * a_cdim) + ack)
+                   *. barr.(b0 + (brk * b_cdim) + bcj)
+            done;
+            carr.(cix) <- !acc
+          done
+        done
+      end
+  | sa, sb, sc ->
+    (* Undeclared operand or rank < 2: both rejected by the verifier; keep
+       the reference's runtime behaviour for robustness. *)
+    let first_missing =
+      List.find_opt
+        (fun (s, _) -> s = None)
+        [ (sa, m.a); (sb, m.b); (sc, m.c) ]
+    in
+    fun rt ->
+      rt.stmts <- rt.stmts + 1;
+      if rt.tid mod Interp.warp_size = 0 then begin
+        ignore (eval_offs ca_off rt);
+        ignore (eval_offs cb_off rt);
+        ignore (eval_offs cc_off rt);
+        match first_missing with
+        | Some (_, b) -> not_allocated b
+        | None ->
+          invalid_access
+            (Printf.sprintf "mma operand of rank < 2 on %s" m.c.Buffer.name)
+      end
+
+let rec comp_stmt st venv (s : Stmt.t) : rt -> unit =
+  match s with
+  | Stmt.Seq ss -> (
+    match List.map (comp_stmt st venv) ss with
+    | [] -> noop
+    | [ a ] -> a
+    | [ a; b ] ->
+      fun rt ->
+        a rt;
+        b rt
+    | [ a; b; c ] ->
+      fun rt ->
+        a rt;
+        b rt;
+        c rt
+    | cs ->
+      let arr = Array.of_list cs in
+      let n = Array.length arr in
+      fun rt ->
+        for i = 0 to n - 1 do
+          arr.(i) rt
+        done)
+  | For { var; extent; body; _ } ->
+    let cext = as_int (comp st venv extent) in
+    let s0 = push_int st in
+    let cbody = comp_stmt st (Int_map.add var.Var.id (S_int s0) venv) body in
+    st.next_int <- st.next_int - 1;
+    fun rt ->
+      rt.stmts <- rt.stmts + 1;
+      let n = cext rt in
+      let ints = rt.ints in
+      for i = 0 to n - 1 do
+        ints.(s0) <- i;
+        cbody rt
+      done
+  | If { cond; then_; else_ } ->
+    let cc = as_bool (comp st venv cond) in
+    let ct = comp_stmt st venv then_ in
+    let ce = match else_ with Some e -> comp_stmt st venv e | None -> noop in
+    fun rt ->
+      rt.stmts <- rt.stmts + 1;
+      if cc rt then ct rt else ce rt
+  | Let { var; value; body } -> (
+    match comp st venv value with
+    | C_int f ->
+      let s0 = push_int st in
+      let cbody = comp_stmt st (Int_map.add var.Var.id (S_int s0) venv) body in
+      st.next_int <- st.next_int - 1;
+      fun rt ->
+        rt.stmts <- rt.stmts + 1;
+        rt.ints.(s0) <- f rt;
+        cbody rt
+    | C_float f ->
+      let s0 = push_float st in
+      let cbody =
+        comp_stmt st (Int_map.add var.Var.id (S_float s0) venv) body
+      in
+      st.next_float <- st.next_float - 1;
+      fun rt ->
+        rt.stmts <- rt.stmts + 1;
+        rt.floats.(s0) <- f rt;
+        cbody rt
+    | C_bool f ->
+      let s0 = push_bool st in
+      let cbody = comp_stmt st (Int_map.add var.Var.id (S_bool s0) venv) body in
+      st.next_bool <- st.next_bool - 1;
+      fun rt ->
+        rt.stmts <- rt.stmts + 1;
+        rt.bools.(s0) <- f rt;
+        cbody rt
+    | C_dyn f ->
+      let s0 = push_dyn st in
+      let cbody = comp_stmt st (Int_map.add var.Var.id (S_dyn s0) venv) body in
+      st.next_dyn <- st.next_dyn - 1;
+      fun rt ->
+        rt.stmts <- rt.stmts + 1;
+        rt.vals.(s0) <- f rt;
+        cbody rt)
+  | Store { buf; indices; value } -> comp_store st venv buf indices value
+  | Mma m -> comp_mma st venv m
+  | Sync_threads ->
+    fun rt ->
+      rt.stmts <- rt.stmts + 1;
+      Effect.perform Interp.Sync
+  | Comment _ -> fun rt -> rt.stmts <- rt.stmts + 1
+
+(* ------------------------------------------------------------------ *)
+(* Kernel compilation and launch                                      *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  kernel : Kernel.t;
+  nbufs : int;
+  global_slots : (int * Buffer.t) array;
+  shared_slots : (int * Buffer.t) array;
+  warp_slots : (int * Buffer.t) array;
+  reg_slots : (int * Buffer.t) array;
+  n_ints : int;
+  n_floats : int;
+  n_bools : int;
+  n_dyns : int;
+  body : rt -> unit;
+  parallel_ok : bool;
+}
+
+let m_threads = Metrics.counter "sim.threads"
+let m_stmts = Metrics.counter "sim.statements"
+let m_compile_us = Metrics.counter "sim.compile_us"
+let m_exec_us = Metrics.counter "sim.exec_us"
+let m_par_blocks = Metrics.counter "sim.parallel_blocks"
+let m_seq_blocks = Metrics.counter "sim.sequential_blocks"
+
+let kernel c = c.kernel
+let parallel_grid c = c.parallel_ok
+
+let compile (k : Kernel.t) : compiled =
+  Verify.kernel_exn k;
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Trace.span
+      ~attrs:(fun () -> [ ("kernel", k.Kernel.name) ])
+      "sim.compile"
+      (fun _ ->
+        let buf_slot = Hashtbl.create 16 in
+        let next = ref 0 in
+        let assign bufs =
+          Array.of_list
+            (List.map
+               (fun (b : Buffer.t) ->
+                 let s = !next in
+                 incr next;
+                 Hashtbl.replace buf_slot b.Buffer.id s;
+                 (s, b))
+               bufs)
+        in
+        let global_slots = assign k.params in
+        let shared_slots = assign k.shared in
+        let warp_slots = assign k.warp_bufs in
+        let reg_slots = assign k.regs in
+        let st =
+          {
+            buf_slot;
+            next_int = 0;
+            max_int = 0;
+            next_float = 0;
+            max_float = 0;
+            next_bool = 0;
+            max_bool = 0;
+            next_dyn = 0;
+            max_dyn = 0;
+          }
+        in
+        let body = comp_stmt st Int_map.empty k.body in
+        {
+          kernel = k;
+          nbufs = !next;
+          global_slots;
+          shared_slots;
+          warp_slots;
+          reg_slots;
+          n_ints = st.max_int;
+          n_floats = st.max_float;
+          n_bools = st.max_bool;
+          n_dyns = st.max_dyn;
+          body;
+          parallel_ok = Verify.block_disjoint_writes k;
+        })
+  in
+  Metrics.add m_compile_us
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  res
+
+(* Run one block; returns the number of statements its threads executed.
+   Thread fibers start in ascending tid order and advance phase by phase
+   through [Interp]'s barrier machinery, exactly like the reference. *)
+let exec_block (c : compiled) (proto : float array array) bid : int =
+  let k = c.kernel in
+  let bufs_block = Array.copy proto in
+  Array.iter
+    (fun (s, b) -> bufs_block.(s) <- Array.make (Buffer.num_elems b) 0.)
+    c.shared_slots;
+  let num_warps =
+    (k.Kernel.block_dim + Interp.warp_size - 1) / Interp.warp_size
+  in
+  let warp_storage =
+    Array.init num_warps (fun _ ->
+        Array.map (fun (_, b) -> Array.make (Buffer.num_elems b) 0.) c.warp_slots)
+  in
+  let rts =
+    Array.init k.Kernel.block_dim (fun tid ->
+        let bufs = Array.copy bufs_block in
+        let ws = warp_storage.(tid / Interp.warp_size) in
+        Array.iteri (fun i (s, _) -> bufs.(s) <- ws.(i)) c.warp_slots;
+        Array.iter
+          (fun (s, b) -> bufs.(s) <- Array.make (Buffer.num_elems b) 0.)
+          c.reg_slots;
+        {
+          tid;
+          bid;
+          bufs;
+          ints = Array.make (max 1 c.n_ints) 0;
+          floats = Array.make (max 1 c.n_floats) 0.;
+          bools = Array.make (max 1 c.n_bools) false;
+          vals = Array.make (max 1 c.n_dyns) (Expr.V_int 0);
+          stmts = 0;
+        })
+  in
+  let statuses =
+    Array.init k.Kernel.block_dim (fun tid ->
+        Interp.start_thread (fun () -> c.body rts.(tid)))
+  in
+  Interp.barrier_loop ~kernel_name:k.Kernel.name ~bid statuses;
+  Array.fold_left (fun acc rt -> acc + rt.stmts) 0 rts
+
+let run_compiled ?(parallel = true) (c : compiled) bindings =
+  let k = c.kernel in
+  Interp.check_bindings k bindings;
+  let proto = Array.make (max 1 c.nbufs) [||] in
+  Array.iter
+    (fun (s, (b : Buffer.t)) ->
+      match List.find_opt (fun (p, _) -> Buffer.equal p b) bindings with
+      | Some (_, arr) -> proto.(s) <- arr
+      | None -> assert false (* every parameter is bound: check_bindings *))
+    c.global_slots;
+  let use_domains = parallel && c.parallel_ok && k.Kernel.grid_dim > 1 in
+  let t0 = Unix.gettimeofday () in
+  let counts =
+    Trace.span
+      ~attrs:(fun () ->
+        [
+          ("kernel", k.Kernel.name);
+          ("parallel", string_of_bool use_domains);
+          ("grid_dim", string_of_int k.Kernel.grid_dim);
+        ])
+      "sim.exec"
+      (fun _ ->
+        if use_domains then
+          Hidet_parallel.Parallel.map
+            (fun bid -> exec_block c proto bid)
+            (Array.init k.Kernel.grid_dim Fun.id)
+        else begin
+          let counts = Array.make k.Kernel.grid_dim 0 in
+          for bid = 0 to k.Kernel.grid_dim - 1 do
+            counts.(bid) <- exec_block c proto bid
+          done;
+          counts
+        end)
+  in
+  Metrics.add m_exec_us (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  Metrics.add m_threads (Kernel.num_threads k);
+  Metrics.add m_stmts (Array.fold_left ( + ) 0 counts);
+  Metrics.add
+    (if use_domains then m_par_blocks else m_seq_blocks)
+    k.Kernel.grid_dim
+
+let run ?parallel (k : Kernel.t) bindings =
+  run_compiled ?parallel (compile k) bindings
+
+let run_alloc ?parallel k ~inputs ~outputs =
+  let out_arrays =
+    List.map (fun b -> Array.make (Buffer.num_elems b) 0.) outputs
+  in
+  run ?parallel k (inputs @ List.combine outputs out_arrays);
+  out_arrays

@@ -1,0 +1,71 @@
+(** Closure-compiling execution backend for IR kernels.
+
+    {!Interp} walks the statement tree for every thread of every block,
+    re-resolving variables through a map and buffers through hash tables at
+    each step. This backend instead walks the [Kernel.t] {e once} and
+    compiles it to [unit -> unit] thread programs:
+
+    - variables live in per-thread unboxed frames ([int array] /
+      [float array] / [bool array]) at slots fixed at compile time;
+    - buffers are resolved at compile time to slots in a per-thread
+      [float array array] (no [Hashtbl] in the hot loop);
+    - [Buffer.flat_index] is strength-reduced to precomputed strides with
+      per-dimension bounds checks identical to the reference;
+    - expression trees are specialized into unboxed [float]/[int]/[bool]
+      closures (a boxed [Expr.value] fallback handles the rare
+      statically-untypeable expression, with {!Expr.eval}'s exact dynamic
+      dispatch);
+    - MMA tiles index by stride arithmetic instead of per-element list
+      rebuilding.
+
+    [Sync_threads] still runs on {!Interp}'s effect-handler barrier
+    machinery ({!Interp.start_thread} / {!Interp.barrier_loop}), so
+    {!Interp.Barrier_divergence} and {!Interp.Invalid_access} semantics are
+    bit-identical to the legacy interpreter, which remains the reference.
+
+    The grid loop runs blocks on concurrent domains when the verifier
+    proves blocks write disjoint global memory
+    ({!Verify.block_disjoint_writes}); otherwise — or with
+    [~parallel:false] — blocks run sequentially, exactly like the
+    reference. *)
+
+type compiled
+(** A kernel compiled to thread programs; reusable across launches. *)
+
+val compile : Hidet_ir.Kernel.t -> compiled
+(** Verify ([Verify.kernel_exn], like [Interp.run]) and compile the
+    kernel. Records compile wall time in the [sim.compile_us] metric and a
+    [sim.compile] trace span. *)
+
+val kernel : compiled -> Hidet_ir.Kernel.t
+
+val parallel_grid : compiled -> bool
+(** Whether the verifier proved per-block write disjointness, i.e. whether
+    {!run_compiled} may launch blocks on concurrent domains. *)
+
+val run_compiled :
+  ?parallel:bool ->
+  compiled ->
+  (Hidet_ir.Buffer.t * float array) list ->
+  unit
+(** Execute a compiled kernel. [bindings] follow the [Interp.run] contract
+    (one array per parameter, mutated in place) and failures raise the same
+    exceptions with the same messages. [parallel] (default [true]) permits
+    domain-parallel block execution when {!parallel_grid} holds. Updates
+    the [sim.threads], [sim.statements], [sim.exec_us] metrics and a
+    [sim.exec] trace span. *)
+
+val run :
+  ?parallel:bool ->
+  Hidet_ir.Kernel.t ->
+  (Hidet_ir.Buffer.t * float array) list ->
+  unit
+(** [compile] + [run_compiled]: drop-in replacement for [Interp.run]. *)
+
+val run_alloc :
+  ?parallel:bool ->
+  Hidet_ir.Kernel.t ->
+  inputs:(Hidet_ir.Buffer.t * float array) list ->
+  outputs:Hidet_ir.Buffer.t list ->
+  float array list
+(** Drop-in replacement for [Interp.run_alloc]. *)

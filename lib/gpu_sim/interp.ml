@@ -23,7 +23,10 @@ let flat (b : Hidet_ir.Buffer.t) (idx : int list) =
   try Buffer.flat_index b idx
   with Invalid_argument msg -> raise (Invalid_access msg)
 
-(* Execution context of one thread. *)
+(* Execution context of one thread. [vars] is the current lexical
+   environment; statements save and restore it around scoped bindings so a
+   single [Expr.env] record (allocated once per thread) can close over the
+   context instead of being rebuilt per statement. *)
 type thread_ctx = {
   tid : int;
   bid : int;
@@ -31,6 +34,7 @@ type thread_ctx = {
   shared : store;  (** per block *)
   warps : store array;  (** per warp of the block *)
   regs : store;  (** per thread *)
+  mutable vars : Expr.value Int_map.t;
 }
 
 let locate ctx (b : Hidet_ir.Buffer.t) : float array =
@@ -51,11 +55,11 @@ let locate ctx (b : Hidet_ir.Buffer.t) : float array =
 
 let load_value ctx b idx = Expr.V_float (locate ctx b).(flat b idx)
 
-let env_of ctx (vars : Expr.value Int_map.t) : Expr.env =
+let env_of ctx : Expr.env =
   {
     Expr.lookup =
       (fun v ->
-        match Int_map.find_opt v.Var.id vars with
+        match Int_map.find_opt v.Var.id ctx.vars with
         | Some value -> value
         | None ->
           raise (Invalid_access (Printf.sprintf "unbound variable %s" (Var.name v))));
@@ -64,10 +68,9 @@ let env_of ctx (vars : Expr.value Int_map.t) : Expr.env =
     block_idx = ctx.bid;
   }
 
-let exec_mma ctx vars (m : Stmt.mma) =
+let exec_mma ctx env (m : Stmt.mma) =
   (* Executed cooperatively by the warp; simulated once, by lane 0. *)
   if ctx.tid mod warp_size = 0 then begin
-    let env = env_of ctx vars in
     let off l = List.map (Expr.eval_int env) l in
     let a_off = off m.a_off and b_off = off m.b_off and c_off = off m.c_off in
     let a = locate ctx m.a and b = locate ctx m.b and c = locate ctx m.c in
@@ -94,30 +97,64 @@ let exec_mma ctx vars (m : Stmt.mma) =
     done
   end
 
-let rec exec_stmt ctx vars (s : Stmt.t) : unit =
+let rec exec_stmt ctx env (s : Stmt.t) : unit =
   match s with
-  | Stmt.Seq ss -> List.iter (exec_stmt ctx vars) ss
+  | Stmt.Seq ss -> List.iter (exec_stmt ctx env) ss
   | For { var; extent; body; _ } ->
-    let n = Expr.eval_int (env_of ctx vars) extent in
+    let n = Expr.eval_int env extent in
+    let saved = ctx.vars in
     for i = 0 to n - 1 do
-      exec_stmt ctx (Int_map.add var.Var.id (Expr.V_int i) vars) body
-    done
+      ctx.vars <- Int_map.add var.Var.id (Expr.V_int i) saved;
+      exec_stmt ctx env body
+    done;
+    ctx.vars <- saved
   | If { cond; then_; else_ } ->
-    if Expr.eval_bool (env_of ctx vars) cond then exec_stmt ctx vars then_
-    else Option.iter (exec_stmt ctx vars) else_
+    if Expr.eval_bool env cond then exec_stmt ctx env then_
+    else Option.iter (exec_stmt ctx env) else_
   | Let { var; value; body } ->
-    let v = Expr.eval (env_of ctx vars) value in
-    exec_stmt ctx (Int_map.add var.Var.id v vars) body
+    let v = Expr.eval env value in
+    let saved = ctx.vars in
+    ctx.vars <- Int_map.add var.Var.id v saved;
+    exec_stmt ctx env body;
+    ctx.vars <- saved
   | Store { buf; indices; value } ->
-    let env = env_of ctx vars in
     let idx = List.map (Expr.eval_int env) indices in
     let v = Expr.eval_float env value in
     (locate ctx buf).(flat buf idx) <- v
-  | Mma m -> exec_mma ctx vars m
+  | Mma m -> exec_mma ctx env m
   | Sync_threads -> Effect.perform Sync
   | Comment _ -> ()
 
 type status = Finished | Blocked of (unit, status) Effect.Deep.continuation
+
+(* Barrier loop: advance all blocked threads phase by phase. Shared with
+   [Compile_exec] so barrier-divergence semantics (and the error message)
+   cannot drift between the two backends. *)
+let barrier_loop ~kernel_name ~bid statuses =
+  let rec phases statuses =
+    let blocked =
+      Array.exists (function Blocked _ -> true | Finished -> false) statuses
+    in
+    if blocked then begin
+      let finished =
+        Array.exists (function Finished -> true | Blocked _ -> false) statuses
+      in
+      if finished then
+        raise
+          (Barrier_divergence
+             (Printf.sprintf
+                "kernel %s, block %d: some threads exited while others wait at \
+                 a barrier"
+                kernel_name bid));
+      phases
+        (Array.map
+           (function
+             | Blocked cont -> Effect.Deep.continue cont ()
+             | Finished -> Finished)
+           statuses)
+    end
+  in
+  phases statuses
 
 let start_thread body : status =
   Effect.Deep.match_with body ()
@@ -146,54 +183,41 @@ let run_block (k : Kernel.t) globals bid =
   let make_ctx tid =
     let regs : store = Hashtbl.create 4 in
     alloc_into regs k.regs;
-    { tid; bid; globals; shared; warps; regs }
+    { tid; bid; globals; shared; warps; regs; vars = Int_map.empty }
   in
   let statuses =
     Array.init k.block_dim (fun tid ->
-        start_thread (fun () -> exec_stmt (make_ctx tid) Int_map.empty k.body))
+        start_thread (fun () ->
+            let ctx = make_ctx tid in
+            exec_stmt ctx (env_of ctx) k.body))
   in
-  (* Barrier loop: advance all blocked threads phase by phase. *)
-  let rec phases statuses =
-    let blocked = Array.exists (function Blocked _ -> true | Finished -> false) statuses in
-    if blocked then begin
-      let finished =
-        Array.exists (function Finished -> true | Blocked _ -> false) statuses
-      in
-      if finished then
-        raise
-          (Barrier_divergence
-             (Printf.sprintf
-                "kernel %s, block %d: some threads exited while others wait at \
-                 a barrier"
-                k.name bid));
-      phases
-        (Array.map
-           (function
-             | Blocked cont -> Effect.Deep.continue cont ()
-             | Finished -> Finished)
-           statuses)
-    end
-  in
-  phases statuses
+  barrier_loop ~kernel_name:k.name ~bid statuses
 
-let run (k : Kernel.t) bindings =
-  Verify.kernel_exn k;
-  let globals : store = Hashtbl.create 8 in
+(* Binding validation shared with [Compile_exec]; the messages keep the
+   historical "Interp.run" prefix so both backends fail identically. *)
+let check_bindings (k : Kernel.t) bindings =
   List.iter
     (fun ((b : Hidet_ir.Buffer.t), arr) ->
       if Array.length arr <> Buffer.num_elems b then
         invalid_arg
           (Printf.sprintf "Interp.run: binding for %s has %d elements, expected %d"
-             b.Buffer.name (Array.length arr) (Buffer.num_elems b));
-      Hashtbl.replace globals b.Buffer.id arr)
+             b.Buffer.name (Array.length arr) (Buffer.num_elems b)))
     bindings;
   List.iter
     (fun (b : Hidet_ir.Buffer.t) ->
-      if not (Hashtbl.mem globals b.Buffer.id) then
+      if not (List.exists (fun (p, _) -> Buffer.equal p b) bindings) then
         invalid_arg
           (Printf.sprintf "Interp.run: missing binding for parameter %s"
              b.Buffer.name))
-    k.params;
+    k.params
+
+let run (k : Kernel.t) bindings =
+  Verify.kernel_exn k;
+  check_bindings k bindings;
+  let globals : store = Hashtbl.create 8 in
+  List.iter
+    (fun ((b : Hidet_ir.Buffer.t), arr) -> Hashtbl.replace globals b.Buffer.id arr)
+    bindings;
   for bid = 0 to k.grid_dim - 1 do
     run_block k globals bid
   done

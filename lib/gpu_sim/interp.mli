@@ -29,3 +29,30 @@ val run_alloc :
   float array list
 (** Convenience wrapper: allocates zero-filled arrays for [outputs], runs,
     and returns them in order. *)
+
+(** {1 Shared execution machinery}
+
+    The pieces below are the barrier and launch-validation substrate reused
+    by {!Compile_exec}, the closure-compiling backend. Sharing them (rather
+    than reimplementing) is what keeps [Barrier_divergence] and binding
+    errors bit-identical across the two backends. *)
+
+type _ Effect.t += Sync : unit Effect.t
+(** Performed by a thread fiber reaching [__syncthreads]. *)
+
+val warp_size : int
+
+type status = Finished | Blocked of (unit, status) Effect.Deep.continuation
+(** State of one thread fiber between barrier phases. *)
+
+val start_thread : (unit -> unit) -> status
+(** Run a thread body as a fiber until it finishes or performs {!Sync}. *)
+
+val barrier_loop : kernel_name:string -> bid:int -> status array -> unit
+(** Advance all blocked fibers phase by phase; raises {!Barrier_divergence}
+    if some threads finished while others wait at a barrier. *)
+
+val check_bindings :
+  Hidet_ir.Kernel.t -> (Hidet_ir.Buffer.t * float array) list -> unit
+(** Validate launch bindings (sizes, presence of every parameter); raises
+    [Invalid_argument] with the same messages {!run} uses. *)

@@ -114,8 +114,20 @@ val eval_int : env -> t -> int
 val eval_float : env -> t -> float
 val eval_bool : env -> t -> bool
 
+val eval_int_binop : binop -> int -> int -> value
+(** Apply an arithmetic/comparison binop to two ints ([And]/[Or] are
+    handled by short-circuit evaluation, not here). Exposed so the
+    closure-compiling simulator backend dispatches mixed-type operands
+    through exactly the same tables as {!eval}. *)
+
+val eval_float_binop : binop -> float -> float -> value
+
+val erf : float -> float
+(** The scalar approximation {!eval} uses for [Erf]. *)
+
 val float_of_value : value -> float
 val int_of_value : value -> int
+val bool_of_value : value -> bool
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

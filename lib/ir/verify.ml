@@ -99,6 +99,75 @@ let kernel (k : Kernel.t) =
   check_stmt ctx k.body;
   match !(ctx.errors) with [] -> Ok () | errs -> Error (List.rev errs)
 
+(* Block-disjointness analysis for domain-parallel grid execution: see the
+   .mli for the exact guarantee. Taint flows from [Block_idx] through
+   [Let]-bound variables only; [For]-bound variables always range from 0 and
+   so never prove per-block disjointness. *)
+
+let rec expr_tainted tainted (e : Expr.t) =
+  match e with
+  | Expr.Block_idx -> true
+  | Var v -> Int_set.mem v.Var.id tainted
+  | Int _ | Float _ | Bool _ | Thread_idx -> false
+  | Binop (_, a, b) -> expr_tainted tainted a || expr_tainted tainted b
+  | Unop (_, a) -> expr_tainted tainted a
+  | Select (c, a, b) ->
+    expr_tainted tainted c || expr_tainted tainted a || expr_tainted tainted b
+  | Load (_, idx) -> List.exists (expr_tainted tainted) idx
+
+let block_disjoint_writes (k : Kernel.t) =
+  let is_global (b : Buffer.t) = b.Buffer.scope = Buffer.Global in
+  let stored = ref Int_set.empty and loaded = ref Int_set.empty in
+  let ok = ref true in
+  let note_loads e =
+    ignore
+      (Expr.map_loads
+         (fun b idx ->
+           if is_global b then loaded := Int_set.add b.Buffer.id !loaded;
+           Expr.Load (b, idx))
+         e)
+  in
+  let rec go tainted (s : Stmt.t) =
+    match s with
+    | Stmt.Seq ss -> List.iter (go tainted) ss
+    | For { extent; body; _ } ->
+      note_loads extent;
+      go tainted body
+    | If { cond; then_; else_ } ->
+      note_loads cond;
+      go tainted then_;
+      Option.iter (go tainted) else_
+    | Let { var; value; body } ->
+      note_loads value;
+      let tainted =
+        if expr_tainted tainted value then Int_set.add var.Var.id tainted
+        else tainted
+      in
+      go tainted body
+    | Store { buf; indices; value } ->
+      List.iter (note_loads) indices;
+      note_loads value;
+      if is_global buf then begin
+        stored := Int_set.add buf.Buffer.id !stored;
+        if not (List.exists (expr_tainted tainted) indices) then ok := false
+      end
+    | Mma m ->
+      List.iter (note_loads) (m.a_off @ m.b_off @ m.c_off);
+      List.iter
+        (fun (b : Buffer.t) ->
+          if is_global b then loaded := Int_set.add b.Buffer.id !loaded)
+        [ m.a; m.b ];
+      (* The accumulator tile is both read and written. *)
+      if is_global m.c then begin
+        stored := Int_set.add m.c.Buffer.id !stored;
+        loaded := Int_set.add m.c.Buffer.id !loaded;
+        if not (List.exists (expr_tainted tainted) m.c_off) then ok := false
+      end
+    | Sync_threads | Comment _ -> ()
+  in
+  go Int_set.empty k.body;
+  !ok && Int_set.is_empty (Int_set.inter !stored !loaded)
+
 let kernel_exn k =
   match kernel k with
   | Ok () -> ()

@@ -18,3 +18,19 @@ val kernel_exn : Kernel.t -> unit
 (** Raises [Failure] with a readable message listing all errors. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val block_disjoint_writes : Kernel.t -> bool
+(** Conservative static check that distinct blocks of the grid touch
+    disjoint global memory, so the simulator may execute blocks on
+    concurrent domains and still produce the sequential result:
+
+    - every [Store] to a global buffer (and every MMA accumulator in global
+      scope) has at least one index expression tainted by [blockIdx] —
+      directly, or through a [Let]-bound variable whose definition is
+      tainted ([For]-bound variables are never considered tainted: their
+      ranges start at 0 in every block);
+    - no global buffer is both written and read by the kernel (a block
+      could otherwise observe another block's writes).
+
+    [false] means "could not prove disjointness" — callers must fall back
+    to sequential block execution, not that a race necessarily exists. *)

@@ -1,0 +1,43 @@
+(* Chunked fork-join map over OCaml 5 domains.
+
+   The tuner's unit of work (instantiate a schedule template, run the
+   analytic latency model) is a few tens of microseconds, so tasks are
+   handed out in chunks through one atomic cursor rather than one CAS per
+   item. Worker domains write results into disjoint slots of a shared
+   array; the calling domain participates as a worker, so [workers = 1]
+   spawns nothing. *)
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?workers f items =
+  let n = Array.length items in
+  let w = max 1 (min n (Option.value workers ~default:(default_workers ()))) in
+  if w = 1 || n <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let error = Atomic.make None in
+    let chunk = max 1 (n / (w * 8)) in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n || Atomic.get error <> None then running := false
+        else
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f items.(i))
+            done
+          with e ->
+            (* Keep the first failure; other workers drain and stop. *)
+            ignore (Atomic.compare_and_set error None (Some e));
+            running := false
+      done
+    in
+    let domains = List.init (w - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end

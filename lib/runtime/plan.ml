@@ -16,7 +16,7 @@ let kernel_count plan =
     (fun acc s -> acc + List.length s.compiled.Compiled.kernels)
     0 plan.steps
 
-let run plan bindings =
+let run ?(around = fun _ _ f -> f ()) plan bindings =
   let values = Hashtbl.create 64 in
   List.iter (fun (id, t) -> Hashtbl.replace values id t) bindings;
   let lookup id =
@@ -34,10 +34,10 @@ let run plan bindings =
         invalid_arg
           (Printf.sprintf "Plan.run: node %d consumed before being produced" id))
   in
-  List.iter
-    (fun s ->
+  List.iteri
+    (fun i s ->
       let args = List.map lookup s.args in
-      let out = Compiled.run s.compiled args in
+      let out = around i s (fun () -> Compiled.run s.compiled args) in
       (* Re-shape the result to the graph node's shape (buffer ranks may
          differ from the logical shape, e.g. [rows, cols] row templates). *)
       let shape = Graph.node_shape plan.graph s.out_node in
@@ -45,11 +45,11 @@ let run plan bindings =
     plan.steps;
   List.map lookup (Graph.outputs plan.graph)
 
-let run1 plan inputs =
+let run1 ?around plan inputs =
   let ids = Graph.input_ids plan.graph in
   if List.length ids <> List.length inputs then
     invalid_arg "Plan.run1: input count mismatch";
-  match run plan (List.combine ids inputs) with
+  match run ?around plan (List.combine ids inputs) with
   | [ out ] -> out
   | _ -> invalid_arg "Plan.run1: graph has multiple outputs"
 

@@ -20,12 +20,22 @@ val latency : Hidet_gpu.Device.t -> t -> float
 val kernel_count : t -> int
 
 val run :
-  t -> (int * Hidet_tensor.Tensor.t) list -> Hidet_tensor.Tensor.t list
-(** Execute on the interpreter: bind graph inputs, force constants on
+  ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->
+  t ->
+  (int * Hidet_tensor.Tensor.t) list ->
+  Hidet_tensor.Tensor.t list
+(** Execute on the simulator: bind graph inputs, force constants on
     demand, run every step, return the graph outputs. Intended for
-    correctness tests on small graphs. *)
+    correctness tests on small graphs. [around step_index step exec]
+    wraps each step's execution (default: just calls [exec]); the
+    profiler uses it to capture per-step wall time and simulator
+    counters. *)
 
-val run1 : t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+val run1 :
+  ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->
+  t ->
+  Hidet_tensor.Tensor.t list ->
+  Hidet_tensor.Tensor.t
 
 val cuda_source : t -> string
 (** Concatenated CUDA C for every kernel in the plan. *)

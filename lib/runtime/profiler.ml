@@ -94,3 +94,54 @@ let pp_rows fmt rows =
     "" "" (total_latency rows *. 1e6)
 
 let pp device fmt plan = pp_rows fmt (report device plan)
+
+(* --- measured execution ---------------------------------------------------- *)
+
+module Metrics = Hidet_obs.Metrics
+
+type measured_row = {
+  m_step : int;
+  m_op : string;
+  m_wall : float;
+  m_threads : int;
+  m_statements : int;
+}
+
+let measure plan inputs =
+  let threads_c = Metrics.counter "sim.threads" in
+  let stmts_c = Metrics.counter "sim.statements" in
+  let rows = ref [] in
+  let around i (s : Plan.step) exec =
+    let th0 = Metrics.value threads_c and st0 = Metrics.value stmts_c in
+    let t0 = Unix.gettimeofday () in
+    let out = exec () in
+    let wall = Unix.gettimeofday () -. t0 in
+    rows :=
+      {
+        m_step = i;
+        m_op = s.Plan.compiled.Compiled.name;
+        m_wall = wall;
+        m_threads = Metrics.value threads_c - th0;
+        m_statements = Metrics.value stmts_c - st0;
+      }
+      :: !rows;
+    out
+  in
+  ignore (Plan.run1 ~around plan inputs);
+  List.rev !rows
+
+let pp_measured fmt rows =
+  Format.fprintf fmt "@[<v>%-4s %-26s %10s %12s %14s %14s@,"
+    "step" "op" "wall(ms)" "sim.threads" "sim.stmts" "stmts/sec";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-4d %-26s %10.2f %12d %14d %14.3g@," r.m_step
+        (truncate 26 r.m_op) (r.m_wall *. 1e3) r.m_threads r.m_statements
+        (float_of_int r.m_statements /. r.m_wall))
+    rows;
+  let wall = List.fold_left (fun a r -> a +. r.m_wall) 0. rows in
+  let stmts = List.fold_left (fun a r -> a + r.m_statements) 0 rows in
+  let threads = List.fold_left (fun a r -> a + r.m_threads) 0 rows in
+  Format.fprintf fmt "%-4s %-26s %10.2f %12d %14d %14.3g@,@]" "" "total"
+    (wall *. 1e3) threads stmts
+    (float_of_int stmts /. wall)

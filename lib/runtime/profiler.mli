@@ -46,3 +46,24 @@ val pp_rows : Format.formatter -> row list -> unit
 
 val pp : Hidet_gpu.Device.t -> Format.formatter -> Plan.t -> unit
 (** [pp device fmt plan = pp_rows fmt (report device plan)]. *)
+
+(** {1 Measured execution}
+
+    Unlike {!report}, these rows come from {e actually executing} the plan
+    on the closure-compiling simulator backend: per-step wall time plus the
+    [sim.threads] / [sim.statements] observability counter deltas. *)
+
+type measured_row = {
+  m_step : int;
+  m_op : string;
+  m_wall : float;  (** simulator wall seconds for this step *)
+  m_threads : int;  (** GPU threads simulated *)
+  m_statements : int;  (** IR statements executed across all threads *)
+}
+
+val measure : Plan.t -> Hidet_tensor.Tensor.t list -> measured_row list
+(** Run the plan once on [inputs] (bound positionally to the graph
+    inputs), one row per step in launch order. *)
+
+val pp_measured : Format.formatter -> measured_row list -> unit
+(** The table, with statements/sec throughput and a totals line. *)

@@ -21,7 +21,7 @@ let feasible device c = latency device c < infinity
 
 let verify c = List.iter Verify.kernel_exn c.kernels
 
-let run c inputs =
+let run ?(legacy = false) c inputs =
   if List.length inputs <> List.length c.ins then
     invalid_arg (Printf.sprintf "Compiled.run %s: input count mismatch" c.name);
   let bindings =
@@ -52,7 +52,8 @@ let run c inputs =
                    c.name k.Kernel.name p.Buffer.name))
           k.Kernel.params
       in
-      Hidet_gpu.Interp.run k kernel_bindings)
+      if legacy then Hidet_gpu.Interp.run k kernel_bindings
+      else Hidet_gpu.Compile_exec.run k kernel_bindings)
     c.kernels;
   Tensor.of_array c.out.Buffer.dims out_arr
 

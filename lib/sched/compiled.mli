@@ -17,11 +17,16 @@ val latency : Hidet_gpu.Device.t -> t -> float
 
 val feasible : Hidet_gpu.Device.t -> t -> bool
 
-val run : t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
-(** Execute on the functional interpreter. Input tensors are bound to [ins]
+val run : ?legacy:bool -> t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+(** Execute on the simulator. Input tensors are bound to [ins]
     positionally (matched by element count — layouts are row-major on both
     sides, so ranks may differ, e.g. a [m,k] tensor binding a [1,m,k]
-    buffer). Returns the output with the buffer's shape. *)
+    buffer). Returns the output with the buffer's shape.
+
+    Kernels run on the closure-compiling backend
+    ({!Hidet_gpu.Compile_exec}) by default; [~legacy:true] forces the
+    reference tree-walking interpreter ({!Hidet_gpu.Interp}) — same
+    results bit for bit, an order of magnitude slower. *)
 
 val verify : t -> unit
 (** Verifies every kernel; raises [Failure] on the first invalid one. *)

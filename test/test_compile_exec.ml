@@ -1,0 +1,512 @@
+(* Parity suite for the closure-compiling execution backend: on randomly
+   generated kernels the compiled backend must equal the legacy interpreter
+   bit for bit (including errors), and the domain-parallel grid must equal
+   the sequential grid. *)
+
+open Hidet_ir
+module Interp = Hidet_gpu.Interp
+module CE = Hidet_gpu.Compile_exec
+module G = QCheck.Gen
+
+(* --- random kernel generator --------------------------------------------- *)
+
+type spec = {
+  grid : int;
+  block : int;
+  staged : bool;  (** stage input through shared memory with a barrier *)
+  reduce : int;  (** 0 = single store, else a reduction loop of this extent *)
+  pred_tail : bool;  (** predicate the output store on a tail condition *)
+  block_invariant : bool;
+      (** index the output by [threadIdx] only: blocks collide, so the
+          parallel-grid gate must force sequential execution *)
+  value_seed : int;
+  input_seed : int;
+}
+
+let spec_gen =
+  let open G in
+  let* grid = 1 -- 4 in
+  let* block = oneofl [ 16; 32; 64 ] in
+  let* staged = bool in
+  let* reduce = oneofl [ 0; 0; 2; 3; 4 ] in
+  let* pred_tail = bool in
+  let* block_invariant = frequency [ (3, return false); (1, return true) ] in
+  let* value_seed = 0 -- 1_000_000 in
+  let+ input_seed = 0 -- 1_000_000 in
+  {
+    grid;
+    block;
+    staged;
+    reduce;
+    pred_tail;
+    block_invariant;
+    value_seed;
+    input_seed;
+  }
+
+let spec_print s =
+  Printf.sprintf
+    "{grid=%d; block=%d; staged=%b; reduce=%d; pred_tail=%b; \
+     block_invariant=%b; value_seed=%d; input_seed=%d}"
+    s.grid s.block s.staged s.reduce s.pred_tail s.block_invariant s.value_seed
+    s.input_seed
+
+(* A random float-valued expression over in-bounds loads, the thread index,
+   and constants; depth-bounded. Mixes int and float subterms to exercise
+   the promotion rules, and [Select] to exercise short-circuiting. *)
+let gen_value rng ~(a : Buffer.t) ~(b : Buffer.t) ~(smem : Buffer.t option)
+    ~(n : int) ~(gid : Expr.t) =
+  let idx () =
+    match Random.State.int rng 4 with
+    | 0 -> gid
+    | 1 -> Expr.sub (Expr.int (n - 1)) gid
+    | 2 -> Expr.modulo (Expr.mul gid (Expr.int 3)) (Expr.int n)
+    | _ -> Expr.modulo (Expr.add gid (Expr.int 7)) (Expr.int n)
+  in
+  let leaf () =
+    match Random.State.int rng 6 with
+    | 0 -> Expr.load a [ idx () ]
+    | 1 -> Expr.load b [ idx () ]
+    | 2 -> (
+      match smem with
+      | Some s ->
+        Expr.load s
+          [ Expr.sub (Expr.int (List.hd s.Buffer.dims - 1)) Expr.Thread_idx ]
+      | None -> Expr.load a [ idx () ])
+    | 3 -> Expr.float (float_of_int (Random.State.int rng 9) /. 4.)
+    | 4 -> Expr.int (Random.State.int rng 5)
+    | _ -> Expr.Thread_idx
+  in
+  let rec go depth =
+    if depth = 0 then leaf ()
+    else
+      match Random.State.int rng 8 with
+      | 0 -> Expr.add (go (depth - 1)) (go (depth - 1))
+      | 1 -> Expr.sub (go (depth - 1)) (go (depth - 1))
+      | 2 -> Expr.mul (go (depth - 1)) (go (depth - 1))
+      | 3 -> Expr.min_ (go (depth - 1)) (go (depth - 1))
+      | 4 -> Expr.max_ (go (depth - 1)) (go (depth - 1))
+      | 5 ->
+        let u =
+          match Random.State.int rng 4 with
+          | 0 -> Expr.Abs
+          | 1 -> Expr.Tanh
+          | 2 -> Expr.Neg
+          | _ -> Expr.Sqrt
+        in
+        Expr.unop u (go (depth - 1))
+      | 6 ->
+        Expr.select
+          (Expr.lt Expr.Thread_idx (Expr.int (1 + Random.State.int rng 31)))
+          (go (depth - 1))
+          (go (depth - 1))
+      | _ -> leaf ()
+  in
+  go (1 + Random.State.int rng 2)
+
+let build_kernel (s : spec) =
+  let n = s.grid * s.block in
+  let a = Buffer.create "A" [ n ] and b = Buffer.create "B" [ n ] in
+  let c = Buffer.create "C" [ n ] in
+  let smem =
+    if s.staged then Some (Buffer.create ~scope:Buffer.Shared "smem" [ s.block ])
+    else None
+  in
+  let reg =
+    if s.reduce > 0 then Some (Buffer.create ~scope:Buffer.Register "acc" [ 1 ])
+    else None
+  in
+  let gid =
+    Expr.add (Expr.mul Expr.Block_idx (Expr.int s.block)) Expr.Thread_idx
+  in
+  let rng = Random.State.make [| s.value_seed |] in
+  let value = gen_value rng ~a ~b ~smem ~n ~gid in
+  let out_idx = if s.block_invariant then Expr.Thread_idx else gid in
+  let stage =
+    match smem with
+    | Some sm ->
+      [
+        Stmt.store sm [ Expr.Thread_idx ] (Expr.load a [ gid ]); Stmt.sync;
+      ]
+    | None -> []
+  in
+  let x = Var.fresh "x" in
+  let store_out v =
+    let st = Stmt.let_ x out_idx (Stmt.store c [ Expr.var x ] v) in
+    if s.pred_tail then Stmt.if_ (Expr.lt gid (Expr.int (max 1 (n - 3)))) st
+    else st
+  in
+  let compute =
+    match reg with
+    | Some r ->
+      let rv = Var.fresh "r" in
+      [
+        Stmt.store r [ Expr.int 0 ] (Expr.float 0.);
+        Stmt.for_ rv (Expr.int s.reduce)
+          (Stmt.store r [ Expr.int 0 ]
+             (Expr.add
+                (Expr.load r [ Expr.int 0 ])
+                (Expr.add value (Expr.mul (Expr.var rv) (Expr.float 0.5)))));
+        store_out (Expr.load r [ Expr.int 0 ]);
+      ]
+    | None -> [ store_out value ]
+  in
+  let k =
+    Kernel.create
+      ?shared:(Option.map (fun sm -> [ sm ]) smem)
+      ?regs:(Option.map (fun r -> [ r ]) reg)
+      ~name:"gen" ~params:[ a; b; c ] ~grid_dim:s.grid ~block_dim:s.block
+      (Stmt.seq (stage @ compute))
+  in
+  (k, a, b, c, n)
+
+let make_inputs seed n =
+  let rng = Random.State.make [| seed |] in
+  Array.init n (fun _ -> (Random.State.float rng 4.) -. 2.)
+
+let bits = Int64.bits_of_float
+
+let arrays_equal_bits x y =
+  Array.length x = Array.length y
+  && Array.for_all Fun.id (Array.init (Array.length x) (fun i -> bits x.(i) = bits y.(i)))
+
+(* Run a kernel through one backend; capture either the output array or the
+   raised exception (compared structurally, i.e. message included). *)
+let capture runner (k : Kernel.t) ~a ~b ~c ~n ~seed =
+  let av = make_inputs seed n
+  and bv = make_inputs (seed + 1) n
+  and cv = Array.make n 0. in
+  try
+    runner k [ (a, av); (b, bv); (c, cv) ];
+    Ok cv
+  with e -> Error e
+
+let same_result r1 r2 =
+  match (r1, r2) with
+  | Ok x, Ok y -> arrays_equal_bits x y
+  | Error e1, Error e2 -> e1 = e2
+  | _ -> false
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let arb_spec = QCheck.make ~print:spec_print spec_gen
+
+let prop_compiled_eq_legacy =
+  QCheck.Test.make ~count:60 ~name:"compiled backend == legacy interpreter"
+    arb_spec (fun s ->
+      let k, a, b, c, n = build_kernel s in
+      let r_legacy = capture Interp.run k ~a ~b ~c ~n ~seed:s.input_seed in
+      let r_compiled =
+        capture (CE.run ~parallel:false) k ~a ~b ~c ~n ~seed:s.input_seed
+      in
+      same_result r_legacy r_compiled)
+
+let prop_parallel_eq_sequential =
+  QCheck.Test.make ~count:60 ~name:"parallel grid == sequential grid" arb_spec
+    (fun s ->
+      let k, a, b, c, n = build_kernel s in
+      let r_par =
+        capture (CE.run ~parallel:true) k ~a ~b ~c ~n ~seed:s.input_seed
+      in
+      let r_seq =
+        capture (CE.run ~parallel:false) k ~a ~b ~c ~n ~seed:s.input_seed
+      in
+      same_result r_par r_seq)
+
+let prop_gate_respects_collisions =
+  QCheck.Test.make ~count:40
+    ~name:"parallel-grid gate rejects block-colliding stores" arb_spec
+    (fun s ->
+      let k, _, _, _, _ = build_kernel s in
+      (* Colliding output indices must never be declared disjoint. *)
+      QCheck.assume (s.block_invariant && s.grid > 1);
+      not (Verify.block_disjoint_writes k))
+
+(* --- deterministic error-parity cases (PR 3 negative-path kernels) -------- *)
+
+let both_raise_same name mk =
+  Alcotest.test_case name `Quick (fun () ->
+      let k, bindings_of = mk () in
+      let go runner =
+        try
+          runner k (bindings_of ());
+          Ok ()
+        with e -> Error e
+      in
+      let r1 = go Interp.run and r2 = go (CE.run ~parallel:false) in
+      (match r1 with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "legacy interpreter did not raise");
+      Alcotest.(check bool)
+        "same exception (constructor and message)" true (r1 = r2))
+
+let runtime_divergence_kernel () =
+  let c = Buffer.create "C" [ 32 ] in
+  let x = Var.fresh "x" in
+  let body =
+    Stmt.seq
+      [
+        Stmt.let_ x Expr.Thread_idx
+          (Stmt.if_ (Expr.lt (Expr.var x) (Expr.int 16)) Stmt.sync);
+        Stmt.store c [ Expr.Thread_idx ] (Expr.float 0.);
+      ]
+  in
+  let k =
+    Kernel.create ~name:"rt_diverge" ~params:[ c ] ~grid_dim:1 ~block_dim:32
+      body
+  in
+  (k, fun () -> [ (c, Array.make 32 0.) ])
+
+let oob_store_kernel () =
+  let c = Buffer.create "C" [ 8 ] in
+  let body = Stmt.store c [ Expr.Thread_idx ] (Expr.float 1.) in
+  let k = Kernel.create ~name:"oob" ~params:[ c ] ~grid_dim:1 ~block_dim:32 body in
+  (k, fun () -> [ (c, Array.make 8 0.) ])
+
+let negative_index_kernel () =
+  let a = Buffer.create "A" [ 32 ] and c = Buffer.create "C" [ 32 ] in
+  let body =
+    Stmt.store c [ Expr.Thread_idx ]
+      (Expr.load a [ Expr.sub Expr.Thread_idx (Expr.int 1) ])
+  in
+  let k =
+    Kernel.create ~name:"neg" ~params:[ a; c ] ~grid_dim:1 ~block_dim:32 body
+  in
+  (k, fun () -> [ (a, Array.make 32 0.); (c, Array.make 32 0.) ])
+
+let missing_binding_kernel () =
+  let c = Buffer.create "C" [ 8 ] in
+  let k =
+    Kernel.create ~name:"missing" ~params:[ c ] ~grid_dim:1 ~block_dim:1
+      (Stmt.store c [ Expr.int 0 ] (Expr.float 1.))
+  in
+  (k, fun () -> [])
+
+(* --- deterministic result-parity cases ------------------------------------ *)
+
+let check_same_outputs name k bindings_of outputs =
+  Alcotest.test_case name `Quick (fun () ->
+      let run runner =
+        let bs = bindings_of () in
+        runner k bs;
+        List.map (fun b -> List.assq b bs) outputs
+      in
+      let o1 = run Interp.run and o2 = run (CE.run ~parallel:false) in
+      List.iter2
+        (fun x y ->
+          Alcotest.(check bool) "outputs bit-identical" true
+            (arrays_equal_bits x y))
+        o1 o2)
+
+let mma_kernel () =
+  let a = Buffer.create "A" [ 8; 4 ] and b = Buffer.create "B" [ 4; 8 ] in
+  let c = Buffer.create "C" [ 8; 8 ] in
+  let sa = Buffer.create ~scope:Buffer.Shared "sa" [ 8; 4 ] in
+  let sb = Buffer.create ~scope:Buffer.Shared "sb" [ 4; 8 ] in
+  let sc = Buffer.create ~scope:Buffer.Warp "sc" [ 8; 8 ] in
+  let copy_in =
+    Stmt.seq
+      [
+        Stmt.store sa
+          [ Expr.div Expr.Thread_idx (Expr.int 4);
+            Expr.modulo Expr.Thread_idx (Expr.int 4) ]
+          (Expr.load a
+             [ Expr.div Expr.Thread_idx (Expr.int 4);
+               Expr.modulo Expr.Thread_idx (Expr.int 4) ]);
+        Stmt.store sb
+          [ Expr.div Expr.Thread_idx (Expr.int 8);
+            Expr.modulo Expr.Thread_idx (Expr.int 8) ]
+          (Expr.load b
+             [ Expr.div Expr.Thread_idx (Expr.int 8);
+               Expr.modulo Expr.Thread_idx (Expr.int 8) ]);
+      ]
+  in
+  let mma =
+    Stmt.Mma
+      {
+        m = 8;
+        n = 8;
+        k = 4;
+        a = sa;
+        a_off = [ Expr.int 0; Expr.int 0 ];
+        b = sb;
+        b_off = [ Expr.int 0; Expr.int 0 ];
+        c = sc;
+        c_off = [ Expr.int 0; Expr.int 0 ];
+      }
+  in
+  let writeback =
+    Stmt.seq
+      (List.init 2 (fun r ->
+           Stmt.store c
+             [ Expr.add
+                 (Expr.mul (Expr.int r) (Expr.int 4))
+                 (Expr.div Expr.Thread_idx (Expr.int 8));
+               Expr.modulo Expr.Thread_idx (Expr.int 8) ]
+             (Expr.load sc
+                [ Expr.add
+                    (Expr.mul (Expr.int r) (Expr.int 4))
+                    (Expr.div Expr.Thread_idx (Expr.int 8));
+                  Expr.modulo Expr.Thread_idx (Expr.int 8) ])))
+  in
+  let body = Stmt.seq [ copy_in; Stmt.sync; mma; Stmt.sync; writeback ] in
+  let k =
+    Kernel.create ~shared:[ sa; sb ] ~warp_bufs:[ sc ] ~name:"mma"
+      ~params:[ a; b; c ] ~grid_dim:1 ~block_dim:32 body
+  in
+  let bindings_of () =
+    [
+      (a, Array.init 32 (fun x -> float_of_int (x mod 5) -. 2.));
+      (b, Array.init 32 (fun x -> float_of_int (x mod 7) -. 3.));
+      (c, Array.make 64 0.);
+    ]
+  in
+  (k, bindings_of, [ c ])
+
+let select_guard_kernel () =
+  let a = Buffer.create "A" [ 8 ] and c = Buffer.create "C" [ 32 ] in
+  let guarded =
+    Expr.select
+      (Expr.lt Expr.Thread_idx (Expr.int 8))
+      (Expr.load a [ Expr.Thread_idx ])
+      (Expr.float 0.)
+  in
+  let k =
+    Kernel.create ~name:"guard" ~params:[ a; c ] ~grid_dim:1 ~block_dim:32
+      (Stmt.store c [ Expr.Thread_idx ] guarded)
+  in
+  let bindings_of () =
+    [ (a, Array.init 8 float_of_int); (c, Array.make 32 (-1.)) ]
+  in
+  (k, bindings_of, [ c ])
+
+(* --- parallel-grid gate unit checks --------------------------------------- *)
+
+let vadd_kernel () =
+  let n = 128 in
+  let a = Buffer.create "A" [ n ] and c = Buffer.create "C" [ n ] in
+  let gid = Expr.add (Expr.mul Expr.Block_idx (Expr.int 32)) Expr.Thread_idx in
+  ( Kernel.create ~name:"vadd" ~params:[ a; c ] ~grid_dim:4 ~block_dim:32
+      (Stmt.store c [ gid ] (Expr.add (Expr.load a [ gid ]) (Expr.float 1.))),
+    a,
+    c )
+
+let test_gate_accepts_block_indexed () =
+  let k, _, _ = vadd_kernel () in
+  Alcotest.(check bool) "disjoint" true (Verify.block_disjoint_writes k)
+
+let test_gate_accepts_let_tainted () =
+  let n = 64 in
+  let c = Buffer.create "C" [ n ] in
+  let x = Var.fresh "x" in
+  let gid = Expr.add (Expr.mul Expr.Block_idx (Expr.int 32)) Expr.Thread_idx in
+  let k =
+    Kernel.create ~name:"lt" ~params:[ c ] ~grid_dim:2 ~block_dim:32
+      (Stmt.let_ x gid (Stmt.store c [ Expr.var x ] (Expr.float 1.)))
+  in
+  Alcotest.(check bool) "let-bound taint flows" true
+    (Verify.block_disjoint_writes k)
+
+let test_gate_rejects_thread_only_index () =
+  let c = Buffer.create "C" [ 32 ] in
+  let k =
+    Kernel.create ~name:"collide" ~params:[ c ] ~grid_dim:2 ~block_dim:32
+      (Stmt.store c [ Expr.Thread_idx ] (Expr.float 1.))
+  in
+  Alcotest.(check bool) "colliding blocks rejected" false
+    (Verify.block_disjoint_writes k)
+
+let test_gate_rejects_read_write_buffer () =
+  let n = 64 in
+  let c = Buffer.create "C" [ n ] in
+  let gid = Expr.add (Expr.mul Expr.Block_idx (Expr.int 32)) Expr.Thread_idx in
+  let k =
+    Kernel.create ~name:"rw" ~params:[ c ] ~grid_dim:2 ~block_dim:32
+      (Stmt.store c [ gid ] (Expr.add (Expr.load c [ gid ]) (Expr.float 1.)))
+  in
+  Alcotest.(check bool) "read+write global rejected" false
+    (Verify.block_disjoint_writes k)
+
+let test_gate_rejects_for_bound_taint () =
+  (* A [For]-bound variable ranges from 0 in every block: it must not count
+     as block-dependent even when its extent does. *)
+  let c = Buffer.create "C" [ 64 ] in
+  let i = Var.fresh "i" in
+  let k =
+    Kernel.create ~name:"forv" ~params:[ c ] ~grid_dim:2 ~block_dim:1
+      (Stmt.for_ i
+         (Expr.add Expr.Block_idx (Expr.int 2))
+         (Stmt.store c [ Expr.var i ] (Expr.float 1.)))
+  in
+  Alcotest.(check bool) "for-var not tainted" false
+    (Verify.block_disjoint_writes k)
+
+(* --- observability counters ----------------------------------------------- *)
+
+let test_metrics_counters () =
+  let k, a, c = vadd_kernel () in
+  let before_threads = Hidet_obs.Metrics.(value (counter "sim.threads")) in
+  let before_stmts = Hidet_obs.Metrics.(value (counter "sim.statements")) in
+  CE.run k [ (a, Array.make 128 1.); (c, Array.make 128 0.) ];
+  let d_threads =
+    Hidet_obs.Metrics.(value (counter "sim.threads")) - before_threads
+  in
+  let d_stmts =
+    Hidet_obs.Metrics.(value (counter "sim.statements")) - before_stmts
+  in
+  Alcotest.(check int) "threads counted" (Kernel.num_threads k) d_threads;
+  Alcotest.(check bool) "statements counted" true (d_stmts >= 128)
+
+let test_compile_once_run_many () =
+  let k, a, c = vadd_kernel () in
+  let compiled = CE.compile k in
+  Alcotest.(check bool) "grid provably disjoint" true (CE.parallel_grid compiled);
+  let cv1 = Array.make 128 0. and cv2 = Array.make 128 0. in
+  CE.run_compiled compiled [ (a, Array.make 128 1.); (c, cv1) ];
+  CE.run_compiled compiled [ (a, Array.make 128 2.); (c, cv2) ];
+  Alcotest.(check (float 0.)) "first launch" 2. cv1.(5);
+  Alcotest.(check (float 0.)) "second launch reuses program" 3. cv2.(5)
+
+let () =
+  Alcotest.run "compile_exec"
+    [
+      ( "parity",
+        [
+          QCheck_alcotest.to_alcotest prop_compiled_eq_legacy;
+          QCheck_alcotest.to_alcotest prop_parallel_eq_sequential;
+          QCheck_alcotest.to_alcotest prop_gate_respects_collisions;
+        ] );
+      ( "error parity",
+        [
+          both_raise_same "runtime barrier divergence" runtime_divergence_kernel;
+          both_raise_same "out-of-bounds store" oob_store_kernel;
+          both_raise_same "negative index load" negative_index_kernel;
+          both_raise_same "missing binding" missing_binding_kernel;
+        ] );
+      ( "result parity",
+        [
+          (let k, b, o = mma_kernel () in
+           check_same_outputs "mma tile" k b o);
+          (let k, b, o = select_guard_kernel () in
+           check_same_outputs "select guards OOB" k b o);
+        ] );
+      ( "parallel gate",
+        [
+          Alcotest.test_case "block-indexed accepted" `Quick
+            test_gate_accepts_block_indexed;
+          Alcotest.test_case "let-tainted accepted" `Quick
+            test_gate_accepts_let_tainted;
+          Alcotest.test_case "thread-only index rejected" `Quick
+            test_gate_rejects_thread_only_index;
+          Alcotest.test_case "read+write buffer rejected" `Quick
+            test_gate_rejects_read_write_buffer;
+          Alcotest.test_case "for-bound var not tainted" `Quick
+            test_gate_rejects_for_bound_taint;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+          Alcotest.test_case "compile once, run many" `Quick
+            test_compile_once_run_many;
+        ] );
+    ]
