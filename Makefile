@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke serve-smoke clean
 
 all:
 	dune build @all
@@ -41,13 +41,28 @@ bench-interp-smoke:
 	./_build/default/bench/main.exe --only interp --quick \
 	  --out _build/BENCH_interp.smoke.json
 
+# Serving smoke test: a couple of seconds of simulated traffic against a
+# tiny model through the dynamic batcher, including an overload burst and
+# one really-executed, bit-verified run. The experiment exits non-zero
+# unless batching out-serves batch-1 dispatch, shedding and backpressure
+# both activate under overload, the admitted p99 stays bounded, and every
+# executed response matches the batch-1 plan exactly. Writes its report
+# under _build/ so it never clobbers the committed full-mode
+# BENCH_serve.json (refresh that one with
+# `./_build/default/bench/main.exe --only serve`).
+serve-smoke:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only serve --quick \
+	  --out _build/BENCH_serve.smoke.json
+
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
-# valid output, the differential fuzzer must run clean, and the compiled
-# simulator backend must beat the legacy interpreter.
+# valid output, the differential fuzzer must run clean, the compiled
+# simulator backend must beat the legacy interpreter, and the serving
+# runtime must batch, shed and verify correctly under load.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
-	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke
+	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && $(MAKE) serve-smoke
 
 clean:
 	dune clean

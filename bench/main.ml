@@ -587,6 +587,152 @@ let bench_interp () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Serving: throughput and tail latency vs offered load                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_out = ref "BENCH_serve.json"
+
+let bench_serve () =
+  section "bench: serve — dynamic batching vs batch-1 under offered load";
+  let module S = Hidet_serve in
+  let quick = !interp_quick in
+  let model =
+    S.Registry.load
+      ~engine:(module HE)
+      ~device:dev ~buckets:[ 1; 2; 4; 8 ] (S.Registry.Zoo "tiny_cnn")
+  in
+  let deadline = 0.3 and scale = 2000. and seed = 11 in
+  let cfg batching =
+    {
+      S.Server.batcher =
+        {
+          S.Batcher.buckets = [ 1; 2; 4; 8 ];
+          max_wait = 0.02;
+          queue_cap = 48;
+          batching;
+        };
+      workers = 2;
+      max_inflight = 2;
+      service_scale = scale;
+    }
+  in
+  let duration = if quick then 1.5 else 4.0 in
+  let rates = if quick then [ 30.; 120.; 360. ] else [ 20.; 60.; 120.; 240.; 480. ] in
+  (* The sweep runs in virtual time only: the schedule (batch compositions,
+     shed sets, latency percentiles) is exact and free; real execution is
+     covered by the verified point below. *)
+  let point batching rps =
+    let lg =
+      {
+        S.Loadgen.profile = S.Loadgen.Open_loop { rps };
+        duration;
+        deadline;
+        burst = None;
+        seed;
+      }
+    in
+    let sched =
+      S.Server.simulate (cfg batching) ~latency:(S.Registry.latency model) lg
+    in
+    (rps, batching, S.Server.stats sched)
+  in
+  let rows =
+    List.concat_map (fun rps -> [ point true rps; point false rps ]) rates
+  in
+  Printf.printf "%-8s %-8s %8s %8s %6s %6s %10s %10s %10s\n" "rps" "batching"
+    "offered" "done" "shed" "rej" "thru(r/s)" "p99(ms)" "meanB";
+  List.iter
+    (fun (rps, batching, (s : S.Server.stats)) ->
+      Printf.printf "%-8.0f %-8b %8d %8d %6d %6d %10.1f %10.1f %10.2f\n" rps
+        batching s.S.Server.offered s.S.Server.completed s.S.Server.shed
+        s.S.Server.rejected s.S.Server.throughput
+        (s.S.Server.e2e_p99 *. 1e3)
+        s.S.Server.mean_batch)
+    rows;
+  (* One short run with real execution: every served response must be
+     bit-identical to running its request alone through the batch-1 plan. *)
+  let exec_lg =
+    {
+      S.Loadgen.profile = S.Loadgen.Open_loop { rps = 40. };
+      duration = (if quick then 0.5 else 1.0);
+      deadline;
+      burst = None;
+      seed;
+    }
+  in
+  let exec_report = S.Server.run (cfg true) model exec_lg in
+  let exec_mismatches = Option.value exec_report.S.Server.mismatches ~default:(-1) in
+  Printf.printf
+    "exec check: %d responses executed, %d mismatches vs batch-1 plan\n"
+    (List.length exec_report.S.Server.responses)
+    exec_mismatches;
+  let oc = open_out !serve_out in
+  Printf.fprintf oc "{\n  \"experiment\": \"serve\",\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc
+    "  \"model\": \"tiny_cnn\", \"engine\": \"hidet\", \"seed\": %d,\n" seed;
+  Printf.fprintf oc
+    "  \"deadline_ms\": %.0f, \"service_scale\": %.0f, \"workers\": 2, \
+     \"buckets\": [1, 2, 4, 8],\n"
+    (deadline *. 1e3) scale;
+  Printf.fprintf oc "  \"sweep\": [\n";
+  List.iteri
+    (fun i (rps, batching, s) ->
+      Printf.fprintf oc
+        "    {\"rps\": %.0f, \"batching\": %b, \"stats\": %s}%s\n" rps batching
+        (S.Server.stats_to_json s)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"exec_check\": {\"responses\": %d, \"mismatches\": %d}\n}\n"
+    (List.length exec_report.S.Server.responses)
+    exec_mismatches;
+  close_out oc;
+  Printf.printf "wrote %s\n" !serve_out;
+  (* Gates (make serve-smoke relies on these): *)
+  let fail = ref false in
+  let check cond msg =
+    if not cond then begin
+      Printf.eprintf "FAIL: %s\n" msg;
+      fail := true
+    end
+  in
+  let find b r =
+    let _, _, s = List.find (fun (rps, bt, _) -> bt = b && rps = r) rows in
+    s
+  in
+  let lo = List.hd rates and hi = List.nth rates (List.length rates - 1) in
+  let low_b = find true lo in
+  check
+    (low_b.S.Server.shed = 0
+    && low_b.S.Server.rejected = 0
+    && low_b.S.Server.deadline_miss = 0)
+    "batched serving at low load must meet the deadline for every request";
+  let hi_b = find true hi and hi_n = find false hi in
+  check
+    (hi_b.S.Server.throughput > hi_n.S.Server.throughput *. 2.)
+    "at saturation, dynamic batching must out-serve batch-1 dispatch";
+  check
+    (hi_b.S.Server.mean_batch > 1.)
+    "overload must actually coalesce requests into batches";
+  check (hi_b.S.Server.shed > 0)
+    "overload must shed requests that cannot meet their deadline";
+  check
+    (hi_b.S.Server.rejected > 0)
+    "overload must exert backpressure at the bounded queue";
+  let tail_bound = deadline +. (S.Registry.latency model 8 *. scale) +. 1e-9 in
+  check
+    (hi_b.S.Server.e2e_p99 <= tail_bound)
+    (Printf.sprintf
+       "admitted p99 must stay bounded under overload (%.1f ms > %.1f ms)"
+       (hi_b.S.Server.e2e_p99 *. 1e3)
+       (tail_bound *. 1e3));
+  check
+    (List.length exec_report.S.Server.responses > 0 && exec_mismatches = 0)
+    "every executed response must match the batch-1 plan bit for bit";
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -652,6 +798,7 @@ let experiments =
     ("ablation_device_sweep", ablation_device_sweep);
     ("tuning_service", tuning_service);
     ("interp", bench_interp);
+    ("serve", bench_serve);
     ("micro", micro);
   ]
 
@@ -678,10 +825,12 @@ let () =
       find args
     in
     (* --quick / --out FILE: fewer repetitions and the output path for the
-       interp backend comparison. *)
+       interp backend comparison and the serving benchmark. *)
     interp_quick := List.mem "--quick" args;
     (let rec find = function
-       | "--out" :: path :: _ -> interp_out := path
+       | "--out" :: path :: _ ->
+         interp_out := path;
+         serve_out := path
        | _ :: rest -> find rest
        | [] -> ()
      in

@@ -7,7 +7,9 @@
      profile     — per-kernel profiler table for a compiled plan
      trace-check — validate a Chrome trace-event JSON file
      models      — list the model zoo
-     inspect     — print a model's computation graph *)
+     inspect     — print a model's computation graph
+     serve       — inference serving: dynamic batching, admission control,
+                   SLO metrics over compiled batch-bucket plan variants *)
 
 open Cmdliner
 module M = Hidet_models.Models
@@ -349,14 +351,31 @@ let export_cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Output file (HGF text format).")
   in
+  let export_model_arg =
+    let names = model_names @ List.map fst M.tiny_all in
+    let doc =
+      Printf.sprintf "Model to export: %s." (String.concat ", " names)
+    in
+    Arg.(
+      required
+      & opt (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+  in
   let run model batch out =
-    let g = M.by_name ~batch model in
+    let g =
+      match List.assoc_opt model M.tiny_all with
+      | Some mk ->
+        let g = mk () in
+        if batch = 1 then g else Hidet_graph.Passes.rebatch g batch
+      | None -> M.by_name ~batch model
+    in
     Hidet_graph.Graph_io.save g out;
     Printf.printf "wrote %s (%d nodes)\n" out (G.num_nodes g)
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Serialize a zoo model to the HGF text format.")
-    Term.(const run $ model_arg $ batch_arg $ out_arg)
+    (Cmd.info "export"
+       ~doc:"Serialize a zoo or tiny model to the HGF text format.")
+    Term.(const run $ export_model_arg $ batch_arg $ out_arg)
 
 let fuzz_cmd =
   let module Check = Hidet_check.Check in
@@ -468,6 +487,253 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Print a model's computation graph.")
     Term.(const run $ model_arg $ batch_arg)
 
+let serve_cmd =
+  let module S = Hidet_serve in
+  let serve_model_arg =
+    let doc =
+      Printf.sprintf
+        "Model to serve: a zoo model (%s; compile + virtual-time schedule \
+         only) or a tiny test model (%s; responses are really executed and \
+         verified)."
+        (String.concat ", " model_names)
+        (String.concat ", " (List.map fst M.tiny_all))
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+  in
+  let buckets_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "buckets" ] ~docv:"N,N,..."
+          ~doc:
+            "Batch buckets to compile plan variants for (strictly \
+             increasing; 1 is always added).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Virtual executor slots; one batch runs per slot at a time.")
+  in
+  let rps_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "rps" ] ~docv:"R"
+          ~doc:"Open-loop offered load: Poisson arrivals per virtual second.")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Run closed-loop instead: \\$(docv) clients each issue, wait, \
+             think, repeat ($(b,--rps) is ignored).")
+  in
+  let think_ms_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Closed-loop client think time between requests.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Virtual seconds of traffic generation.")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request SLO. Requests that cannot finish by their \
+             deadline are shed instead of executed.")
+  in
+  let max_wait_ms_arg =
+    Arg.(
+      value & opt float 20.
+      & info [ "max-wait-ms" ] ~docv:"MS"
+          ~doc:
+            "Batching window: a partial batch waits at most this long for \
+             more requests before dispatching.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission bound: arrivals beyond this queue depth are rejected.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Per-model concurrency limit (default: the worker count).")
+  in
+  let scale_arg =
+    Arg.(
+      value & opt float 2000.
+      & info [ "scale" ] ~docv:"X"
+          ~doc:
+            "Service-time scale: virtual service time = analytic plan \
+             latency times \\$(docv). The tiny models' analytic latencies \
+             are microseconds; the default makes the default $(b,--rps) \
+             actually exercise queueing.")
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt (some (t3 ~sep:',' float float float)) None
+      & info [ "burst" ] ~docv:"START,DUR,RPS"
+          ~doc:
+            "Add an open-loop Poisson overload burst of \\$(docv) extra \
+             requests per second inside the window.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for arrivals and request inputs. The whole run — batch \
+             compositions, shed sets, timings — is a deterministic \
+             function of it.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the run's stats as JSON.")
+  in
+  let no_batching_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:"Dispatch every request alone on the bucket-1 plan.")
+  in
+  let virtual_arg =
+    Arg.(
+      value & flag
+      & info [ "virtual" ]
+          ~doc:
+            "Virtual-time schedule only: skip really executing the batches \
+             on the simulator. Forced for the big zoo models, whose graphs \
+             compile but are far too large to execute.")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip verifying responses against the bucket-1 plan \
+             ($(b,hidetc serve) exits non-zero on any mismatch).")
+  in
+  let run model file engine buckets workers rps clients think_ms duration
+      deadline_ms max_wait_ms queue_cap max_inflight scale burst seed out
+      no_batching virtual_ no_check cache trace summary =
+    let source =
+      match (model, file) with
+      | _, Some path -> S.Registry.File path
+      | Some m, None -> S.Registry.Zoo m
+      | None, None -> failwith "pass --model or --file"
+    in
+    (* The full zoo models compile fine but have millions of simulated
+       threads per kernel — executing them is not feasible; their serving
+       runs are schedule-only. *)
+    let virtual_ =
+      virtual_
+      || match model with Some m -> List.mem_assoc m M.all | None -> false
+    in
+    let (module Eng : E.S) = List.assoc engine engines in
+    let cfg =
+      {
+        S.Server.batcher =
+          {
+            S.Batcher.buckets = List.sort_uniq compare (1 :: buckets);
+            max_wait = max_wait_ms /. 1e3;
+            queue_cap;
+            batching = not no_batching;
+          };
+        workers;
+        max_inflight = Option.value max_inflight ~default:workers;
+        service_scale = scale;
+      }
+    in
+    let lg =
+      {
+        S.Loadgen.profile =
+          (match clients with
+          | Some n ->
+            S.Loadgen.Closed_loop { clients = n; think = think_ms /. 1e3 }
+          | None -> S.Loadgen.Open_loop { rps });
+        duration;
+        deadline = deadline_ms /. 1e3;
+        burst =
+          Option.map
+            (fun (start, dur, rps) -> { S.Loadgen.start; dur; rps })
+            burst;
+        seed;
+      }
+    in
+    let report = ref None in
+    with_observability ~trace ~tuning_log:None ~summary (fun () ->
+        with_schedule_cache cache (fun () ->
+            let m =
+              S.Registry.load ~engine:(module Eng) ~device:dev
+                ~buckets:cfg.S.Server.batcher.S.Batcher.buckets source
+            in
+            Printf.printf
+              "serving %s with %s: %d plan variants (buckets %s), %d workers\n%!"
+              m.S.Registry.name engine
+              (List.length m.S.Registry.variants)
+              (String.concat ","
+                 (List.map
+                    (fun v -> string_of_int v.S.Registry.bucket)
+                    m.S.Registry.variants))
+              workers;
+            report :=
+              Some
+                (S.Server.run ~exec:(not virtual_) ~check:(not no_check) cfg m
+                   lg)));
+    let r = Option.get !report in
+    Format.printf "%a" S.Server.pp_report r;
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"model\": %S, \"engine\": %S, \"seed\": %d, \"virtual\": %b, \
+         \"stats\": %s}\n"
+        (match (model, file) with
+        | Some m, _ -> m
+        | None, Some f -> f
+        | None, None -> "?")
+        engine seed virtual_
+        (S.Server.stats_to_json r.S.Server.summary);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    match r.S.Server.mismatches with Some n when n > 0 -> exit 1 | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a model under synthetic load: dynamic batching over \
+          compiled batch-bucket plan variants, bounded-queue admission \
+          control, deadline-based shedding, and SLO percentile reporting. \
+          The serving schedule runs in deterministic virtual time \
+          (seed-reproducible); the decided batches are then really \
+          executed on the simulator and every response is verified \
+          bit-for-bit against the batch-1 plan.")
+    Term.(
+      const run $ serve_model_arg $ file_arg $ engine_arg $ buckets_arg
+      $ workers_arg $ rps_arg $ clients_arg $ think_ms_arg $ duration_arg
+      $ deadline_ms_arg $ max_wait_ms_arg $ queue_cap_arg $ max_inflight_arg
+      $ scale_arg $ burst_arg $ seed_arg $ out_arg $ no_batching_arg
+      $ virtual_arg $ no_check_arg $ cache_arg $ trace_arg $ summary_arg)
+
 let () =
   let info =
     Cmd.info "hidetc" ~version:"1.0.0"
@@ -487,4 +753,5 @@ let () =
             inspect_cmd;
             export_cmd;
             fuzz_cmd;
+            serve_cmd;
           ]))

@@ -211,3 +211,56 @@ let lower_conv_to_gemm g =
     (Graph.nodes g);
   Graph.set_outputs g' (List.map map_id (Graph.outputs g));
   g'
+
+(* Rebind the leading (batch) dimension of a graph. Used by the serving
+   registry to derive batch-bucket variants of models that were not built
+   through a [?batch]-parameterized builder (HGF files, tiny test models).
+   Shapes of interior nodes are re-inferred from the rebound inputs; the
+   only ops carrying literal shapes are [Input] and [Reshape], whose
+   leading dims scale by [batch / old_batch] (a [-1] wildcard is left to
+   the inference). Constants (weights) are batch-independent and shared
+   with the source graph — including their lazy thunks, which is why
+   [Plan]'s constant forcing is lock-protected. *)
+let rebatch g batch =
+  if batch < 1 then invalid_arg "Passes.rebatch: batch must be >= 1";
+  let old_batch =
+    match Graph.input_ids g with
+    | [] -> invalid_arg "Passes.rebatch: graph has no inputs"
+    | id :: _ -> (
+      match Graph.node_shape g id with
+      | b :: _ -> b
+      | [] -> invalid_arg "Passes.rebatch: rank-0 input")
+  in
+  let scale what d =
+    if d = -1 then d
+    else if d mod old_batch <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Passes.rebatch: %s leading dim %d not divisible by batch %d" what d
+           old_batch)
+    else d / old_batch * batch
+  in
+  let rescale what = function
+    | d :: rest -> scale what d :: rest
+    | [] -> invalid_arg "Passes.rebatch: rank-0 shape"
+  in
+  let g' = Graph.create () in
+  Graph.name g' (Graph.get_name g);
+  let remap = Hashtbl.create 64 in
+  let map_id id = Hashtbl.find remap id in
+  List.iter
+    (fun (n : Graph.node) ->
+      let new_id =
+        match n.Graph.op with
+        | Op.Input -> Graph.input g' (rescale "input" n.Graph.shape)
+        | Op.Constant { value } -> Graph.constant_lazy g' n.Graph.shape value
+        | Op.Reshape dims ->
+          Graph.add_op g'
+            (Op.Reshape (rescale "reshape" dims))
+            (List.map map_id n.Graph.inputs)
+        | op -> Graph.add_op g' op (List.map map_id n.Graph.inputs)
+      in
+      Hashtbl.replace remap n.Graph.id new_id)
+    (Graph.nodes g);
+  Graph.set_outputs g' (List.map map_id (Graph.outputs g));
+  g'

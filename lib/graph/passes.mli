@@ -43,3 +43,13 @@ val group_inputs : Graph.t -> group -> int list
 (** External node ids feeding the group, in deterministic order: the
     (prologue-substituted) operand order of the anchor followed by extra
     epilogue operands. *)
+
+val rebatch : Graph.t -> int -> Graph.t
+(** [rebatch g b] rebuilds [g] with its leading (batch) dimension rebound
+    to [b]: every input's leading dim — and every [Reshape] target's
+    leading dim — is scaled by [b / old_batch] (old batch = the first
+    input's leading dim, which must divide the dims it scales); all other
+    shapes are re-inferred. Constants are shared with [g], thunks
+    included. The serving registry uses this to derive batch-bucket plan
+    variants from HGF files. Raises [Invalid_argument] when a leading dim
+    does not scale or the result fails shape inference. *)

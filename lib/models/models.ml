@@ -361,3 +361,11 @@ module Tiny = struct
     G.set_outputs g [ out ];
     g
 end
+
+let tiny_all =
+  [
+    ("tiny_cnn", Tiny.cnn);
+    ("tiny_separable", Tiny.separable);
+    ("tiny_transformer", Tiny.transformer);
+    ("tiny_inception", Tiny.inception_module);
+  ]

@@ -54,3 +54,10 @@ module Tiny : sig
   val inception_module : unit -> Hidet_graph.Graph.t
   (** One Inception-A-style multi-branch module with concat. *)
 end
+
+val tiny_all : (string * (unit -> Hidet_graph.Graph.t)) list
+(** The {!Tiny} models by name ([tiny_cnn], [tiny_separable],
+    [tiny_transformer], [tiny_inception]): batch-1 graphs small enough to
+    execute on the simulator — the serving runtime's real-execution
+    workloads (batch-bucket variants come from {!Hidet_graph.Passes.rebatch}
+    since these builders are not batch-parameterized). *)

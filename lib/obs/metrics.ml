@@ -108,6 +108,28 @@ let hist_snapshot h =
   Mutex.unlock h.hlock;
   s
 
+let quantile (s : hist_snapshot) q =
+  if s.total = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = q *. float_of_int s.total in
+    let n = Array.length s.bounds in
+    let rec go i cum =
+      if i >= n then s.bounds.(n - 1)
+      else begin
+        let c = s.counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= rank then begin
+          let lo = if i = 0 then Float.min 0. s.bounds.(0) else s.bounds.(i - 1) in
+          let hi = s.bounds.(i) in
+          lo +. ((hi -. lo) *. ((rank -. float_of_int cum) /. float_of_int c))
+        end
+        else go (i + 1) cum'
+      end
+    in
+    go 0 0
+  end
+
 type snapshot = Counter of int | Gauge of float | Histogram of hist_snapshot
 
 let dump () =

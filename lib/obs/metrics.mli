@@ -39,7 +39,12 @@ type hist_snapshot = {
 
 val hist_snapshot : histogram -> hist_snapshot
 
-(** {1 Registry} *)
+val quantile : hist_snapshot -> float -> float
+(** [quantile snap q] estimates the [q]-quantile ([q] clamped to [0, 1])
+    by linear interpolation inside the bucket holding rank [q * total],
+    Prometheus-style: the first bucket's lower edge is 0 (or [bounds.(0)]
+    when that is negative), and any rank landing in the overflow bucket
+    returns the last finite bound. [nan] on an empty histogram. *)
 
 type snapshot =
   | Counter of int

@@ -45,6 +45,10 @@ let pp_metrics fmt () =
       | Metrics.Gauge v -> Format.fprintf fmt "%-40s %12g@," name v
       | Metrics.Histogram h ->
         Format.fprintf fmt "%-40s n=%d sum=%g" name h.Metrics.total h.Metrics.sum;
+        if h.Metrics.total > 0 then
+          Format.fprintf fmt " p50=%g p95=%g p99=%g"
+            (Metrics.quantile h 0.50) (Metrics.quantile h 0.95)
+            (Metrics.quantile h 0.99);
         Array.iteri
           (fun i c ->
             if c > 0 then

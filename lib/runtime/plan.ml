@@ -16,6 +16,32 @@ let kernel_count plan =
     (fun acc s -> acc + List.length s.compiled.Compiled.kernels)
     0 plan.steps
 
+(* OCaml's [Lazy] is not domain-safe: two domains forcing the same thunk
+   concurrently race (one can observe [Lazy.Undefined] or a torn memo).
+   Constant thunks are shared — across concurrent runs of one plan, and
+   across plans (batch-bucket variants of a model reuse the same weight
+   thunks) — so every force goes through one process-wide lock. Forcing is
+   once-only (the lazy memoizes under the lock); steady-state runs of a
+   [prepare]d plan never touch the lock's contended path because the memo
+   is already filled. *)
+let constant_lock = Mutex.create ()
+
+let force_constant value =
+  (* No [Lazy.is_val] fast path: even reading a lazy's state races with a
+     concurrent force. The lock is uncontended after [prepare]. *)
+  Mutex.lock constant_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock constant_lock)
+    (fun () -> Lazy.force value)
+
+let prepare plan =
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.op with
+      | Op.Constant { value } -> ignore (force_constant value)
+      | _ -> ())
+    (Graph.nodes plan.graph)
+
 let run ?(around = fun _ _ f -> f ()) plan bindings =
   let values = Hashtbl.create 64 in
   List.iter (fun (id, t) -> Hashtbl.replace values id t) bindings;
@@ -25,7 +51,7 @@ let run ?(around = fun _ _ f -> f ()) plan bindings =
     | None -> (
       match (Graph.node plan.graph id).Graph.op with
       | Op.Constant { value } ->
-        let t = Lazy.force value in
+        let t = force_constant value in
         Hashtbl.replace values id t;
         t
       | Op.Input ->

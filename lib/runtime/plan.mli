@@ -19,17 +19,26 @@ val latency : Hidet_gpu.Device.t -> t -> float
 
 val kernel_count : t -> int
 
+val prepare : t -> unit
+(** Eagerly force every constant of the plan's graph. Constant forcing is
+    serialized through a process-wide lock (OCaml's [Lazy] is not
+    domain-safe, and weight thunks are shared across the batch-bucket
+    variants of a model), so a prepared plan can be {!run} concurrently
+    from many domains without ever contending on that lock. Called by the
+    serving registry at model-load time; optional elsewhere — [run] forces
+    on demand under the same lock. *)
+
 val run :
   ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->
   t ->
   (int * Hidet_tensor.Tensor.t) list ->
   Hidet_tensor.Tensor.t list
 (** Execute on the simulator: bind graph inputs, force constants on
-    demand, run every step, return the graph outputs. Intended for
-    correctness tests on small graphs. [around step_index step exec]
-    wraps each step's execution (default: just calls [exec]); the
-    profiler uses it to capture per-step wall time and simulator
-    counters. *)
+    demand (domain-safely, see {!prepare}), run every step, return the
+    graph outputs. Intended for correctness tests on small graphs.
+    [around step_index step exec] wraps each step's execution (default:
+    just calls [exec]); the profiler uses it to capture per-step wall
+    time and simulator counters. *)
 
 val run1 :
   ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->

@@ -1,0 +1,44 @@
+type config = {
+  buckets : int list;
+  max_wait : float;
+  queue_cap : int;
+  batching : bool;
+}
+
+let validate cfg =
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  if cfg.buckets = [] || List.hd cfg.buckets <> 1 || not (increasing cfg.buckets)
+  then
+    invalid_arg
+      "Batcher: buckets must be strictly increasing and start at 1";
+  if cfg.max_wait < 0. then invalid_arg "Batcher: max_wait must be >= 0";
+  if cfg.queue_cap < 1 then invalid_arg "Batcher: queue_cap must be >= 1"
+
+let max_bucket cfg = List.fold_left max 1 cfg.buckets
+
+let bucket_for cfg n =
+  let n = max 1 (min n (max_bucket cfg)) in
+  match List.find_opt (fun b -> b >= n) cfg.buckets with
+  | Some b -> b
+  | None -> max_bucket cfg
+
+type decision = Dispatch of int | Wait_until of float | Wait_event
+
+let decide cfg ~now ~queue_len ~oldest_arrival ~draining =
+  if queue_len = 0 then Wait_event
+  else if not cfg.batching then Dispatch 1
+  else begin
+    let full = max_bucket cfg in
+    if queue_len >= full then Dispatch full
+      (* The timeout test and the timer target must be the same float
+         expression: the event loop advances the clock to exactly
+         [oldest + max_wait], and [(oldest +. w) -. oldest >= w] is not a
+         tautology in floating point — comparing against the sum directly
+         is what guarantees the timer's firing actually dispatches. *)
+    else if draining || now >= oldest_arrival +. cfg.max_wait then
+      Dispatch queue_len
+    else Wait_until (oldest_arrival +. cfg.max_wait)
+  end

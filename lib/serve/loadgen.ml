@@ -1,0 +1,68 @@
+module Tensor = Hidet_tensor.Tensor
+
+type request = { rid : int; client : int; arrival : float; deadline : float }
+
+type profile =
+  | Open_loop of { rps : float }
+  | Closed_loop of { clients : int; think : float }
+
+type burst = { start : float; dur : float; rps : float }
+
+type t = {
+  profile : profile;
+  duration : float;
+  deadline : float;
+  burst : burst option;
+  seed : int;
+}
+
+let validate lg =
+  (match lg.profile with
+  | Open_loop { rps } ->
+    if rps <= 0. then invalid_arg "Loadgen: rps must be > 0"
+  | Closed_loop { clients; think } ->
+    if clients < 1 then invalid_arg "Loadgen: clients must be >= 1";
+    (* think = 0 can livelock the virtual clock: a shed or rejected client
+       would reissue at the same instant, forever. *)
+    if think <= 0. then invalid_arg "Loadgen: think must be > 0");
+  if lg.duration <= 0. then invalid_arg "Loadgen: duration must be > 0";
+  if lg.deadline <= 0. then invalid_arg "Loadgen: deadline must be > 0";
+  match lg.burst with
+  | Some b when b.rps <= 0. || b.dur <= 0. ->
+    invalid_arg "Loadgen: burst rps and dur must be > 0"
+  | _ -> ()
+
+(* One Poisson stream: exponential inter-arrival gaps at [rps], offset by
+   [start], truncated to [start + dur]. *)
+let poisson rng ~rps ~start ~dur =
+  let rec go t acc =
+    let u = Random.State.float rng 1.0 in
+    let t = t +. (-.log (1.0 -. u) /. rps) in
+    if t >= start +. dur then List.rev acc else go t (t :: acc)
+  in
+  go start []
+
+let open_arrivals lg =
+  match lg.profile with
+  | Closed_loop _ -> []
+  | Open_loop { rps } ->
+    let base =
+      poisson (Random.State.make [| lg.seed; 0x0a11 |]) ~rps ~start:0.
+        ~dur:lg.duration
+    in
+    let extra =
+      match lg.burst with
+      | None -> []
+      | Some b ->
+        let dur = Float.min b.dur (lg.duration -. b.start) in
+        if dur <= 0. then []
+        else
+          poisson (Random.State.make [| lg.seed; 0xb125 |]) ~rps:b.rps
+            ~start:b.start ~dur
+    in
+    List.merge compare base extra
+
+let synth_inputs ~seed ~shapes rid =
+  List.mapi
+    (fun i shape -> Tensor.rand ~seed:(seed + (rid * 7919) + (i * 131)) shape)
+    shapes

@@ -1,0 +1,50 @@
+(** Seeded load generation: requests, traffic profiles, input synthesis.
+
+    Everything is a pure function of the profile's seed — arrival times,
+    per-request inputs — so two runs of [hidetc serve --seed N] see the
+    same traffic and (because the server decides in virtual time) make the
+    same decisions. There is no wall clock anywhere in this module. *)
+
+type request = {
+  rid : int;  (** dense, in arrival order *)
+  client : int;  (** issuing closed-loop client; 0 for open-loop traffic *)
+  arrival : float;  (** virtual seconds since the run started *)
+  deadline : float;  (** absolute virtual time the SLO expires *)
+}
+
+type profile =
+  | Open_loop of { rps : float }
+      (** Poisson arrivals at the offered rate, independent of completions
+          (models external traffic; overload is possible) *)
+  | Closed_loop of { clients : int; think : float }
+      (** each client issues a request, waits for its response (or its
+          shed/reject notice), thinks [think] seconds (strictly positive —
+          an instantly-retrying rejected client would freeze the virtual
+          clock), repeats *)
+
+type burst = { start : float; dur : float; rps : float }
+(** Extra open-loop Poisson traffic inside [\[start, start + dur)] — the
+    overload spike the smoke test uses to prove shedding activates. *)
+
+type t = {
+  profile : profile;
+  duration : float;  (** virtual seconds of traffic generation *)
+  deadline : float;  (** per-request SLO, seconds after arrival *)
+  burst : burst option;
+  seed : int;
+}
+
+val validate : t -> unit
+
+val open_arrivals : t -> float list
+(** Sorted arrival times in [\[0, duration)] for [Open_loop] traffic
+    (base stream merged with the burst stream, each seeded independently
+    so adding a burst does not reshuffle the base arrivals). [\[\]] for
+    [Closed_loop] — those arrivals depend on completions and are produced
+    by the server loop. *)
+
+val synth_inputs : seed:int -> shapes:int list list -> int -> Hidet_tensor.Tensor.t list
+(** [synth_inputs ~seed ~shapes rid]: the request's input tensors,
+    deterministic in [(seed, rid)] alone — the executor materializes them
+    at batch-assembly time and the checker re-materializes them to verify
+    responses against the batch-1 plan. *)

@@ -1,0 +1,100 @@
+module T = Hidet_tensor.Tensor
+module G = Hidet_graph.Graph
+module Plan = Hidet_runtime.Plan
+module Parallel = Hidet_parallel.Parallel
+module Metrics = Hidet_obs.Metrics
+module Trace = Hidet_obs.Trace
+
+type batch = {
+  bid : int;
+  bucket : int;
+  members : Loadgen.request list;
+  dispatch : float;
+  completion : float;
+  worker : int;
+}
+
+let padded_rows b = b.bucket - List.length b.members
+
+let m_exec_batches = Metrics.counter "serve.exec_batches"
+let m_check_failures = Metrics.counter "serve.check_failures"
+
+(* Stack member rows (leading dim 1 each) along axis 0 and zero-pad the
+   tail up to [bucket]. A full one-member bucket-1 batch passes through. *)
+let assemble ~bucket rows =
+  match rows with
+  | [ r ] when bucket = 1 -> r
+  | r :: _ ->
+    let tail = List.tl (T.shape r) in
+    let pad = bucket - List.length rows in
+    let rows =
+      if pad = 0 then rows else rows @ [ T.create (pad :: tail) ]
+    in
+    T.concat rows ~axis:0
+  | [] -> invalid_arg "Pool: empty batch"
+
+let run_batch ~seed model b =
+  let variant = Registry.variant_exn model b.bucket in
+  Trace.span "serve.exec_batch"
+    ~attrs:(fun () ->
+      [
+        ("model", model.Registry.name);
+        ("bucket", string_of_int b.bucket);
+        ("members", string_of_int (List.length b.members));
+        ("padded", string_of_int (padded_rows b));
+        ("worker", string_of_int b.worker);
+      ])
+    (fun _ ->
+      let per_member =
+        List.map
+          (fun (r : Loadgen.request) ->
+            Loadgen.synth_inputs ~seed ~shapes:model.Registry.input_shapes
+              r.Loadgen.rid)
+          b.members
+      in
+      let inputs =
+        List.mapi
+          (fun i _ ->
+            assemble ~bucket:b.bucket
+              (List.map (fun tensors -> List.nth tensors i) per_member))
+          model.Registry.input_shapes
+      in
+      let bindings =
+        List.combine (G.input_ids variant.Registry.graph) inputs
+      in
+      let out =
+        match Plan.run variant.Registry.plan bindings with
+        | [ o ] -> o
+        | _ -> invalid_arg "Pool: served plans have exactly one output"
+      in
+      let rest = List.map (fun d -> (0, d)) (List.tl (T.shape out)) in
+      Metrics.incr m_exec_batches;
+      List.mapi
+        (fun j (r : Loadgen.request) ->
+          (r.Loadgen.rid, T.slice out ((j, 1) :: rest)))
+        b.members)
+
+let execute ?workers ~seed model batches =
+  let results =
+    Parallel.map ?workers (run_batch ~seed model) (Array.of_list batches)
+  in
+  List.concat (Array.to_list results)
+
+let check ~seed model responses =
+  let v1 = Registry.variant_exn model 1 in
+  let mismatches =
+    Parallel.map
+      (fun (rid, (got : T.t)) ->
+        let inputs =
+          Loadgen.synth_inputs ~seed ~shapes:model.Registry.input_shapes rid
+        in
+        let want = Plan.run1 v1.Registry.plan inputs in
+        (* Polymorphic compare on the raw arrays: bit-exact, NaN-robust. *)
+        if compare (T.data got) (T.data want) = 0 then 0 else 1)
+      (Array.of_list responses)
+  in
+  let bad = Array.fold_left ( + ) 0 mismatches in
+  for _ = 1 to bad do
+    Metrics.incr m_check_failures
+  done;
+  bad

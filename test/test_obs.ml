@@ -318,6 +318,41 @@ let test_metrics_registry () =
   Alcotest.(check (array int)) "buckets" [| 1; 1; 2 |] s.Metrics.counts;
   Alcotest.(check int) "total" 4 s.Metrics.total
 
+(* Exact values, hand-computed: counts [1; 2; 1] over bounds [10; 20; 30]
+   with Prometheus-style linear interpolation inside the target bucket. *)
+let test_quantile_exact () =
+  let h = Metrics.histogram ~bounds:[| 10.; 20.; 30. |] "test.obs.quantile" in
+  Alcotest.(check bool) "empty histogram has no quantile" true
+    (Float.is_nan (Metrics.quantile (Metrics.hist_snapshot h) 0.5));
+  List.iter (Metrics.observe h) [ 5.; 15.; 15.; 25. ];
+  let q p = Metrics.quantile (Metrics.hist_snapshot h) p in
+  (* rank = q * 4; the rank-2 sample sits halfway into bucket (10, 20]. *)
+  Alcotest.(check (float 1e-9)) "q=0 is the distribution floor" 0. (q 0.);
+  Alcotest.(check (float 1e-9)) "p25 = first bucket's edge" 10. (q 0.25);
+  Alcotest.(check (float 1e-9)) "p50 interpolates mid-bucket" 15. (q 0.5);
+  Alcotest.(check (float 1e-9)) "p75 lands on a bucket edge" 20. (q 0.75);
+  Alcotest.(check (float 1e-9)) "p95 interpolates the last bucket" 28. (q 0.95);
+  Alcotest.(check (float 1e-9)) "p100 = last edge" 30. (q 1.);
+  Alcotest.(check (float 1e-9)) "out-of-range q clamps" 30. (q 2.);
+  (* Overflow observations clamp the estimate to the last finite bound. *)
+  Metrics.observe h 1e9;
+  Alcotest.(check (float 1e-9)) "overflow clamps to the last bound" 30.
+    (Metrics.quantile (Metrics.hist_snapshot h) 1.)
+
+let test_summary_prints_percentiles () =
+  let h = Metrics.histogram ~bounds:[| 1.; 2. |] "test.obs.summary_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 1.5; 3. ];
+  let out = Format.asprintf "%a" Hidet_obs.Summary.pp_metrics () in
+  let contains needle =
+    let n = String.length needle and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "p50="; "p95="; "p99=" ]
+
 (* --- tuning log TSV ------------------------------------------------------------- *)
 
 let with_temp_file f =
@@ -398,7 +433,12 @@ let () =
           Alcotest.test_case "escape roundtrip" `Quick test_json_escape_roundtrip;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "quantile exact values" `Quick test_quantile_exact;
+          Alcotest.test_case "summary prints percentiles" `Quick
+            test_summary_prints_percentiles;
+        ] );
       ( "tuning log",
         [ Alcotest.test_case "tsv export" `Quick test_tuning_log_tsv ] );
     ]

@@ -113,6 +113,50 @@ let test_plan_accounting () =
   let src = Plan.cuda_source plan in
   Alcotest.(check bool) "cuda source nonempty" true (String.length src > 200)
 
+(* Weight thunks ([Graph.constant_lazy]) are shared across plans and OCaml's
+   [Lazy] is not domain-safe: unsynchronized concurrent forcing can raise
+   [Lazy.Undefined] or run the thunk twice. [Plan.run] serializes forcing, so
+   the thunk runs exactly once no matter how many domains race through it. *)
+let lazy_weight_graph counter =
+  let g = G.create () in
+  let x = G.input g [ 4; 8 ] in
+  let w =
+    G.constant_lazy g [ 8; 8 ]
+      (lazy
+        (Atomic.incr counter;
+         T.rand ~seed:1 [ 8; 8 ]))
+  in
+  G.set_outputs g [ G.relu g (G.matmul g x w) ];
+  g
+
+let test_constant_forced_once_across_domains () =
+  let forced = Atomic.make 0 in
+  let plan =
+    GC.compile_graph (rule_based_config ~fuse:true) (lazy_weight_graph forced)
+  in
+  let x = T.rand ~seed:2 [ 4; 8 ] in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Plan.run1 plan [ x ]))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "thunk ran exactly once" 1 (Atomic.get forced);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "all domains agree bit for bit" true
+        (compare (T.data r) (T.data (List.hd results)) = 0))
+    results
+
+let test_prepare_forces_constants_eagerly () =
+  let forced = Atomic.make 0 in
+  let plan =
+    GC.compile_graph (rule_based_config ~fuse:true) (lazy_weight_graph forced)
+  in
+  Alcotest.(check int) "compilation does not force weights" 0 (Atomic.get forced);
+  Plan.prepare plan;
+  Alcotest.(check int) "prepare forces them" 1 (Atomic.get forced);
+  ignore (Plan.run1 plan [ T.rand ~seed:2 [ 4; 8 ] ]);
+  Alcotest.(check int) "run reuses the forced value" 1 (Atomic.get forced)
+
 let () =
   Alcotest.run "hidet_runtime"
     [
@@ -122,6 +166,10 @@ let () =
           Alcotest.test_case "multi-output" `Quick test_multi_output_graph;
           Alcotest.test_case "unbound input" `Quick test_unbound_input_rejected;
           Alcotest.test_case "accounting" `Quick test_plan_accounting;
+          Alcotest.test_case "constants force once across domains" `Quick
+            test_constant_forced_once_across_domains;
+          Alcotest.test_case "prepare forces constants eagerly" `Quick
+            test_prepare_forces_constants_eagerly;
         ] );
       ( "group compiler",
         [

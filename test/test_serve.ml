@@ -1,0 +1,406 @@
+(* Tests for the serving runtime: batcher decisions (including the
+   floating-point timer boundary), seeded load generation, virtual-time
+   scheduling invariants and qcheck determinism (same seed => identical
+   batch compositions and shed sets), bucket-variant compilation hitting
+   the schedule cache instead of re-tuning, and batched execution agreeing
+   bit-for-bit with the batch-1 plan. *)
+
+module B = Hidet_serve.Batcher
+module L = Hidet_serve.Loadgen
+module R = Hidet_serve.Registry
+module P = Hidet_serve.Pool
+module Srv = Hidet_serve.Server
+module HE = Hidet.Hidet_engine
+module Metrics = Hidet_obs.Metrics
+module SC = Hidet_sched.Schedule_cache
+module T = Hidet_tensor.Tensor
+
+let dev = Hidet_gpu.Device.rtx3090
+
+let bcfg ?(buckets = [ 1; 2; 4; 8 ]) ?(max_wait = 0.02) ?(queue_cap = 16)
+    ?(batching = true) () =
+  { B.buckets; max_wait; queue_cap; batching }
+
+let scfg ?(batcher = bcfg ()) ?(workers = 2) ?(max_inflight = 2)
+    ?(service_scale = 1.) () =
+  { Srv.batcher; workers; max_inflight; service_scale }
+
+(* --- batcher ---------------------------------------------------------------- *)
+
+let test_bucket_for () =
+  let cfg = bcfg () in
+  Alcotest.(check int) "1 -> 1" 1 (B.bucket_for cfg 1);
+  Alcotest.(check int) "3 -> 4" 4 (B.bucket_for cfg 3);
+  Alcotest.(check int) "4 -> 4" 4 (B.bucket_for cfg 4);
+  Alcotest.(check int) "clamp above" 8 (B.bucket_for cfg 100);
+  Alcotest.(check int) "clamp below" 1 (B.bucket_for cfg 0)
+
+let test_validate_rejects () =
+  let bad cfg =
+    match B.validate cfg with
+    | () -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (bcfg ~buckets:[] ());
+  bad (bcfg ~buckets:[ 2; 4 ] ());
+  bad (bcfg ~buckets:[ 1; 4; 2 ] ());
+  bad (bcfg ~max_wait:(-1.) ());
+  bad (bcfg ~queue_cap:0 ());
+  B.validate (bcfg ())
+
+let test_decide () =
+  let cfg = bcfg () in
+  let d = B.decide cfg ~draining:false in
+  Alcotest.(check bool) "empty queue waits for events" true
+    (d ~now:1. ~queue_len:0 ~oldest_arrival:0. = B.Wait_event);
+  Alcotest.(check bool) "full bucket dispatches" true
+    (d ~now:1. ~queue_len:9 ~oldest_arrival:1. = B.Dispatch 8);
+  Alcotest.(check bool) "stale head dispatches partial" true
+    (d ~now:1. ~queue_len:3 ~oldest_arrival:0.9 = B.Dispatch 3);
+  Alcotest.(check bool) "fresh partial batch waits" true
+    (d ~now:1. ~queue_len:3 ~oldest_arrival:0.995 = B.Wait_until 1.015);
+  Alcotest.(check bool) "draining flushes immediately" true
+    (B.decide cfg ~draining:true ~now:1. ~queue_len:3 ~oldest_arrival:0.999
+    = B.Dispatch 3);
+  let solo = bcfg ~batching:false () in
+  Alcotest.(check bool) "batching off dispatches singles" true
+    (B.decide solo ~draining:false ~now:1. ~queue_len:5 ~oldest_arrival:1.
+    = B.Dispatch 1)
+
+(* Regression: the event loop advances the clock to exactly the returned
+   [Wait_until] target; the timeout test must fire there even though
+   [(oldest +. w) -. oldest >= w] is not a floating-point tautology. *)
+let test_decide_timer_boundary () =
+  let cfg = bcfg ~max_wait:0.02 () in
+  List.iter
+    (fun oldest ->
+      match
+        B.decide cfg ~draining:false ~now:(oldest +. 0.02) ~queue_len:2
+          ~oldest_arrival:oldest
+      with
+      | B.Dispatch 2 -> ()
+      | _ -> Alcotest.failf "timer did not fire at oldest=%.17g" oldest)
+    [ 0.1; 1.; 3.7; 1234.56789; 1e6; 0.30000000000000004 ]
+
+(* --- loadgen ---------------------------------------------------------------- *)
+
+let lg ?(rps = 50.) ?(duration = 1.) ?(deadline = 0.5) ?burst ?(seed = 7) () =
+  { L.profile = L.Open_loop { rps }; duration; deadline; burst; seed }
+
+let test_open_arrivals () =
+  let base = L.open_arrivals (lg ()) in
+  Alcotest.(check bool) "nonempty" true (base <> []);
+  Alcotest.(check bool) "sorted, in range" true
+    (List.for_all (fun t -> t >= 0. && t < 1.) base
+    && List.sort compare base = base);
+  Alcotest.(check bool) "same seed, same stream" true
+    (base = L.open_arrivals (lg ()));
+  Alcotest.(check bool) "different seed, different stream" true
+    (base <> L.open_arrivals (lg ~seed:8 ()));
+  let with_burst =
+    L.open_arrivals (lg ~burst:{ L.start = 0.4; dur = 0.2; rps = 300. } ())
+  in
+  Alcotest.(check bool) "burst only adds arrivals (base stream unchanged)"
+    true
+    (List.for_all (fun t -> List.mem t with_burst) base);
+  Alcotest.(check bool) "burst extras stay inside the window" true
+    (List.for_all
+       (fun t -> t >= 0.4 && t < 0.6)
+       (List.filter (fun t -> not (List.mem t base)) with_burst))
+
+let test_synth_inputs () =
+  let shapes = [ [ 1; 3; 4 ]; [ 4; 5 ] ] in
+  let a = L.synth_inputs ~seed:1 ~shapes 0 in
+  Alcotest.(check (list (list int))) "shapes" shapes (List.map T.shape a);
+  Alcotest.(check bool) "deterministic" true
+    (compare a (L.synth_inputs ~seed:1 ~shapes 0) = 0);
+  Alcotest.(check bool) "rid-dependent" true
+    (compare a (L.synth_inputs ~seed:1 ~shapes 1) <> 0)
+
+(* --- virtual-time server --------------------------------------------------- *)
+
+let count records f = List.length (List.filter f records)
+let is_completed r = match r.Srv.outcome with Srv.Completed _ -> true | _ -> false
+let is_shed r = match r.Srv.outcome with Srv.Shed _ -> true | _ -> false
+let is_rejected r = match r.Srv.outcome with Srv.Rejected _ -> true | _ -> false
+
+(* One closed-loop client, constant 10 ms service, 10 ms think: requests
+   at 0, 0.02 and 0.04 virtual seconds, each alone in a bucket-1 batch. *)
+let test_closed_loop_hand_check () =
+  let s =
+    Srv.simulate (scfg ())
+      ~latency:(fun _ -> 0.01)
+      {
+        L.profile = L.Closed_loop { clients = 1; think = 0.01 };
+        duration = 0.05;
+        deadline = 1.;
+        burst = None;
+        seed = 0;
+      }
+  in
+  Alcotest.(check int) "three requests" 3 (List.length s.Srv.records);
+  Alcotest.(check int) "three singleton batches" 3 (List.length s.Srv.batches);
+  List.iter
+    (fun r ->
+      match r.Srv.outcome with
+      | Srv.Completed { completion; _ } ->
+        Alcotest.(check (float 1e-9)) "e2e is one service time" 0.01
+          (completion -. r.Srv.req.L.arrival)
+      | _ -> Alcotest.fail "all requests complete")
+    s.Srv.records;
+  Alcotest.(check (float 1e-9)) "makespan" 0.05 s.Srv.makespan
+
+let test_hopeless_requests_are_shed_not_run () =
+  let s =
+    Srv.simulate (scfg ())
+      ~latency:(fun _ -> 0.01)
+      (lg ~deadline:0.001 ())
+  in
+  Alcotest.(check int) "nothing executed" 0 (List.length s.Srv.batches);
+  Alcotest.(check bool) "everything shed" true
+    (s.Srv.records <> [] && List.for_all is_shed s.Srv.records)
+
+let test_backpressure_rejects () =
+  let cfg = scfg ~batcher:(bcfg ~queue_cap:2 ~max_wait:0.05 ()) ~workers:1 ~max_inflight:1 () in
+  let s = Srv.simulate cfg ~latency:(fun _ -> 0.05) (lg ~rps:200. ~duration:0.3 ~deadline:10. ()) in
+  Alcotest.(check bool) "queue bound rejects the excess" true
+    (count s.Srv.records is_rejected > 0);
+  Alcotest.(check bool) "queue depth never exceeds cap" true
+    (List.for_all (fun (b : P.batch) -> List.length b.P.members <= 2 + 1) s.Srv.batches)
+
+let test_overload_burst_sheds () =
+  let cfg = scfg ~batcher:(bcfg ~queue_cap:64 ()) () in
+  let s =
+    Srv.simulate cfg
+      ~latency:(fun b -> 0.01 *. (1. +. (0.2 *. float_of_int b)))
+      (lg ~rps:40. ~deadline:0.08
+         ~burst:{ L.start = 0.3; dur = 0.2; rps = 2000. }
+         ())
+  in
+  Alcotest.(check bool) "burst activates shedding" true
+    (count s.Srv.records is_shed > 0);
+  Alcotest.(check bool) "steady load still completes" true
+    (count s.Srv.records is_completed > 0)
+
+let test_conservation () =
+  let s =
+    Srv.simulate (scfg ())
+      ~latency:(fun b -> 0.002 *. float_of_int b)
+      (lg ~rps:150. ~deadline:0.05 ())
+  in
+  let completed = count s.Srv.records is_completed in
+  Alcotest.(check int) "every request has exactly one outcome"
+    (List.length s.Srv.records)
+    (completed + count s.Srv.records is_shed + count s.Srv.records is_rejected);
+  Alcotest.(check int) "batch members account for every completion" completed
+    (List.fold_left (fun a (b : P.batch) -> a + List.length b.P.members) 0 s.Srv.batches);
+  List.iter
+    (fun (b : P.batch) ->
+      Alcotest.(check bool) "members fit the bucket" true
+        (List.length b.P.members >= 1 && List.length b.P.members <= b.P.bucket))
+    s.Srv.batches
+
+(* Satellite: same seed => identical schedules — batch compositions, shed
+   sets, timings — across repeated runs, for random configs and traffic. *)
+let prop_simulate_deterministic =
+  let gen =
+    let open QCheck.Gen in
+    let profile =
+      oneof
+        [
+          map (fun rps -> L.Open_loop { rps = float_of_int rps }) (int_range 5 200);
+          map2
+            (fun c think ->
+              L.Closed_loop { clients = c; think = 0.001 *. float_of_int think })
+            (int_range 1 5) (int_range 1 40);
+        ]
+    in
+    let burst =
+      opt
+        (map2
+           (fun s rps ->
+             { L.start = 0.05 *. float_of_int s; dur = 0.2; rps = float_of_int rps })
+           (int_range 0 10) (int_range 100 1000))
+    in
+    let lg =
+      map2
+        (fun (profile, burst) (duration, deadline, seed) ->
+          {
+            L.profile;
+            duration = 0.1 *. float_of_int duration;
+            deadline = 0.01 *. float_of_int deadline;
+            burst;
+            seed;
+          })
+        (pair profile burst)
+        (triple (int_range 2 10) (int_range 2 40) (int_range 0 1000))
+    in
+    let cfg =
+      map2
+        (fun (mw, cap, batching) (workers, inflight) ->
+          {
+            Srv.batcher =
+              {
+                B.buckets = [ 1; 2; 4; 8 ];
+                max_wait = 0.002 *. float_of_int mw;
+                queue_cap = cap;
+                batching;
+              };
+            workers;
+            max_inflight = inflight;
+            service_scale = 1.;
+          })
+        (triple (int_range 0 20) (int_range 1 64) bool)
+        (pair (int_range 1 4) (int_range 1 4))
+    in
+    pair cfg lg
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (cfg, lg) ->
+        Printf.sprintf
+          "seed=%d dur=%g dl=%g batching=%b cap=%d mw=%g workers=%d inflight=%d burst=%b %s"
+          lg.L.seed lg.L.duration lg.L.deadline cfg.Srv.batcher.B.batching
+          cfg.Srv.batcher.B.queue_cap cfg.Srv.batcher.B.max_wait
+          cfg.Srv.workers cfg.Srv.max_inflight (lg.L.burst <> None)
+          (match lg.L.profile with
+          | L.Open_loop { rps } -> Printf.sprintf "open rps=%g" rps
+          | L.Closed_loop { clients; think } ->
+            Printf.sprintf "closed clients=%d think=%g" clients think))
+  in
+  QCheck.Test.make ~name:"same seed => identical schedule" ~count:30 arb
+    (fun (cfg, lg) ->
+      let latency b = 0.003 *. (1. +. (0.25 *. float_of_int b)) in
+      let s1 = Srv.simulate cfg ~latency lg in
+      let s2 = Srv.simulate cfg ~latency lg in
+      compare s1 s2 = 0)
+
+(* --- registry, schedule cache, real execution ------------------------------ *)
+
+(* Compiling the batch buckets twice must tune each distinct kernel shape
+   exactly once: the second load performs zero fresh tuner trials and is
+   served entirely by the schedule cache. *)
+let test_bucket_variants_tune_once () =
+  SC.clear ();
+  let trials () = Metrics.value (Metrics.counter "tuner.trials") in
+  let hits () = Metrics.value (Metrics.counter "schedule_cache.hits") in
+  let load () =
+    R.load ~engine:(module HE) ~device:dev ~buckets:[ 1; 2; 4; 8 ]
+      (R.Zoo "tiny_cnn")
+  in
+  let t0 = trials () in
+  let m1 = load () in
+  let t1 = trials () in
+  Alcotest.(check bool) "cold load runs fresh trials" true (t1 > t0);
+  let h1 = hits () in
+  let m2 = load () in
+  Alcotest.(check int) "warm load performs zero fresh trials" t1 (trials ());
+  Alcotest.(check bool) "warm load is served by the schedule cache" true
+    (hits () > h1);
+  List.iter
+    (fun (v : R.variant) ->
+      Alcotest.(check (float 0.)) "no fresh tuning cost on the warm load" 0.
+        v.R.result.Hidet_runtime.Engine.tuning_cost)
+    m2.R.variants;
+  Alcotest.(check (list int)) "ascending buckets" [ 1; 2; 4; 8 ]
+    (List.map (fun (v : R.variant) -> v.R.bucket) m1.R.variants);
+  (* bucket 1 is always compiled, even when not requested *)
+  let m3 = R.load ~engine:(module HE) ~device:dev ~buckets:[ 4 ] (R.Zoo "tiny_cnn") in
+  Alcotest.(check (list int)) "bucket 1 added" [ 1; 4 ]
+    (List.map (fun (v : R.variant) -> v.R.bucket) m3.R.variants)
+
+let model =
+  lazy
+    (R.load ~engine:(module HE) ~device:dev ~buckets:[ 1; 2; 4; 8 ]
+       (R.Zoo "tiny_separable"))
+
+let req rid = { L.rid; client = -1; arrival = 0.; deadline = 1. }
+
+(* Satellite: every bucket's output rows equal the per-request batch-1
+   reference bit for bit; padded tail rows never leak into responses. *)
+let test_bucket_outputs_match_batch1 () =
+  let model = Lazy.force model in
+  let mk bid bucket rids =
+    {
+      P.bid;
+      bucket;
+      members = List.map req rids;
+      dispatch = 0.;
+      completion = 0.;
+      worker = 0;
+    }
+  in
+  let batches =
+    [
+      mk 0 1 [ 0 ];
+      mk 1 2 [ 1; 2 ];
+      mk 2 4 [ 3; 4; 5 ];
+      mk 3 8 [ 6; 7; 8; 9; 10 ];
+    ]
+  in
+  Alcotest.(check int) "padding counted" 4
+    (List.fold_left (fun a b -> a + P.padded_rows b) 0 batches);
+  let responses = P.execute ~seed:5 model batches in
+  Alcotest.(check int) "one response per member" 11 (List.length responses);
+  Alcotest.(check int) "all responses bit-identical to batch-1" 0
+    (P.check ~seed:5 model responses)
+
+let test_serve_end_to_end () =
+  let model = Lazy.force model in
+  let cfg = scfg ~service_scale:2000. () in
+  let r =
+    Srv.run cfg model
+      (lg ~rps:30. ~duration:0.6 ~deadline:0.3 ~seed:2 ())
+  in
+  Alcotest.(check (option int)) "no mismatches" (Some 0) r.Srv.mismatches;
+  Alcotest.(check bool) "some requests completed" true
+    (r.Srv.summary.Srv.completed > 0);
+  Alcotest.(check bool) "some real batching happened" true
+    (List.exists
+       (fun (b : P.batch) -> List.length b.P.members > 1)
+       r.Srv.schedule.Srv.batches);
+  Alcotest.(check int) "a response per completion"
+    r.Srv.summary.Srv.completed
+    (List.length r.Srv.responses)
+
+let () =
+  Alcotest.run "hidet_serve"
+    [
+      ( "batcher",
+        [
+          Alcotest.test_case "bucket_for" `Quick test_bucket_for;
+          Alcotest.test_case "validate rejects bad configs" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "decide" `Quick test_decide;
+          Alcotest.test_case "timer fires at its own boundary" `Quick
+            test_decide_timer_boundary;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "open-loop arrivals" `Quick test_open_arrivals;
+          Alcotest.test_case "synthesized inputs" `Quick test_synth_inputs;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "closed-loop hand check" `Quick
+            test_closed_loop_hand_check;
+          Alcotest.test_case "hopeless requests shed, not run" `Quick
+            test_hopeless_requests_are_shed_not_run;
+          Alcotest.test_case "bounded queue rejects" `Quick
+            test_backpressure_rejects;
+          Alcotest.test_case "overload burst sheds" `Quick
+            test_overload_burst_sheds;
+          Alcotest.test_case "outcome conservation" `Quick test_conservation;
+          QCheck_alcotest.to_alcotest prop_simulate_deterministic;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "bucket variants tune once" `Quick
+            test_bucket_variants_tune_once;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "bucket outputs match batch-1" `Quick
+            test_bucket_outputs_match_batch1;
+          Alcotest.test_case "serve end to end" `Quick test_serve_end_to_end;
+        ] );
+    ]
