@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke serve-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke clean
 
 all:
 	dune build @all
@@ -41,6 +41,21 @@ bench-interp-smoke:
 	./_build/default/bench/main.exe --only interp --quick \
 	  --out _build/BENCH_interp.smoke.json
 
+# Native backend smoke test: fuzz the dynlinked native backend against
+# the closure backend (bit-exact) on a fixed seed, then re-run the interp
+# bench, whose gate also requires native > closure statements/sec on the
+# quickstart matmul whenever the toolchain probe succeeds. On a machine
+# without ocamlfind/ocamlopt both steps degrade to visible skips (the
+# fuzz path reports Skip with the probe's reason; the bench drops the
+# native column with a note) and the target still passes — the native
+# backend is an accelerator, not a requirement.
+native-smoke:
+	dune build bin/hidetc.exe bench/main.exe
+	./_build/default/bin/hidetc.exe fuzz --paths native --seed 42 \
+	  --cases 400 --quiet
+	./_build/default/bench/main.exe --only interp --quick \
+	  --out _build/BENCH_interp.native-smoke.json
+
 # Serving smoke test: a couple of seconds of simulated traffic against a
 # tiny model through the dynamic batcher, including an overload burst and
 # one really-executed, bit-verified run. The experiment exits non-zero
@@ -58,11 +73,14 @@ serve-smoke:
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
 # valid output, the differential fuzzer must run clean, the compiled
-# simulator backend must beat the legacy interpreter, and the serving
-# runtime must batch, shed and verify correctly under load.
+# simulator backend must beat the legacy interpreter, the native backend
+# must hold bit-exact parity and beat the closure backend (or skip
+# visibly when no toolchain is present), and the serving runtime must
+# batch, shed and verify correctly under load.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
-	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && $(MAKE) serve-smoke
+	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && \
+	  $(MAKE) native-smoke && $(MAKE) serve-smoke
 
 clean:
 	dune clean

@@ -504,11 +504,22 @@ let interp_quick = ref false
 let interp_out = ref "BENCH_interp.json"
 
 let bench_interp () =
-  section "bench: interp — legacy tree-walking vs closure-compiled execution";
+  section
+    "bench: interp — legacy tree-walking vs closure-compiled vs native \
+     execution";
   let module Metrics = Hidet_obs.Metrics in
   let module T = Hidet_tensor.Tensor in
   let stmt_counter = Metrics.counter "sim.statements" in
   let quick = !interp_quick in
+  let native_ok =
+    match Hidet_gpu.Exec_ocaml.available () with
+    | Ok () -> true
+    | Error reason ->
+        Printf.printf
+          "note: native backend unavailable (%s); native column skipped\n"
+          reason;
+        false
+  in
   let matmul =
     let m = 123 and n = 77 and k = 45 in
     ( Printf.sprintf "quickstart_matmul_%dx%dx%d" m n k,
@@ -534,14 +545,15 @@ let bench_interp () =
     done;
     (Unix.gettimeofday () -. t0) /. float_of_int reps
   in
-  Printf.printf "%-36s %12s %12s %12s %14s %14s %8s\n" "workload" "stmts/launch"
-    "legacy (ms)" "compiled(ms)" "legacy st/s" "compiled st/s" "speedup";
+  Printf.printf "%-36s %12s %12s %12s %14s %14s %14s %8s %8s\n" "workload"
+    "stmts/launch" "legacy (ms)" "compiled(ms)" "legacy st/s" "compiled st/s"
+    "native st/s" "speedup" "nat/cmp";
   let rows =
     List.map
       (fun (name, c, inputs) ->
         (* A warm run (also JIT/allocator warm-up) yields the per-launch
-           statement count; the two backends execute the same statements, so
-           one count serves both throughput figures. *)
+           statement count; all backends execute the same statements, so one
+           count serves every throughput figure. *)
         let before = Metrics.value stmt_counter in
         ignore (C.run c inputs);
         let stmts = Metrics.value stmt_counter - before in
@@ -551,39 +563,86 @@ let bench_interp () =
         let wall_compiled =
           time (if quick then 3 else 10) (fun () -> C.run c inputs)
         in
+        let native_sps =
+          if not native_ok then None
+          else begin
+            (* Warm run pays codegen + ocamlopt + dynlink once; the timed
+               runs below hit the per-process memo, which is the steady
+               state the backend exists for. *)
+            ignore (C.run ~backend:`Native c inputs);
+            let wall =
+              time
+                (if quick then 3 else 10)
+                (fun () -> C.run ~backend:`Native c inputs)
+            in
+            Some (float_of_int stmts /. wall)
+          end
+        in
         let legacy_sps = float_of_int stmts /. wall_legacy in
         let compiled_sps = float_of_int stmts /. wall_compiled in
         let speedup = compiled_sps /. legacy_sps in
-        Printf.printf "%-36s %12d %12.2f %12.2f %14.3g %14.3g %7.1fx\n%!" name
-          stmts (ms wall_legacy) (ms wall_compiled) legacy_sps compiled_sps
-          speedup;
-        (name, stmts, wall_legacy, wall_compiled, legacy_sps, compiled_sps))
+        let nat_col =
+          match native_sps with
+          | None -> Printf.sprintf "%14s" "-"
+          | Some n -> Printf.sprintf "%14.3g" n
+        in
+        let ratio_col =
+          match native_sps with
+          | None -> Printf.sprintf "%8s" "-"
+          | Some n -> Printf.sprintf "%7.1fx" (n /. compiled_sps)
+        in
+        Printf.printf "%-36s %12d %12.2f %12.2f %14.3g %14.3g %s %7.1fx %s\n%!"
+          name stmts (ms wall_legacy) (ms wall_compiled) legacy_sps compiled_sps
+          nat_col speedup ratio_col;
+        (name, stmts, wall_legacy, wall_compiled, legacy_sps, compiled_sps,
+         native_sps))
       [ matmul; fused_conv ]
   in
   let oc = open_out !interp_out in
   Printf.fprintf oc "{\n  \"experiment\": \"interp\",\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"native_available\": %b,\n" native_ok;
   Printf.fprintf oc "  \"workloads\": [\n";
   List.iteri
-    (fun i (name, stmts, wl, wc, lsps, csps) ->
+    (fun i (name, stmts, wl, wc, lsps, csps, nsps) ->
+      let native_fields =
+        match nsps with
+        | None -> "\"native_stmts_per_s\": null"
+        | Some n ->
+            Printf.sprintf
+              "\"native_stmts_per_s\": %.1f, \"native_vs_compiled\": %.2f" n
+              (n /. csps)
+      in
       Printf.fprintf oc
         "    {\"name\": \"%s\", \"statements_per_launch\": %d,\n\
         \     \"legacy_wall_s\": %.6f, \"compiled_wall_s\": %.6f,\n\
         \     \"legacy_stmts_per_s\": %.1f, \"compiled_stmts_per_s\": %.1f,\n\
+        \     %s,\n\
         \     \"speedup\": %.2f}%s\n"
-        name stmts wl wc lsps csps (csps /. lsps)
+        name stmts wl wc lsps csps native_fields (csps /. lsps)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" !interp_out;
-  (* The compiled backend exists to be faster; treat a slowdown as a
-     failure so `make bench-interp-smoke` gates on it. *)
+  (* The compiled backend exists to be faster than the tree walker, and the
+     native backend to be faster than the closure compiler (on the matmul
+     quickstart, where the ocamlopt cost is amortized by the memo); treat a
+     slowdown as a failure so `make bench-interp-smoke` / `make native-smoke`
+     gate on it. *)
   List.iter
-    (fun (name, _, _, _, lsps, csps) ->
+    (fun (name, _, _, _, lsps, csps, nsps) ->
       if csps < lsps then begin
         Printf.eprintf "FAIL: compiled backend slower than legacy on %s\n" name;
         exit 1
-      end)
+      end;
+      match nsps with
+      | Some n when n <= csps && name = (fun (n, _, _) -> n) matmul ->
+          Printf.eprintf
+            "FAIL: native backend not faster than closure backend on %s \
+             (native %.3g st/s vs compiled %.3g st/s)\n"
+            name n csps;
+          exit 1
+      | _ -> ())
     rows
 
 (* ------------------------------------------------------------------ *)

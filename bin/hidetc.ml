@@ -193,6 +193,24 @@ let file_arg =
     & info [ "file"; "f" ] ~docv:"PATH"
         ~doc:"Compile a graph saved in the HGF text format instead of a zoo model.")
 
+(* Sets the process-global default so every plan execution in the command
+   (profiling, serving, response verification) uses the chosen backend. *)
+let backend_arg =
+  let doc =
+    "Simulator execution backend for plan runs: $(b,closure) \
+     (closure-compiling, always available) or $(b,native) (pretty-print \
+     each kernel to OCaml, compile with ocamlfind ocamlopt -shared, \
+     Dynlink the result; compiled entry points are memoized per process). \
+     When the native toolchain is unavailable the run degrades to the \
+     closure backend with the reason logged once."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("closure", `Closure); ("native", `Native) ]) `Closure
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let set_backend backend = Hidet_sched.Compiled.set_default_backend backend
+
 let graph_of model file batch =
   match file with
   | Some path -> Hidet_graph.Graph_io.load path
@@ -203,7 +221,8 @@ let graph_of model file batch =
 
 let compile_cmd =
   let run model batch engine dump_cuda breakdown file cache trace profile
-      summary tuning_log =
+      summary tuning_log backend =
+    set_backend backend;
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
@@ -237,7 +256,7 @@ let compile_cmd =
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
       $ breakdown_arg $ file_arg $ cache_arg $ trace_arg $ profile_arg
-      $ summary_arg $ tuning_log_arg)
+      $ summary_arg $ tuning_log_arg $ backend_arg)
 
 let bench_cmd =
   let run model batch cache trace summary tuning_log =
@@ -271,12 +290,14 @@ let profile_cmd =
       value & flag
       & info [ "measure" ]
           ~doc:
-            "Also execute the plan once on the closure-compiling simulator \
-             backend with random inputs and print the measured per-step \
-             table: wall time, simulated threads, IR statements executed \
-             and statements/sec (from the sim.* observability counters).")
+            "Also execute the plan once on the selected simulator backend \
+             (see --backend) with random inputs and print the measured \
+             per-step table: wall time, backend compile time, simulated \
+             threads, IR statements executed and statements/sec (from the \
+             sim.* observability counters).")
   in
-  let run model batch engine file cache measure =
+  let run model batch engine file cache measure backend =
+    set_backend backend;
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
@@ -308,7 +329,7 @@ let profile_cmd =
           measured throughput per step.")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ file_arg
-      $ cache_arg $ measure_arg)
+      $ cache_arg $ measure_arg $ backend_arg)
 
 let trace_check_cmd =
   let file_pos =
@@ -428,9 +449,12 @@ let fuzz_cmd =
       & info [ "paths" ] ~docv:"P1,P2,..."
           ~doc:
             "Comma-separated lowering paths to cross-check: rule, template, \
-             fused, baseline, compiled (default: all five). The compiled \
-             path checks the closure-compiling simulator backend against \
-             the legacy interpreter bit for bit.")
+             fused, baseline, compiled, native (default: the first five). \
+             The compiled path checks the closure-compiling simulator \
+             backend against the legacy interpreter bit for bit; the \
+             (opt-in) native path checks the dynlinked native-code backend \
+             against the closure backend bit for bit, and skips when the \
+             ocamlfind/ocamlopt toolchain is unavailable.")
   in
   let inject_arg =
     Arg.(
@@ -633,7 +657,8 @@ let serve_cmd =
   in
   let run model file engine buckets workers rps clients think_ms duration
       deadline_ms max_wait_ms queue_cap max_inflight scale burst seed out
-      no_batching virtual_ no_check cache trace summary =
+      no_batching virtual_ no_check cache trace summary backend =
+    set_backend backend;
     let source =
       match (model, file) with
       | _, Some path -> S.Registry.File path
@@ -732,7 +757,8 @@ let serve_cmd =
       $ workers_arg $ rps_arg $ clients_arg $ think_ms_arg $ duration_arg
       $ deadline_ms_arg $ max_wait_ms_arg $ queue_cap_arg $ max_inflight_arg
       $ scale_arg $ burst_arg $ seed_arg $ out_arg $ no_batching_arg
-      $ virtual_arg $ no_check_arg $ cache_arg $ trace_arg $ summary_arg)
+      $ virtual_arg $ no_check_arg $ cache_arg $ trace_arg $ summary_arg
+      $ backend_arg)
 
 let () =
   let info =

@@ -13,8 +13,11 @@ module LS = Hidet_baselines.Loop_sched
 module HE = Hidet.Hidet_engine
 module Plan = Hidet_runtime.Plan
 
-type path = Rule | Template | Fused | Baseline | Compiled_backend
+type path = Rule | Template | Fused | Baseline | Compiled_backend | Native
 
+(* [Native] is opt-in (`--paths native`), not part of the default sweep: it
+   pays an ocamlopt+dynlink per distinct kernel, which would dominate the
+   quick fuzz smoke. *)
 let all_paths = [ Rule; Template; Fused; Baseline; Compiled_backend ]
 
 let path_to_string = function
@@ -23,6 +26,7 @@ let path_to_string = function
   | Fused -> "fused"
   | Baseline -> "baseline"
   | Compiled_backend -> "compiled"
+  | Native -> "native"
 
 let path_of_string = function
   | "rule" -> Some Rule
@@ -30,6 +34,7 @@ let path_of_string = function
   | "fused" -> Some Fused
   | "baseline" -> Some Baseline
   | "compiled" -> Some Compiled_backend
+  | "native" -> Some Native
   | _ -> None
 
 type outcome = Pass of int | Skip of string | Fail of string
@@ -119,6 +124,35 @@ let backend_parity ~budget compiled inputs expect () =
   | Error _ as e -> e
   | Ok () -> tensors_match ~budget expect got
 
+(* The native (codegen → ocamlopt → Dynlink) backend makes the same
+   bit-identical claim; hold it to the closure backend bit for bit, then
+   against the CPU reference. Skips — with the probe's reason — when the
+   toolchain is unavailable, rather than letting [Compiled.run] silently
+   fall back and vacuously compare the closure backend with itself. *)
+let native_parity ~budget compiled inputs expect () =
+  let closure = Compiled.run ~backend:`Closure compiled inputs in
+  let got = Compiled.run ~backend:`Native compiled inputs in
+  let n = T.numel closure in
+  let rec go i =
+    if i = n then Ok ()
+    else
+      let a = T.flat_get closure i and b = T.flat_get got i in
+      if Int64.bits_of_float a = Int64.bits_of_float b then go (i + 1)
+      else
+        Error
+          (Printf.sprintf
+             "backend divergence at element %d: closure %.17g, native %.17g" i
+             a b)
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () -> tensors_match ~budget expect got
+
+let native_guard f =
+  match Hidet_gpu.Exec_ocaml.available () with
+  | Error reason -> Skip ("native toolchain unavailable: " ^ reason)
+  | Ok () -> f ()
+
 (* --- epilogue chains -------------------------------------------------------- *)
 
 (* Fold the case's epilogue list onto a scheduled anchor, dropping epilogues
@@ -205,6 +239,10 @@ let def_paths ~input_seed spec pro epis =
   | Compiled_backend ->
     checking "compiled_backend"
       [ backend_parity ~budget (Rule_based.schedule def) inputs expect ]
+  | Native ->
+    native_guard (fun () ->
+        checking "native_backend"
+          [ native_parity ~budget (Rule_based.schedule def) inputs expect ])
 
 let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
   let a = T.rand ~seed:input_seed [ batch; m; k ] in
@@ -271,6 +309,14 @@ let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
           (MT.compile ~batch ~m ~n ~k MT.default_config)
           [ a; b ] expect;
       ]
+  | Native ->
+    native_guard (fun () ->
+        checking "native_backend"
+          [
+            native_parity ~budget
+              (MT.compile ~batch ~m ~n ~k MT.default_config)
+              [ a; b ] expect;
+          ])
 
 let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
   let x_shape = [ n; c; h; w ] and w_shape = [ oc; c; kh; kw ] in
@@ -312,6 +358,10 @@ let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
   | Compiled_backend ->
     checking "compiled_backend"
       [ backend_parity ~budget (Rule_based.schedule (def ())) [ x; wt ] expect ]
+  | Native ->
+    native_guard (fun () ->
+        checking "native_backend"
+          [ native_parity ~budget (Rule_based.schedule (def ())) [ x; wt ] expect ])
 
 let graph_paths ~device ~input_seed g =
   let inputs =
@@ -341,6 +391,8 @@ let graph_paths ~device ~input_seed g =
       [ compare_plan { opts with HE.fuse = false; lower_convs = false } ]
   | Baseline -> Skip "loop-oriented baselines exercised by matmul/conv cases"
   | Compiled_backend ->
+    Skip "per-kernel backend parity exercised by def/matmul/conv cases"
+  | Native ->
     Skip "per-kernel backend parity exercised by def/matmul/conv cases"
 
 (* --- entry ------------------------------------------------------------------ *)

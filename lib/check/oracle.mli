@@ -26,8 +26,13 @@
     kernel (interpreter traps, verification failures) is a [Fail], as is a
     numeric mismatch. *)
 
-type path = Rule | Template | Fused | Baseline | Compiled_backend
+type path = Rule | Template | Fused | Baseline | Compiled_backend | Native
 
+(** The default sweep. Excludes [Native] (opt-in via [--paths native]): it
+    holds the dynlinked native backend bit-for-bit to the closure backend
+    — plus the CPU reference — but pays an [ocamlopt] per distinct kernel,
+    which would dominate the quick fuzz smoke. [Native] skips with the
+    probe's reason when the toolchain is unavailable. *)
 val all_paths : path list
 val path_to_string : path -> string
 val path_of_string : string -> path option

@@ -1,0 +1,72 @@
+(** Handshake and runtime support for dynlinked native kernels.
+
+    {!Exec_ocaml} pretty-prints each kernel to an OCaml source file whose
+    toplevel effect is one {!register} call, compiles it with [ocamlopt
+    -shared] and [Dynlink]s the result; the loaded unit hands its entry
+    point back through the table here. Everything else in this module is
+    the small runtime surface the generated code calls into: the barrier
+    effect, the exact error raisers of the interpreter backends, and
+    [Expr.eval]'s dynamic-dispatch fallback for statically untypeable
+    expressions — re-exported so generated source references one module
+    only, and so all three backends raise bit-identical errors. *)
+
+type entry = int -> int -> float array array -> int
+(** [entry tid bid bufs] runs one thread and returns the number of
+    statements it executed. [bufs] is indexed by the buffer slots assigned
+    at codegen time. *)
+
+val register : string -> entry -> unit
+(** Called by the generated unit's toplevel [let () = ...] under the unit's
+    own (unique) module name. *)
+
+val take : string -> entry option
+(** Claim and remove a registered entry; [None] if the unit never ran its
+    registration (a codegen or link bug). *)
+
+(** {1 Runtime support used by generated code} *)
+
+val sync : unit -> unit
+(** Perform {!Interp.Sync} — the block barrier. *)
+
+val warp_size : int
+
+val oob : int -> int -> string -> 'a
+(** [Interp.Invalid_access] with [Buffer.flat_index]'s exact message. *)
+
+val rank_mismatch : string -> 'a
+val not_allocated : string -> string -> 'a
+(** [not_allocated name scope_name]. *)
+
+val unbound_var : string -> 'a
+val mma_rank : string -> 'a
+
+val neg_bool : unit -> 'a
+val abs_bool : unit -> 'a
+val bool_binop : unit -> 'a
+(** [Invalid_argument] with [Expr.eval]'s exact messages (the operands
+    have already been evaluated by the caller, like the reference). *)
+
+val erf : float -> float
+
+(** {1 Dynamic-dispatch fallback}
+
+    The boxed escape hatch for expressions whose type depends on runtime
+    control flow, dispatching exactly like [Expr.eval]. *)
+
+type value = Hidet_ir.Expr.value =
+  | V_int of int
+  | V_float of float
+  | V_bool of bool
+
+val int_of_value : value -> int
+val float_of_value : value -> float
+val bool_of_value : value -> bool
+
+val dyn_neg : value -> value
+val dyn_abs : value -> value
+
+val dyn_binop : int -> value -> value -> value
+(** [dyn_binop code va vb] applies the arithmetic/comparison binop encoded
+    by [code] (see {!Exec_ocaml}'s emitter; [And]/[Or] short-circuit in
+    generated code and never reach here): int×int via [Expr.eval_int_binop],
+    numeric mix via [Expr.eval_float_binop], bool operands rejected. *)

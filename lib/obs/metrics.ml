@@ -7,6 +7,7 @@ type histogram = {
   counts : int array;
   mutable sum : float;
   mutable total : int;
+  mutable maxv : float;
   hlock : Mutex.t;
 }
 
@@ -72,6 +73,7 @@ let histogram ?(bounds = default_bounds) name =
           counts = Array.make (Array.length bounds + 1) 0;
           sum = 0.;
           total = 0;
+          maxv = Float.neg_infinity;
           hlock = Mutex.create ();
         }
       in
@@ -86,6 +88,7 @@ let observe h v =
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
   h.total <- h.total + 1;
+  if v > h.maxv then h.maxv <- v;
   Mutex.unlock h.hlock
 
 type hist_snapshot = {
@@ -93,6 +96,7 @@ type hist_snapshot = {
   counts : int array;
   total : int;
   sum : float;
+  maxv : float;
 }
 
 let hist_snapshot h =
@@ -103,6 +107,7 @@ let hist_snapshot h =
       counts = Array.copy h.counts;
       total = h.total;
       sum = h.sum;
+      maxv = h.maxv;
     }
   in
   Mutex.unlock h.hlock;
@@ -114,18 +119,23 @@ let quantile (s : hist_snapshot) q =
     let q = Float.max 0. (Float.min 1. q) in
     let rank = q *. float_of_int s.total in
     let n = Array.length s.bounds in
+    (* The overflow bucket (index [n]) participates like any other: its
+       lower edge is the top bound and its upper edge the largest value
+       actually observed, so a rank landing there interpolates strictly
+       above the top bound instead of being clamped to it. *)
     let rec go i cum =
-      if i >= n then s.bounds.(n - 1)
-      else begin
-        let c = s.counts.(i) in
-        let cum' = cum + c in
-        if c > 0 && float_of_int cum' >= rank then begin
-          let lo = if i = 0 then Float.min 0. s.bounds.(0) else s.bounds.(i - 1) in
-          let hi = s.bounds.(i) in
-          lo +. ((hi -. lo) *. ((rank -. float_of_int cum) /. float_of_int c))
-        end
-        else go (i + 1) cum'
+      let c = s.counts.(i) in
+      let cum' = cum + c in
+      if c > 0 && float_of_int cum' >= rank then begin
+        let lo = if i = 0 then Float.min 0. s.bounds.(0) else s.bounds.(i - 1) in
+        let hi = if i < n then s.bounds.(i) else Float.max s.maxv lo in
+        lo +. ((hi -. lo) *. ((rank -. float_of_int cum) /. float_of_int c))
       end
+      else if i >= n then
+        (* Numerically unreachable (the last non-empty bucket satisfies
+           [cum' = total >= rank]), kept as a safe floor. *)
+        if s.counts.(n) > 0 then s.maxv else s.bounds.(n - 1)
+      else go (i + 1) cum'
     in
     go 0 0
   end
@@ -156,5 +166,6 @@ let reset () =
         Array.fill h.counts 0 (Array.length h.counts) 0;
         h.sum <- 0.;
         h.total <- 0;
+        h.maxv <- Float.neg_infinity;
         Mutex.unlock h.hlock)
     all

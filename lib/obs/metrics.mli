@@ -35,6 +35,7 @@ type hist_snapshot = {
   counts : int array;  (** one longer than [bounds]: last is overflow *)
   total : int;
   sum : float;
+  maxv : float;  (** largest value observed; [neg_infinity] when empty *)
 }
 
 val hist_snapshot : histogram -> hist_snapshot
@@ -43,8 +44,11 @@ val quantile : hist_snapshot -> float -> float
 (** [quantile snap q] estimates the [q]-quantile ([q] clamped to [0, 1])
     by linear interpolation inside the bucket holding rank [q * total],
     Prometheus-style: the first bucket's lower edge is 0 (or [bounds.(0)]
-    when that is negative), and any rank landing in the overflow bucket
-    returns the last finite bound. [nan] on an empty histogram. *)
+    when that is negative). A rank landing in the overflow bucket
+    interpolates between the last finite bound and the largest value
+    actually observed, so quantiles beyond the top bound are reported
+    honestly (strictly above the bound) rather than clamped to it.
+    [nan] on an empty histogram. *)
 
 type snapshot =
   | Counter of int

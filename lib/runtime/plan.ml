@@ -42,7 +42,7 @@ let prepare plan =
       | _ -> ())
     (Graph.nodes plan.graph)
 
-let run ?(around = fun _ _ f -> f ()) plan bindings =
+let run ?(around = fun _ _ f -> f ()) ?backend plan bindings =
   let values = Hashtbl.create 64 in
   List.iter (fun (id, t) -> Hashtbl.replace values id t) bindings;
   let lookup id =
@@ -63,7 +63,7 @@ let run ?(around = fun _ _ f -> f ()) plan bindings =
   List.iteri
     (fun i s ->
       let args = List.map lookup s.args in
-      let out = around i s (fun () -> Compiled.run s.compiled args) in
+      let out = around i s (fun () -> Compiled.run ?backend s.compiled args) in
       (* Re-shape the result to the graph node's shape (buffer ranks may
          differ from the logical shape, e.g. [rows, cols] row templates). *)
       let shape = Graph.node_shape plan.graph s.out_node in
@@ -71,11 +71,11 @@ let run ?(around = fun _ _ f -> f ()) plan bindings =
     plan.steps;
   List.map lookup (Graph.outputs plan.graph)
 
-let run1 ?around plan inputs =
+let run1 ?around ?backend plan inputs =
   let ids = Graph.input_ids plan.graph in
   if List.length ids <> List.length inputs then
     invalid_arg "Plan.run1: input count mismatch";
-  match run ?around plan (List.combine ids inputs) with
+  match run ?around ?backend plan (List.combine ids inputs) with
   | [ out ] -> out
   | _ -> invalid_arg "Plan.run1: graph has multiple outputs"
 

@@ -30,6 +30,7 @@ val prepare : t -> unit
 
 val run :
   ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->
+  ?backend:Hidet_sched.Compiled.backend ->
   t ->
   (int * Hidet_tensor.Tensor.t) list ->
   Hidet_tensor.Tensor.t list
@@ -38,10 +39,12 @@ val run :
     graph outputs. Intended for correctness tests on small graphs.
     [around step_index step exec] wraps each step's execution (default:
     just calls [exec]); the profiler uses it to capture per-step wall
-    time and simulator counters. *)
+    time and simulator counters. [?backend] selects the simulator
+    execution backend per call (default [Compiled.default_backend ()]). *)
 
 val run1 :
   ?around:(int -> step -> (unit -> Hidet_tensor.Tensor.t) -> Hidet_tensor.Tensor.t) ->
+  ?backend:Hidet_sched.Compiled.backend ->
   t ->
   Hidet_tensor.Tensor.t list ->
   Hidet_tensor.Tensor.t

@@ -105,14 +105,32 @@ type measured_row = {
   m_wall : float;
   m_threads : int;
   m_statements : int;
+  m_compile_us : int;
 }
 
-let measure plan inputs =
+let measure ?backend plan inputs =
   let threads_c = Metrics.counter "sim.threads" in
   let stmts_c = Metrics.counter "sim.statements" in
+  (* Compile wall: the closure backend's per-launch compile, plus — on the
+     native backend — codegen, ocamlopt and dynlink. Memoized launches add
+     back only the (cheap) codegen share. *)
+  let compile_counters =
+    List.map Metrics.counter
+      [
+        "sim.compile_us";
+        "sim.native.codegen_us";
+        "sim.native.ocamlopt_us";
+        "sim.native.dynlink_us";
+      ]
+  in
+  let compile_us () =
+    List.fold_left (fun a c -> a + Metrics.value c) 0 compile_counters
+  in
   let rows = ref [] in
   let around i (s : Plan.step) exec =
-    let th0 = Metrics.value threads_c and st0 = Metrics.value stmts_c in
+    let th0 = Metrics.value threads_c
+    and st0 = Metrics.value stmts_c
+    and cu0 = compile_us () in
     let t0 = Unix.gettimeofday () in
     let out = exec () in
     let wall = Unix.gettimeofday () -. t0 in
@@ -123,25 +141,32 @@ let measure plan inputs =
         m_wall = wall;
         m_threads = Metrics.value threads_c - th0;
         m_statements = Metrics.value stmts_c - st0;
+        m_compile_us = compile_us () - cu0;
       }
       :: !rows;
     out
   in
-  ignore (Plan.run1 ~around plan inputs);
+  ignore (Plan.run1 ~around ?backend plan inputs);
   List.rev !rows
 
 let pp_measured fmt rows =
-  Format.fprintf fmt "@[<v>%-4s %-26s %10s %12s %14s %14s@,"
-    "step" "op" "wall(ms)" "sim.threads" "sim.stmts" "stmts/sec";
+  Format.fprintf fmt "@[<v>%-4s %-26s %10s %11s %12s %14s %14s@,"
+    "step" "op" "wall(ms)" "compile(ms)" "sim.threads" "sim.stmts"
+    "stmts/sec";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-4d %-26s %10.2f %12d %14d %14.3g@," r.m_step
-        (truncate 26 r.m_op) (r.m_wall *. 1e3) r.m_threads r.m_statements
+      Format.fprintf fmt "%-4d %-26s %10.2f %11.2f %12d %14d %14.3g@," r.m_step
+        (truncate 26 r.m_op) (r.m_wall *. 1e3)
+        (float_of_int r.m_compile_us /. 1e3)
+        r.m_threads r.m_statements
         (float_of_int r.m_statements /. r.m_wall))
     rows;
   let wall = List.fold_left (fun a r -> a +. r.m_wall) 0. rows in
+  let compile_us = List.fold_left (fun a r -> a + r.m_compile_us) 0 rows in
   let stmts = List.fold_left (fun a r -> a + r.m_statements) 0 rows in
   let threads = List.fold_left (fun a r -> a + r.m_threads) 0 rows in
-  Format.fprintf fmt "%-4s %-26s %10.2f %12d %14d %14.3g@,@]" "" "total"
-    (wall *. 1e3) threads stmts
+  Format.fprintf fmt "%-4s %-26s %10.2f %11.2f %12d %14d %14.3g@,@]" ""
+    "total" (wall *. 1e3)
+    (float_of_int compile_us /. 1e3)
+    threads stmts
     (float_of_int stmts /. wall)

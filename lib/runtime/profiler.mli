@@ -50,8 +50,8 @@ val pp : Hidet_gpu.Device.t -> Format.formatter -> Plan.t -> unit
 (** {1 Measured execution}
 
     Unlike {!report}, these rows come from {e actually executing} the plan
-    on the closure-compiling simulator backend: per-step wall time plus the
-    [sim.threads] / [sim.statements] observability counter deltas. *)
+    on a simulator backend: per-step wall time plus the [sim.threads] /
+    [sim.statements] observability counter deltas. *)
 
 type measured_row = {
   m_step : int;
@@ -59,11 +59,21 @@ type measured_row = {
   m_wall : float;  (** simulator wall seconds for this step *)
   m_threads : int;  (** GPU threads simulated *)
   m_statements : int;  (** IR statements executed across all threads *)
+  m_compile_us : int;
+      (** backend compile wall attributed to this step: the closure
+          backend's per-launch compile, plus — on the native backend —
+          codegen, [ocamlopt] and [Dynlink] (memoized launches pay only
+          codegen again) *)
 }
 
-val measure : Plan.t -> Hidet_tensor.Tensor.t list -> measured_row list
+val measure :
+  ?backend:Hidet_sched.Compiled.backend ->
+  Plan.t ->
+  Hidet_tensor.Tensor.t list ->
+  measured_row list
 (** Run the plan once on [inputs] (bound positionally to the graph
-    inputs), one row per step in launch order. *)
+    inputs), one row per step in launch order. [?backend] selects the
+    execution backend (default [Compiled.default_backend ()]). *)
 
 val pp_measured : Format.formatter -> measured_row list -> unit
 (** The table, with statements/sec throughput and a totals line. *)

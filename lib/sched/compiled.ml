@@ -7,7 +7,28 @@ type t = {
   ins : Buffer.t list;
   out : Buffer.t;
   temps : Buffer.t list;
+  key : string option;
 }
+
+type backend = [ `Closure | `Native ]
+
+let default = ref `Closure
+let set_default_backend b = default := b
+let default_backend () = !default
+
+(* The native backend degrades, never fails: one stderr line the first
+   time a run falls back, then silence. *)
+let fallback_logged = ref false
+
+let log_fallback reason =
+  if not !fallback_logged then begin
+    fallback_logged := true;
+    Printf.eprintf
+      "[hidet] native backend unavailable (%s); falling back to the closure \
+       backend\n\
+       %!"
+      reason
+  end
 
 let latency device c =
   List.fold_left
@@ -21,9 +42,19 @@ let feasible device c = latency device c < infinity
 
 let verify c = List.iter Verify.kernel_exn c.kernels
 
-let run ?(legacy = false) c inputs =
+let run ?(legacy = false) ?backend c inputs =
   if List.length inputs <> List.length c.ins then
     invalid_arg (Printf.sprintf "Compiled.run %s: input count mismatch" c.name);
+  let backend = match backend with Some b -> b | None -> !default in
+  let use_native =
+    (not legacy) && backend = `Native
+    &&
+    match Hidet_gpu.Exec_ocaml.available () with
+    | Ok () -> true
+    | Error reason ->
+      log_fallback reason;
+      false
+  in
   let bindings =
     List.map2
       (fun (b : Buffer.t) t ->
@@ -53,6 +84,13 @@ let run ?(legacy = false) c inputs =
           k.Kernel.params
       in
       if legacy then Hidet_gpu.Interp.run k kernel_bindings
+      else if use_native then
+        (* Scope the compile memo to the schedule-cache workload when we
+           know it: each kernel of a tuned operator dynlinks once per
+           process. *)
+        Hidet_gpu.Exec_ocaml.run
+          ?key:(Option.map (fun key -> key ^ "#" ^ k.Kernel.name) c.key)
+          k kernel_bindings
       else Hidet_gpu.Compile_exec.run k kernel_bindings)
     c.kernels;
   Tensor.of_array c.out.Buffer.dims out_arr

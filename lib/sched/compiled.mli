@@ -9,7 +9,26 @@ type t = {
   ins : Hidet_ir.Buffer.t list;  (** bind input tensors to these *)
   out : Hidet_ir.Buffer.t;  (** final output *)
   temps : Hidet_ir.Buffer.t list;  (** intermediate global buffers *)
+  key : string option;
+      (** schedule-cache workload key, set by the tuning service; scopes
+          the native backend's per-kernel compile memo *)
 }
+
+(** {1 Execution backend}
+
+    Which simulator executes {!run}'s kernels. [`Closure] is
+    {!Hidet_gpu.Compile_exec}; [`Native] is {!Hidet_gpu.Exec_ocaml}
+    (codegen → [ocamlopt] → [Dynlink]) and silently degrades to the
+    closure backend — with the reason logged once — when the toolchain is
+    unavailable. All backends produce bit-identical results. *)
+
+type backend = [ `Closure | `Native ]
+
+val set_default_backend : backend -> unit
+(** Process-global default for {!run} calls that don't pass [?backend]
+    (e.g. set once from [hidetc --backend]). Initially [`Closure]. *)
+
+val default_backend : unit -> backend
 
 val latency : Hidet_gpu.Device.t -> t -> float
 (** Sum of per-kernel estimates (each includes launch overhead); [infinity]
@@ -17,16 +36,21 @@ val latency : Hidet_gpu.Device.t -> t -> float
 
 val feasible : Hidet_gpu.Device.t -> t -> bool
 
-val run : ?legacy:bool -> t -> Hidet_tensor.Tensor.t list -> Hidet_tensor.Tensor.t
+val run :
+  ?legacy:bool ->
+  ?backend:backend ->
+  t ->
+  Hidet_tensor.Tensor.t list ->
+  Hidet_tensor.Tensor.t
 (** Execute on the simulator. Input tensors are bound to [ins]
     positionally (matched by element count — layouts are row-major on both
     sides, so ranks may differ, e.g. a [m,k] tensor binding a [1,m,k]
     buffer). Returns the output with the buffer's shape.
 
-    Kernels run on the closure-compiling backend
-    ({!Hidet_gpu.Compile_exec}) by default; [~legacy:true] forces the
-    reference tree-walking interpreter ({!Hidet_gpu.Interp}) — same
-    results bit for bit, an order of magnitude slower. *)
+    Kernels run on [?backend] (default {!default_backend}, initially the
+    closure-compiling {!Hidet_gpu.Compile_exec}); [~legacy:true] forces the
+    reference tree-walking interpreter ({!Hidet_gpu.Interp}) regardless —
+    same results bit for bit, an order of magnitude slower. *)
 
 val verify : t -> unit
 (** Verifies every kernel; raises [Failure] on the first invalid one. *)

@@ -31,20 +31,17 @@ let table : (string * string, entry) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
 let hit_count = ref 0
 let miss_count = ref 0
+let stale_count = ref 0
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let find ~device ~key =
-  locked (fun () ->
-      match Hashtbl.find_opt table (device, key) with
-      | Some e ->
-        incr hit_count;
-        Some e
-      | None ->
-        incr miss_count;
-        None)
+(* [find] is a pure lookup: whether a stored entry is actually servable
+   (space still matches, winner still instantiates) is only known to
+   [tune], so [tune] owns the hit/miss/stale accounting — the raw counters
+   below and the [schedule_cache.*] metrics therefore always agree. *)
+let find ~device ~key = locked (fun () -> Hashtbl.find_opt table (device, key))
 
 let add ~device ~key entry =
   locked (fun () -> Hashtbl.replace table (device, key) entry)
@@ -53,11 +50,13 @@ let clear () =
   locked (fun () ->
       Hashtbl.reset table;
       hit_count := 0;
-      miss_count := 0)
+      miss_count := 0;
+      stale_count := 0)
 
 let size () = locked (fun () -> Hashtbl.length table)
 let hits () = locked (fun () -> !hit_count)
 let misses () = locked (fun () -> !miss_count)
+let stale () = locked (fun () -> !stale_count)
 
 (* --- persistence ------------------------------------------------------------
 
@@ -72,24 +71,38 @@ let header = Printf.sprintf "%s v%d" magic version
 let sanitize s =
   String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
 
+(* Temp names are unique per process *and* per call: a fixed [path ^
+   ".tmp"] lets two concurrent savers (e.g. `hidetc serve` and a bench run
+   sharing --cache) clobber each other's partial writes before the rename.
+   With unique names each rename is atomic on its own complete file, so
+   the last saver wins and the file is always loadable. *)
+let tmp_counter = Atomic.make 0
+
 let save path =
   let entries =
     locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
   in
   let entries = List.sort compare entries in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (header ^ "\n");
-      List.iter
-        (fun ((device, key), e) ->
-          Printf.fprintf oc "%s\t%s\t%d\t%d\t%d\t%d\t%.17g\t%.17g\n"
-            (sanitize device) (sanitize key) e.best_index e.space_size e.trials
-            e.rejected e.simulated_seconds e.best_latency)
-        entries);
-  Sys.rename tmp path
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  try
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (header ^ "\n");
+        List.iter
+          (fun ((device, key), e) ->
+            Printf.fprintf oc "%s\t%s\t%d\t%d\t%d\t%d\t%.17g\t%.17g\n"
+              (sanitize device) (sanitize key) e.best_index e.space_size
+              e.trials e.rejected e.simulated_seconds e.best_latency)
+          entries);
+    Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let parse_line line =
   match String.split_on_char '\t' line with
@@ -104,7 +117,11 @@ let parse_line line =
         float_of_string_opt lat )
     with
     | Some bi, Some ss, Some tr, Some rj, Some sim, Some l
-      when bi >= 0 && bi < ss && tr >= 0 && rj >= 0 ->
+      when bi >= 0 && bi < ss && tr >= 0 && rj >= 0
+           (* nan/inf/negative floats parse fine ("nan" is a valid float
+              literal) but would poison every aggregate downstream. *)
+           && Float.is_finite sim && sim >= 0. && Float.is_finite l
+           && l >= 0. ->
       Some
         ( device,
           key,
@@ -159,7 +176,11 @@ let tune ?seconds_per_trial ?parallel ?workers ?engine ?show ~device ~key
     ~candidates ~compile () =
   let device_name = device.Hidet_gpu.Device.name in
   let space_size = List.length candidates in
+  (* Returned operators carry the workload key so the native execution
+     backend can scope its per-kernel compile memo to this workload. *)
+  let tag (compiled : Compiled.t) = { compiled with Compiled.key = Some key } in
   let fresh () =
+    locked (fun () -> incr miss_count);
     Metrics.incr m_misses;
     if Trace.enabled () then
       Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.miss";
@@ -178,26 +199,29 @@ let tune ?seconds_per_trial ?parallel ?workers ?engine ?show ~device ~key
           simulated_seconds = st.Tuner.simulated_seconds;
           best_latency = st.Tuner.best_latency;
         };
-      Some (cand, compiled, Fresh st)
+      Some (cand, tag compiled, Fresh st)
   in
   match find ~device:device_name ~key with
   | Some e when e.space_size = space_size && e.best_index < space_size -> (
     let cand = List.nth candidates e.best_index in
     match compile cand with
     | compiled ->
+      locked (fun () -> incr hit_count);
       Metrics.incr m_hits;
       if Trace.enabled () then
         Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.hit";
-      Some (cand, compiled, Hit e)
+      Some (cand, tag compiled, Hit e)
     | exception Invalid_argument _ ->
       (* Stale entry (template or space changed underneath the key):
          retune and overwrite. *)
+      locked (fun () -> incr stale_count);
       Metrics.incr m_stale;
       if Trace.enabled () then
         Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.stale";
       fresh ())
   | Some _ ->
     (* space changed: the stored index is meaningless *)
+    locked (fun () -> incr stale_count);
     Metrics.incr m_stale;
     if Trace.enabled () then
       Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.stale";

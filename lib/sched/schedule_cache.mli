@@ -50,14 +50,24 @@ val tune :
 (** {1 Direct cache access} *)
 
 val find : device:string -> key:string -> entry option
+(** Pure lookup — no hit/miss accounting. Only {!tune} can tell a genuine
+    hit from a stale entry, so {!tune} owns the counters below. *)
+
 val add : device:string -> key:string -> entry -> unit
 val clear : unit -> unit
 val size : unit -> int
 
 val hits : unit -> int
-(** [find] calls answered from the table since the last {!clear}. *)
+(** {!tune} calls served entirely from the table since the last {!clear}
+    (always equal to the ["schedule_cache.hits"] metric delta). *)
 
 val misses : unit -> int
+(** {!tune} calls that ran the tuner. A stale lookup counts here too — it
+    cost a full tuning run — and additionally in {!stale}. *)
+
+val stale : unit -> int
+(** {!tune} calls whose stored entry looked like a hit but was judged
+    stale (space changed, or the winner no longer instantiates). *)
 
 (** {1 Persistence}
 

@@ -334,10 +334,32 @@ let test_quantile_exact () =
   Alcotest.(check (float 1e-9)) "p95 interpolates the last bucket" 28. (q 0.95);
   Alcotest.(check (float 1e-9)) "p100 = last edge" 30. (q 1.);
   Alcotest.(check (float 1e-9)) "out-of-range q clamps" 30. (q 2.);
-  (* Overflow observations clamp the estimate to the last finite bound. *)
+  (* Overflow observations interpolate up to the max observed value
+     instead of being clamped to the last finite bound. *)
   Metrics.observe h 1e9;
-  Alcotest.(check (float 1e-9)) "overflow clamps to the last bound" 30.
+  Alcotest.(check (float 1e-9)) "overflow reaches the max observed" 1e9
     (Metrics.quantile (Metrics.hist_snapshot h) 1.)
+
+(* Regression: a histogram fed values beyond its top bound must report a
+   p99 strictly above that bound (the old quantile ignored the overflow
+   bucket and silently clamped to bounds.(n-1)). Exact expected values:
+   counts [0; 0; 8; 2] over bounds [10; 20; 30] with max observed 50. *)
+let test_quantile_overflow_honest () =
+  let h = Metrics.histogram ~bounds:[| 10.; 20.; 30. |] "test.obs.overflow" in
+  for _ = 1 to 8 do
+    Metrics.observe h 25.
+  done;
+  Metrics.observe h 50.;
+  Metrics.observe h 50.;
+  let s = Metrics.hist_snapshot h in
+  Alcotest.(check (float 1e-9)) "max observed tracked" 50. s.Metrics.maxv;
+  let q p = Metrics.quantile s p in
+  Alcotest.(check (float 1e-9)) "p50 stays in a finite bucket" 26.25 (q 0.5);
+  (* rank 9.9 sits 1.9/2 of the way into the overflow bucket (30, 50]. *)
+  Alcotest.(check (float 1e-9)) "p99 interpolates past the top bound" 49.
+    (q 0.99);
+  Alcotest.(check bool) "p99 > top bound" true (q 0.99 > 30.);
+  Alcotest.(check (float 1e-9)) "p100 = max observed" 50. (q 1.)
 
 let test_summary_prints_percentiles () =
   let h = Metrics.histogram ~bounds:[| 1.; 2. |] "test.obs.summary_hist" in
@@ -436,6 +458,8 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "quantile exact values" `Quick test_quantile_exact;
+          Alcotest.test_case "overflow bucket reported honestly" `Quick
+            test_quantile_overflow_honest;
           Alcotest.test_case "summary prints percentiles" `Quick
             test_summary_prints_percentiles;
         ] );

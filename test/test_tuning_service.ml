@@ -278,6 +278,93 @@ let test_persistence_skips_corrupt_lines () =
         Alcotest.(check int) "trials parsed" 9 e.SC.trials
       | None -> Alcotest.fail "good entry skipped")
 
+let test_persistence_rejects_nonfinite_floats () =
+  SC.clear ();
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "HIDET-SCHEDULE-CACHE v1\n";
+      (* "nan" and "inf" parse as floats; negatives parse as ints/floats —
+         all must be rejected, not loaded into the stats. *)
+      output_string oc "rtx3090\tnan_sim\t2\t10\t9\t1\tnan\t0.00025\n";
+      output_string oc "rtx3090\tnan_lat\t2\t10\t9\t1\t13.5\tnan\n";
+      output_string oc "rtx3090\tinf_sim\t2\t10\t9\t1\tinf\t0.00025\n";
+      output_string oc "rtx3090\tneg_sim\t2\t10\t9\t1\t-13.5\t0.00025\n";
+      output_string oc "rtx3090\tneg_lat\t2\t10\t9\t1\t13.5\t-0.00025\n";
+      output_string oc "rtx3090\tgood\t2\t10\t9\t1\t13.5\t0.00025\n";
+      close_out oc;
+      (match SC.load path with
+      | Ok n -> Alcotest.(check int) "only the finite line loads" 1 n
+      | Error msg -> Alcotest.failf "load failed: %s" msg);
+      Alcotest.(check bool) "good entry present" true
+        (SC.find ~device:"rtx3090" ~key:"good" <> None);
+      Alcotest.(check bool) "nan entry rejected" true
+        (SC.find ~device:"rtx3090" ~key:"nan_sim" = None))
+
+let test_concurrent_saves_leave_loadable_file () =
+  SC.clear ();
+  let e =
+    {
+      SC.best_index = 1;
+      space_size = 8;
+      trials = 8;
+      rejected = 0;
+      simulated_seconds = 2.5;
+      best_latency = 1e-4;
+    }
+  in
+  for i = 0 to 19 do
+    SC.add ~device:"rtx3090" ~key:(Printf.sprintf "wl%d" i) e
+  done;
+  with_temp_file (fun path ->
+      (* Two domains hammer save on the same path. With the old fixed
+         [path ^ ".tmp"] temp name their partial writes interleave; with
+         per-call unique temp names every rename publishes one complete
+         file, so the survivor must always load. *)
+      let saver () =
+        for _ = 1 to 25 do
+          SC.save path
+        done
+      in
+      let d1 = Domain.spawn saver and d2 = Domain.spawn saver in
+      Domain.join d1;
+      Domain.join d2;
+      SC.clear ();
+      (match SC.load path with
+      | Ok n -> Alcotest.(check int) "all entries present" 20 n
+      | Error msg -> Alcotest.failf "concurrent saves corrupted the file: %s" msg);
+      (* No temp droppings left behind. *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let leftovers =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "temp files cleaned up" [] leftovers)
+
+(* --- hit/stale accounting --------------------------------------------------- *)
+
+let test_cache_counters_agree_on_stale () =
+  SC.clear ();
+  let candidates = List.filteri (fun i _ -> i mod 50 = 0) Space.matmul in
+  SC.add ~device:dev.Hidet_gpu.Device.name ~key:"stale_counts"
+    {
+      SC.best_index = 0;
+      space_size = List.length candidates + 3;
+      trials = 5;
+      rejected = 0;
+      simulated_seconds = 1.;
+      best_latency = 1e-3;
+    };
+  (match tune_cached ~key:"stale_counts" candidates with
+  | Some (_, _, SC.Fresh _) -> ()
+  | _ -> Alcotest.fail "stale entry must retune");
+  (* A stale lookup is stale (and a miss — it paid a tuning run), never a
+     hit: the raw counters must agree with the schedule_cache.* metrics. *)
+  Alcotest.(check int) "no hit counted" 0 (SC.hits ());
+  Alcotest.(check int) "stale counted" 1 (SC.stale ());
+  Alcotest.(check int) "miss counted" 1 (SC.misses ())
+
 (* --- engine warm start ----------------------------------------------------- *)
 
 let test_engine_warm_start () =
@@ -339,6 +426,8 @@ let () =
             test_cache_stale_space_retunes;
           Alcotest.test_case "uninstantiable winner retunes" `Quick
             test_cache_uninstantiable_winner_retunes;
+          Alcotest.test_case "counters agree on stale" `Quick
+            test_cache_counters_agree_on_stale;
         ] );
       ( "persistence",
         [
@@ -347,6 +436,10 @@ let () =
             test_persistence_rejects_foreign_and_stale;
           Alcotest.test_case "corrupt lines skipped" `Quick
             test_persistence_skips_corrupt_lines;
+          Alcotest.test_case "non-finite floats rejected" `Quick
+            test_persistence_rejects_nonfinite_floats;
+          Alcotest.test_case "concurrent saves stay loadable" `Quick
+            test_concurrent_saves_leave_loadable_file;
         ] );
       ( "engine warm start",
         [ Alcotest.test_case "zero fresh trials" `Quick test_engine_warm_start ] );
