@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke clean
 
 all:
 	dune build @all
@@ -70,17 +70,60 @@ serve-smoke:
 	./_build/default/bench/main.exe --only serve --quick \
 	  --out _build/BENCH_serve.smoke.json
 
+# Serving telemetry smoke test. Run 1: a short really-executed serve with
+# the full telemetry surface on — lifecycle event log (JSONL), Chrome
+# trace with cross-domain flow arcs, Prometheus exposition — and each
+# artifact validated by the matching strict checker in `trace-check`
+# (lifecycle ordering + terminal-uniqueness for events, flow-id presence
+# for the trace, cumulative-bucket consistency for the exposition). Run
+# 2: a virtual-time overload (burst + tight deadline) that must write
+# exactly one flight-recorder dump, fire a burn-rate alert in the JSON
+# summary, and still produce a valid event log and exposition.
+OBS_SMOKE := _build/obs-smoke
+
+obs-serve-smoke:
+	dune build bin/hidetc.exe
+	mkdir -p $(OBS_SMOKE)
+	./_build/default/bin/hidetc.exe serve --model tiny_cnn --seed 7 \
+	  --duration 1 --rps 80 \
+	  --trace $(OBS_SMOKE)/serve.trace.json \
+	  --events $(OBS_SMOKE)/serve.events.jsonl \
+	  --prom $(OBS_SMOKE)/serve.prom \
+	  --out $(OBS_SMOKE)/serve.json > /dev/null
+	./_build/default/bin/hidetc.exe trace-check $(OBS_SMOKE)/serve.trace.json
+	./_build/default/bin/hidetc.exe trace-check --events \
+	  $(OBS_SMOKE)/serve.events.jsonl
+	./_build/default/bin/hidetc.exe trace-check --prom $(OBS_SMOKE)/serve.prom
+	rm -f $(OBS_SMOKE)/overload.flight.json
+	./_build/default/bin/hidetc.exe serve --model tiny_cnn --seed 7 \
+	  --virtual --duration 2 --rps 80 --burst 0.5,0.5,600 \
+	  --deadline-ms 120 \
+	  --events $(OBS_SMOKE)/overload.events.jsonl \
+	  --prom $(OBS_SMOKE)/overload.prom \
+	  --flight-out $(OBS_SMOKE)/overload.flight.json \
+	  --out $(OBS_SMOKE)/overload.json > /dev/null
+	./_build/default/bin/hidetc.exe trace-check --events \
+	  $(OBS_SMOKE)/overload.events.jsonl
+	./_build/default/bin/hidetc.exe trace-check --prom \
+	  $(OBS_SMOKE)/overload.prom
+	test -f $(OBS_SMOKE)/overload.flight.json
+	grep -q '"flight_fired": true' $(OBS_SMOKE)/overload.json
+	grep -q '"fired": true' $(OBS_SMOKE)/overload.json
+
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
 # valid output, the differential fuzzer must run clean, the compiled
 # simulator backend must beat the legacy interpreter, the native backend
 # must hold bit-exact parity and beat the closure backend (or skip
-# visibly when no toolchain is present), and the serving runtime must
-# batch, shed and verify correctly under load.
+# visibly when no toolchain is present), the serving runtime must batch,
+# shed and verify correctly under load, and the serving telemetry
+# (events, flows, exposition, flight recorder, burn-rate alerts) must
+# validate end to end.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
 	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && \
-	  $(MAKE) native-smoke && $(MAKE) serve-smoke
+	  $(MAKE) native-smoke && $(MAKE) serve-smoke && \
+	  $(MAKE) obs-serve-smoke
 
 clean:
 	dune clean

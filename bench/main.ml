@@ -693,20 +693,22 @@ let bench_serve () =
     let sched =
       S.Server.simulate (cfg batching) ~latency:(S.Registry.latency model) lg
     in
-    (rps, batching, S.Server.stats sched)
+    (rps, batching, S.Server.stats sched, S.Server.slo_verdict ~duration sched)
   in
   let rows =
     List.concat_map (fun rps -> [ point true rps; point false rps ]) rates
   in
-  Printf.printf "%-8s %-8s %8s %8s %6s %6s %10s %10s %10s\n" "rps" "batching"
-    "offered" "done" "shed" "rej" "thru(r/s)" "p99(ms)" "meanB";
+  Printf.printf "%-8s %-8s %8s %8s %6s %6s %10s %10s %10s %8s\n" "rps"
+    "batching" "offered" "done" "shed" "rej" "thru(r/s)" "p99(ms)" "meanB"
+    "alerts";
   List.iter
-    (fun (rps, batching, (s : S.Server.stats)) ->
-      Printf.printf "%-8.0f %-8b %8d %8d %6d %6d %10.1f %10.1f %10.2f\n" rps
-        batching s.S.Server.offered s.S.Server.completed s.S.Server.shed
+    (fun (rps, batching, (s : S.Server.stats), slo) ->
+      Printf.printf "%-8.0f %-8b %8d %8d %6d %6d %10.1f %10.1f %10.2f %8s\n"
+        rps batching s.S.Server.offered s.S.Server.completed s.S.Server.shed
         s.S.Server.rejected s.S.Server.throughput
         (s.S.Server.e2e_p99 *. 1e3)
-        s.S.Server.mean_batch)
+        s.S.Server.mean_batch
+        (if S.Slo.fired slo then "FIRING" else "ok"))
     rows;
   (* One short run with real execution: every served response must be
      bit-identical to running its request alone through the batch-1 plan. *)
@@ -735,10 +737,12 @@ let bench_serve () =
     (deadline *. 1e3) scale;
   Printf.fprintf oc "  \"sweep\": [\n";
   List.iteri
-    (fun i (rps, batching, s) ->
+    (fun i (rps, batching, s, slo) ->
       Printf.fprintf oc
-        "    {\"rps\": %.0f, \"batching\": %b, \"stats\": %s}%s\n" rps batching
+        "    {\"rps\": %.0f, \"batching\": %b, \"stats\": %s, \"slo\": %s}%s\n"
+        rps batching
         (S.Server.stats_to_json s)
+        (S.Slo.verdict_to_json slo)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
@@ -757,17 +761,24 @@ let bench_serve () =
     end
   in
   let find b r =
-    let _, _, s = List.find (fun (rps, bt, _) -> bt = b && rps = r) rows in
-    s
+    let _, _, s, slo =
+      List.find (fun (rps, bt, _, _) -> bt = b && rps = r) rows
+    in
+    (s, slo)
   in
   let lo = List.hd rates and hi = List.nth rates (List.length rates - 1) in
-  let low_b = find true lo in
+  let low_b, low_slo = find true lo in
   check
     (low_b.S.Server.shed = 0
     && low_b.S.Server.rejected = 0
     && low_b.S.Server.deadline_miss = 0)
     "batched serving at low load must meet the deadline for every request";
-  let hi_b = find true hi and hi_n = find false hi in
+  check
+    (not (S.Slo.fired low_slo))
+    "no burn-rate alert may fire at low load";
+  let (hi_b, hi_slo), (hi_n, _) = (find true hi, find false hi) in
+  check (S.Slo.fired hi_slo)
+    "overload must fire a burn-rate alert (budget is burning)";
   check
     (hi_b.S.Server.throughput > hi_n.S.Server.throughput *. 2.)
     "at saturation, dynamic batching must out-serve batch-1 dispatch";

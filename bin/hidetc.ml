@@ -336,23 +336,66 @@ let trace_check_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+      & info [] ~docv:"FILE" ~doc:"File to validate (Chrome trace by default).")
   in
-  let run file =
-    match Obs.Chrome_trace.check_file file with
-    | Ok n ->
-      Printf.printf "%s: valid Chrome trace, %d events\n" file n;
-      if n = 0 then exit 1
-    | Error msg ->
-      Printf.eprintf "%s: invalid trace: %s\n" file msg;
-      exit 1
+  let events_flag =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Validate a JSONL request-lifecycle event log (as written by \
+             $(b,hidetc serve --events)): strict JSON per line plus \
+             per-request lifecycle rules (monotone timestamps, exactly one \
+             terminal event, batched/dispatched ordering).")
+  in
+  let prom_flag =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Validate a Prometheus text exposition (as written by \
+             $(b,hidetc serve --prom)): TYPE lines, label escaping, and \
+             cumulative-histogram consistency.")
+  in
+  let run file events prom =
+    match (events, prom) with
+    | true, true ->
+      prerr_endline "trace-check: pass at most one of --events / --prom";
+      exit 2
+    | true, false -> (
+      match Obs.Events.check_file file with
+      | Ok (evs, reqs) ->
+        Printf.printf "%s: valid event log, %d events across %d requests\n"
+          file evs reqs;
+        if evs = 0 then exit 1
+      | Error msg ->
+        Printf.eprintf "%s: invalid event log: %s\n" file msg;
+        exit 1)
+    | false, true -> (
+      match Obs.Prom.check_file file with
+      | Ok n ->
+        Printf.printf "%s: valid Prometheus exposition, %d samples\n" file n;
+        if n = 0 then exit 1
+      | Error msg ->
+        Printf.eprintf "%s: invalid exposition: %s\n" file msg;
+        exit 1)
+    | false, false -> (
+      match Obs.Chrome_trace.check_file file with
+      | Ok n ->
+        Printf.printf "%s: valid Chrome trace, %d events\n" file n;
+        if n = 0 then exit 1
+      | Error msg ->
+        Printf.eprintf "%s: invalid trace: %s\n" file msg;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
-         "Validate a Chrome trace-event JSON file (as written by --trace); \
-          exits non-zero if it fails to parse, is malformed, or is empty.")
-    Term.(const run $ file_pos)
+         "Validate an observability artifact: a Chrome trace-event JSON \
+          (as written by --trace; default), a JSONL lifecycle event log \
+          ($(b,--events)), or a Prometheus exposition ($(b,--prom)); exits \
+          non-zero if it fails to parse, is malformed, or is empty.")
+    Term.(const run $ file_pos $ events_flag $ prom_flag)
 
 let models_cmd =
   let run () =
@@ -655,9 +698,50 @@ let serve_cmd =
             "Skip verifying responses against the bucket-1 plan \
              ($(b,hidetc serve) exits non-zero on any mismatch).")
   in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Write the request-lifecycle event log as JSONL: one \
+             admitted/rejected/shed/batched/dispatched/executed/verified/\
+             completed object per line with virtual timestamps, sorted \
+             deterministically. Validate with $(b,hidetc trace-check \
+             --events).")
+  in
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as a Prometheus text exposition \
+             (bucket-faithful _bucket/_sum/_count histograms, per-model/\
+             bucket labels). Validate with $(b,hidetc trace-check --prom).")
+  in
+  let flight_size_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-recorder-size" ] ~docv:"N"
+          ~doc:
+            "Keep a ring of the last \\$(docv) lifecycle events; the first \
+             deadline miss or verification mismatch freezes it into a JSON \
+             dump with the offending request's full timeline. 0 disables.")
+  in
+  let flight_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the flight-recorder dump if it fires (default: \
+             print it to stderr).")
+  in
   let run model file engine buckets workers rps clients think_ms duration
       deadline_ms max_wait_ms queue_cap max_inflight scale burst seed out
-      no_batching virtual_ no_check cache trace summary backend =
+      no_batching virtual_ no_check events prom flight_size flight_out cache
+      trace summary backend =
     set_backend backend;
     let source =
       match (model, file) with
@@ -703,40 +787,92 @@ let serve_cmd =
         seed;
       }
     in
+    (* Event-log / flight-recorder sinks for the duration of the run. *)
+    let elog =
+      match events with
+      | Some _ -> Some (Obs.Events.create ~capacity:(1 lsl 18) ())
+      | None -> None
+    in
+    let flight =
+      if flight_size > 0 then
+        Some (Obs.Events.Flight.create ~capacity:flight_size ())
+      else None
+    in
+    Obs.Events.set_log elog;
+    Obs.Events.set_flight flight;
     let report = ref None in
-    with_observability ~trace ~tuning_log:None ~summary (fun () ->
-        with_schedule_cache cache (fun () ->
-            let m =
-              S.Registry.load ~engine:(module Eng) ~device:dev
-                ~buckets:cfg.S.Server.batcher.S.Batcher.buckets source
-            in
-            Printf.printf
-              "serving %s with %s: %d plan variants (buckets %s), %d workers\n%!"
-              m.S.Registry.name engine
-              (List.length m.S.Registry.variants)
-              (String.concat ","
-                 (List.map
-                    (fun v -> string_of_int v.S.Registry.bucket)
-                    m.S.Registry.variants))
-              workers;
-            report :=
-              Some
-                (S.Server.run ~exec:(not virtual_) ~check:(not no_check) cfg m
-                   lg)));
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Events.set_log None;
+        Obs.Events.set_flight None)
+      (fun () ->
+        with_observability ~trace ~tuning_log:None ~summary (fun () ->
+            with_schedule_cache cache (fun () ->
+                let m =
+                  S.Registry.load ~engine:(module Eng) ~device:dev
+                    ~buckets:cfg.S.Server.batcher.S.Batcher.buckets source
+                in
+                Printf.printf
+                  "serving %s with %s: %d plan variants (buckets %s), %d workers\n%!"
+                  m.S.Registry.name engine
+                  (List.length m.S.Registry.variants)
+                  (String.concat ","
+                     (List.map
+                        (fun v -> string_of_int v.S.Registry.bucket)
+                        m.S.Registry.variants))
+                  workers;
+                report :=
+                  Some
+                    (S.Server.run ~exec:(not virtual_) ~check:(not no_check)
+                       cfg m lg))));
     let r = Option.get !report in
     Format.printf "%a" S.Server.pp_report r;
+    (match (events, elog) with
+    | Some path, Some log ->
+      let evs = Obs.Events.sort_events (Obs.Events.events log) in
+      Obs.Events.save_jsonl path evs;
+      Printf.printf "events: wrote %d events to %s\n" (List.length evs) path;
+      let d = Obs.Events.dropped log in
+      if d > 0 then
+        Printf.eprintf
+          "events: ring dropped %d early events (raise the capacity or \
+           shorten the run for a complete log)\n"
+          d
+    | _ -> ());
+    (match prom with
+    | Some path ->
+      let n = Obs.Prom.save path in
+      Printf.printf "prom: wrote %d samples to %s\n" n path
+    | None -> ());
+    let flight_fired =
+      match flight with
+      | Some fr when Obs.Events.Flight.fired fr ->
+        (match flight_out with
+        | Some path ->
+          ignore (Obs.Events.Flight.save fr path);
+          Printf.printf "flight recorder: fired, dump written to %s\n" path
+        | None ->
+          prerr_endline "flight recorder: fired";
+          (match Obs.Events.Flight.dump fr with
+          | Some d -> prerr_endline d
+          | None -> ()));
+        true
+      | _ -> false
+    in
     (match out with
     | Some path ->
       let oc = open_out path in
       Printf.fprintf oc
         "{\"model\": %S, \"engine\": %S, \"seed\": %d, \"virtual\": %b, \
-         \"stats\": %s}\n"
+         \"stats\": %s, \"alerts\": %s, \"flight_fired\": %b}\n"
         (match (model, file) with
         | Some m, _ -> m
         | None, Some f -> f
         | None, None -> "?")
         engine seed virtual_
-        (S.Server.stats_to_json r.S.Server.summary);
+        (S.Server.stats_to_json r.S.Server.summary)
+        (S.Slo.verdict_to_json r.S.Server.slo)
+        flight_fired;
       close_out oc;
       Printf.printf "wrote %s\n" path
     | None -> ());
@@ -757,8 +893,8 @@ let serve_cmd =
       $ workers_arg $ rps_arg $ clients_arg $ think_ms_arg $ duration_arg
       $ deadline_ms_arg $ max_wait_ms_arg $ queue_cap_arg $ max_inflight_arg
       $ scale_arg $ burst_arg $ seed_arg $ out_arg $ no_batching_arg
-      $ virtual_arg $ no_check_arg $ cache_arg $ trace_arg $ summary_arg
-      $ backend_arg)
+      $ virtual_arg $ no_check_arg $ events_arg $ prom_arg $ flight_size_arg
+      $ flight_out_arg $ cache_arg $ trace_arg $ summary_arg $ backend_arg)
 
 let () =
   let info =

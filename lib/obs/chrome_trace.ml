@@ -21,6 +21,22 @@ let add_event b ev =
          (Json.escape name) track ts_us);
     add_args b attrs;
     Buffer.add_string b "}"
+  | Trace.Flow { name; track; ts_us; id; dir; attrs } ->
+    let ph =
+      match dir with
+      | Trace.Flow_start -> "s"
+      | Trace.Flow_step -> "t"
+      | Trace.Flow_end -> "f"
+    in
+    (* bp:e binds the step/end point to its enclosing slice, which is how
+       Perfetto attaches the arrow to the span the point was emitted in. *)
+    let bp = match dir with Trace.Flow_start -> "" | _ -> ",\"bp\":\"e\"" in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"%s\",\"id\":%d%s,\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":"
+         (Json.escape name) ph id bp track ts_us);
+    add_args b attrs;
+    Buffer.add_string b "}"
 
 let to_string events =
   let b = Buffer.create 4096 in
@@ -85,6 +101,13 @@ let check text =
                 Stdlib.incr count;
                 go rest
               | "i", _, _ -> bad "missing or negative ts"
+              | ("s" | "t" | "f"), Some ts, _ when ts >= 0. -> (
+                match num "id" with
+                | Some _ ->
+                  Stdlib.incr count;
+                  go rest
+                | None -> bad "flow event without numeric id")
+              | ("s" | "t" | "f"), _, _ -> bad "missing or negative ts"
               | ph, _, _ -> bad (Printf.sprintf "unknown phase %S" ph))))
       in
       go events)

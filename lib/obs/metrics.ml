@@ -41,6 +41,118 @@ let counter name =
       (c, C c))
     (function C c -> Some c | _ -> None)
 
+(* --- labels -------------------------------------------------------------------
+
+   Per-model / per-bucket instruments encode their labels into the
+   registered name in the canonical form [base{k="v",k2="v2"}] — keys
+   sorted, values escaped Prometheus-style — so the registry stays a flat
+   name-keyed table, [dump] stays sorted and stable, and the exposition
+   writer ({!Prom}) can split the name back into a metric family plus
+   real labels. *)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let valid_label_key k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+let labeled_name base labels =
+  match labels with
+  | [] -> base
+  | _ ->
+    List.iter
+      (fun (k, _) ->
+        if not (valid_label_key k) then
+          invalid_arg (Printf.sprintf "Metrics: invalid label key %S" k);
+        if k = "le" then
+          invalid_arg "Metrics: label key \"le\" is reserved for histogram buckets")
+      labels;
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    (match labels with
+    | (k, _) :: rest ->
+      ignore
+        (List.fold_left
+           (fun prev (k, _) ->
+             if prev = k then
+               invalid_arg (Printf.sprintf "Metrics: duplicate label key %S" k);
+             k)
+           k rest)
+    | [] -> ());
+    Printf.sprintf "%s{%s}" base
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+            labels))
+
+(* Inverse of [labeled_name]; names without a well-formed [{...}] suffix
+   are treated as plain (the whole string is the base, no labels). *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}' ->
+    let base = String.sub name 0 i in
+    let body = String.sub name (i + 1) (String.length name - i - 2) in
+    let n = String.length body in
+    let pos = ref 0 in
+    let fail = ref false in
+    let labels = ref [] in
+    (* parse comma-separated key="value" pairs with backslash escapes *)
+    while (not !fail) && !pos < n do
+      let start = !pos in
+      while !pos < n && body.[!pos] <> '=' do
+        incr pos
+      done;
+      let k = String.sub body start (!pos - start) in
+      if (not (valid_label_key k)) || !pos + 1 >= n || body.[!pos + 1] <> '"'
+      then fail := true
+      else begin
+        pos := !pos + 2;
+        let b = Buffer.create 16 in
+        let closed = ref false in
+        while (not !closed) && (not !fail) && !pos < n do
+          match body.[!pos] with
+          | '"' ->
+            closed := true;
+            incr pos
+          | '\\' when !pos + 1 < n ->
+            (match body.[!pos + 1] with
+            | '\\' -> Buffer.add_char b '\\'
+            | '"' -> Buffer.add_char b '"'
+            | 'n' -> Buffer.add_char b '\n'
+            | _ -> fail := true);
+            pos := !pos + 2
+          | c ->
+            Buffer.add_char b c;
+            incr pos
+        done;
+        if not !closed then fail := true
+        else begin
+          labels := (k, Buffer.contents b) :: !labels;
+          if !pos < n then
+            if body.[!pos] = ',' && !pos + 1 < n then incr pos else fail := true
+        end
+      end
+    done;
+    if !fail then (name, []) else (base, List.rev !labels)
+  | Some _ -> (name, [])
+
+let counter_labeled base labels = counter (labeled_name base labels)
+
 let incr c = Atomic.incr c.cell
 let add c n = ignore (Atomic.fetch_and_add c.cell n)
 let value c = Atomic.get c.cell
@@ -54,6 +166,7 @@ let gauge name =
 
 let set_gauge g v = Atomic.set g.gcell v
 let gauge_value g = Atomic.get g.gcell
+let gauge_labeled base labels = gauge (labeled_name base labels)
 
 let default_bounds = [| 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000. |]
 
@@ -79,6 +192,9 @@ let histogram ?(bounds = default_bounds) name =
       in
       (h, H h))
     (function H h -> Some h | _ -> None)
+
+let histogram_labeled ?bounds base labels =
+  histogram ?bounds (labeled_name base labels)
 
 let observe h v =
   Mutex.lock h.hlock;

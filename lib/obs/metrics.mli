@@ -30,6 +30,32 @@ val histogram : ?bounds:float array -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+(** {1 Labels}
+
+    Per-model / per-bucket instruments encode their labels into the
+    registered name in the canonical form [base{k="v",k2="v2"}] — keys
+    sorted, values escaped Prometheus-style (backslash, quote and
+    newline get backslash escapes) — so the
+    registry stays a flat name-keyed table and [dump] stays sorted and
+    stable. The exposition writer ({!Prom}) splits the name back apart
+    with {!split_labels}. *)
+
+val labeled_name : string -> (string * string) list -> string
+(** [labeled_name base labels] is the canonical registry name for
+    [base] with [labels]. [labeled_name base [] = base]. Raises
+    [Invalid_argument] on an invalid or duplicate label key, or on the
+    reserved key ["le"]. *)
+
+val split_labels : string -> string * (string * string) list
+(** Inverse of {!labeled_name}. Names without a well-formed [{...}]
+    suffix come back unchanged with no labels. *)
+
+val counter_labeled : string -> (string * string) list -> counter
+val gauge_labeled : string -> (string * string) list -> gauge
+
+val histogram_labeled :
+  ?bounds:float array -> string -> (string * string) list -> histogram
+
 type hist_snapshot = {
   bounds : float array;
   counts : int array;  (** one longer than [bounds]: last is overflow *)

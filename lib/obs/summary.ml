@@ -21,7 +21,7 @@ let pp_events fmt events =
         a.count <- a.count + 1;
         a.total <- a.total +. dur_us;
         a.max <- Float.max a.max dur_us
-      | Trace.Instant _ -> ())
+      | Trace.Instant _ | Trace.Flow _ -> ())
     events;
   let rows = Hashtbl.fold (fun name a acc -> (name, a) :: acc) by_name [] in
   let rows = List.sort (fun (_, a) (_, b) -> Float.compare b.total a.total) rows in
@@ -44,11 +44,16 @@ let pp_metrics fmt () =
       | Metrics.Counter v -> Format.fprintf fmt "%-40s %12d@," name v
       | Metrics.Gauge v -> Format.fprintf fmt "%-40s %12g@," name v
       | Metrics.Histogram h ->
-        Format.fprintf fmt "%-40s n=%d sum=%g" name h.Metrics.total h.Metrics.sum;
-        if h.Metrics.total > 0 then
+        (* An empty histogram has no sum/max/quantiles worth printing —
+           and quantile would be nan — so it renders as just "n=0". *)
+        if h.Metrics.total = 0 then Format.fprintf fmt "%-40s n=0" name
+        else begin
+          Format.fprintf fmt "%-40s n=%d sum=%g max=%g" name h.Metrics.total
+            h.Metrics.sum h.Metrics.maxv;
           Format.fprintf fmt " p50=%g p95=%g p99=%g"
             (Metrics.quantile h 0.50) (Metrics.quantile h 0.95)
-            (Metrics.quantile h 0.99);
+            (Metrics.quantile h 0.99)
+        end;
         Array.iteri
           (fun i c ->
             if c > 0 then

@@ -1,4 +1,5 @@
 type attr = string * string
+type flow_dir = Flow_start | Flow_step | Flow_end
 
 type event =
   | Span of {
@@ -9,11 +10,24 @@ type event =
       attrs : attr list;
     }
   | Instant of { name : string; track : int; ts_us : float; attrs : attr list }
+  | Flow of {
+      name : string;
+      track : int;
+      ts_us : float;
+      id : int;
+      dir : flow_dir;
+      attrs : attr list;
+    }
 
-let event_name = function Span s -> s.name | Instant i -> i.name
-let event_track = function Span s -> s.track | Instant i -> i.track
-let event_ts = function Span s -> s.ts_us | Instant i -> i.ts_us
-let event_dur = function Span s -> s.dur_us | Instant _ -> 0.
+let event_name = function Span s -> s.name | Instant i -> i.name | Flow f -> f.name
+
+let event_track = function
+  | Span s -> s.track
+  | Instant i -> i.track
+  | Flow f -> f.track
+
+let event_ts = function Span s -> s.ts_us | Instant i -> i.ts_us | Flow f -> f.ts_us
+let event_dur = function Span s -> s.dur_us | Instant _ | Flow _ -> 0.
 
 (* --- recorders --------------------------------------------------------------- *)
 
@@ -140,6 +154,12 @@ let instant ?(attrs = []) name =
   | Noop -> ()
   | Collect buf ->
     record buf (Instant { name; track = track (); ts_us = Clock.now_us (); attrs })
+
+let flow ?(attrs = []) ~id ~dir name =
+  match Atomic.get current with
+  | Noop -> ()
+  | Collect buf ->
+    record buf (Flow { name; track = track (); ts_us = Clock.now_us (); id; dir; attrs })
 
 let with_collector f =
   let r = collector () in

@@ -19,6 +19,10 @@
 
 type attr = string * string
 
+type flow_dir = Flow_start | Flow_step | Flow_end
+(** Position of a flow point in its arc: Perfetto draws an arrow from
+    each flow point to the next one carrying the same id. *)
+
 type event =
   | Span of {
       name : string;
@@ -28,6 +32,14 @@ type event =
       attrs : attr list;
     }
   | Instant of { name : string; track : int; ts_us : float; attrs : attr list }
+  | Flow of {
+      name : string;
+      track : int;
+      ts_us : float;
+      id : int;  (** arc identity; points sharing an id are connected *)
+      dir : flow_dir;
+      attrs : attr list;
+    }
 
 val event_name : event -> string
 val event_track : event -> int
@@ -80,6 +92,15 @@ val span : ?attrs:(unit -> attr list) -> string -> (span -> 'a) -> 'a
 
 val instant : ?attrs:attr list -> string -> unit
 (** A zero-duration point event. *)
+
+val flow : ?attrs:attr list -> id:int -> dir:flow_dir -> string -> unit
+(** A flow point at the current time on the calling domain's track. Emit
+    one inside each span a logical item (a serve request, a batch)
+    passes through, with a stable [id], and the trace viewer renders the
+    item's path across tracks as a connected arc: [Flow_start] inside
+    the first span, [Flow_step] inside intermediate ones, [Flow_end]
+    inside the last. Binds to the {e enclosing} span — emit it between
+    that span's enter and exit. No-op when tracing is off. *)
 
 val with_collector : (unit -> 'a) -> 'a * event list
 (** Run [f] with a fresh collector installed, restoring the previous

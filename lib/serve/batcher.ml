@@ -27,6 +27,11 @@ let bucket_for cfg n =
 
 type decision = Dispatch of int | Wait_until of float | Wait_event
 
+let decision_to_string = function
+  | Dispatch k -> Printf.sprintf "dispatch:%d" k
+  | Wait_until t -> Printf.sprintf "wait_until:%g" t
+  | Wait_event -> "wait_event"
+
 let decide cfg ~now ~queue_len ~oldest_arrival ~draining =
   if queue_len = 0 then Wait_event
   else if not cfg.batching then Dispatch 1

@@ -36,6 +36,10 @@ type decision =
           co-batching window closes then) *)
   | Wait_event  (** nothing to do until an arrival or a worker frees *)
 
+val decision_to_string : decision -> string
+(** Compact form for trace attributes and logs: [dispatch:4],
+    [wait_until:1.25], [wait_event]. *)
+
 val decide :
   config ->
   now:float ->

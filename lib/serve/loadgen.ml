@@ -62,6 +62,13 @@ let open_arrivals lg =
     in
     List.merge compare base extra
 
+let request_attrs (r : request) =
+  [
+    ("client", string_of_int r.client);
+    ("arrival", Printf.sprintf "%g" r.arrival);
+    ("deadline", Printf.sprintf "%g" r.deadline);
+  ]
+
 let synth_inputs ~seed ~shapes rid =
   List.mapi
     (fun i shape -> Tensor.rand ~seed:(seed + (rid * 7919) + (i * 131)) shape)

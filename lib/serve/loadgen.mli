@@ -43,6 +43,10 @@ val open_arrivals : t -> float list
     [Closed_loop] — those arrivals depend on completions and are produced
     by the server loop. *)
 
+val request_attrs : request -> (string * string) list
+(** The request's identity as event/span attributes (client, arrival,
+    deadline) — one definition so the server and pool tag consistently. *)
+
 val synth_inputs : seed:int -> shapes:int list list -> int -> Hidet_tensor.Tensor.t list
 (** [synth_inputs ~seed ~shapes rid]: the request's input tensors,
     deterministic in [(seed, rid)] alone — the executor materializes them

@@ -4,6 +4,8 @@ module Plan = Hidet_runtime.Plan
 module Parallel = Hidet_parallel.Parallel
 module Metrics = Hidet_obs.Metrics
 module Trace = Hidet_obs.Trace
+module Events = Hidet_obs.Events
+module Clock = Hidet_obs.Clock
 
 type batch = {
   bid : int;
@@ -18,6 +20,11 @@ let padded_rows b = b.bucket - List.length b.members
 
 let m_exec_batches = Metrics.counter "serve.exec_batches"
 let m_check_failures = Metrics.counter "serve.check_failures"
+
+let h_verify =
+  Metrics.histogram
+    ~bounds:[| 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100. |]
+    "serve.verify_ms"
 
 (* Stack member rows (leading dim 1 each) along axis 0 and zero-pad the
    tail up to [bucket]. A full one-member bucket-1 batch passes through. *)
@@ -69,9 +76,37 @@ let run_batch ~seed model b =
       in
       let rest = List.map (fun d -> (0, d)) (List.tl (T.shape out)) in
       Metrics.incr m_exec_batches;
+      (* Same family as the total, distinguished by labels; Prom renders
+         them as one metric family. *)
+      Metrics.incr
+        (Metrics.counter_labeled "serve.exec_batches"
+           [
+             ("model", model.Registry.name); ("bucket", string_of_int b.bucket);
+           ]);
+      (* Close the batch's flow arc: the arrow from the control plane's
+         serve.dispatch span lands on this worker-domain span. *)
+      Trace.flow ~id:((2 * b.bid) + 1) ~dir:Trace.Flow_end "serve.batch";
       List.mapi
         (fun j (r : Loadgen.request) ->
-          (r.Loadgen.rid, T.slice out ((j, 1) :: rest)))
+          let rid = r.Loadgen.rid in
+          Trace.span "serve.demux"
+            ~attrs:(fun () ->
+              [ ("rid", string_of_int rid); ("bid", string_of_int b.bid) ])
+            (fun _ ->
+              Trace.flow ~id:(2 * rid) ~dir:Trace.Flow_end "serve.req");
+          if Events.enabled () then
+            Events.record
+              {
+                Events.t = b.completion;
+                rid;
+                kind = Events.Executed;
+                attrs =
+                  [
+                    ("bid", string_of_int b.bid);
+                    ("worker", string_of_int b.worker);
+                  ];
+              };
+          (rid, T.slice out ((j, 1) :: rest)))
         b.members)
 
 let execute ?workers ~seed model batches =
@@ -80,17 +115,33 @@ let execute ?workers ~seed model batches =
   in
   List.concat (Array.to_list results)
 
-let check ~seed model responses =
+let check ?(at = fun _ -> 0.) ~seed model responses =
   let v1 = Registry.variant_exn model 1 in
   let mismatches =
     Parallel.map
       (fun (rid, (got : T.t)) ->
+        let t0 = Clock.now_us () in
         let inputs =
           Loadgen.synth_inputs ~seed ~shapes:model.Registry.input_shapes rid
         in
         let want = Plan.run1 v1.Registry.plan inputs in
         (* Polymorphic compare on the raw arrays: bit-exact, NaN-robust. *)
-        if compare (T.data got) (T.data want) = 0 then 0 else 1)
+        let ok = compare (T.data got) (T.data want) = 0 in
+        Metrics.observe h_verify ((Clock.now_us () -. t0) /. 1e3);
+        if Events.enabled () then
+          Events.record
+            {
+              Events.t = at rid;
+              rid;
+              kind = Events.Verified;
+              attrs = [ ("ok", if ok then "1" else "0") ];
+            };
+        if ok then 0
+        else begin
+          ignore
+            (Events.flight_trip ~reason:"verify_mismatch" ~rid ~t:(at rid) ());
+          1
+        end)
       (Array.of_list responses)
   in
   let bad = Array.fold_left ( + ) 0 mismatches in

@@ -30,9 +30,14 @@ val execute :
     member request, in no particular order. Inputs are re-synthesized from
     [(seed, rid)] via {!Loadgen.synth_inputs}; each output row keeps its
     leading batch dim of 1, matching what the bucket-1 plan returns for
-    the same request. Emits one [serve.exec_batch] trace span per batch. *)
+    the same request. Emits one [serve.exec_batch] trace span per batch
+    (closing the batch's flow arc from [serve.dispatch]), one nested
+    [serve.demux] span per member (closing the request's flow arc), an
+    [Executed] lifecycle event per member, and bumps the per-model/bucket
+    [serve.exec_batches] counters. *)
 
 val check :
+  ?at:(int -> float) ->
   seed:int ->
   Registry.model ->
   (int * Hidet_tensor.Tensor.t) list ->
@@ -40,4 +45,8 @@ val check :
 (** Re-run every response's request through the bucket-1 plan directly
     ([Plan.run1]) and compare bit-for-bit (exact float-array equality —
     batching must not change results, only pack rows). Returns the number
-    of mismatching responses and bumps [serve.check_failures] for each. *)
+    of mismatching responses and bumps [serve.check_failures] for each.
+    Also observes wall verify time into [serve.verify_ms], emits one
+    [Verified] lifecycle event per response stamped [at rid] (the
+    request's virtual completion time; defaults to 0), and trips the
+    flight recorder on the first mismatch. *)

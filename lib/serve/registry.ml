@@ -84,6 +84,10 @@ let load ?(max_inflight = max_int) ~engine ~device ~buckets source =
             in
             Plan.prepare plan;
             Metrics.incr m_variants;
+            Metrics.set_gauge
+              (Metrics.gauge_labeled "serve.variant_latency_us"
+                 [ ("model", name); ("bucket", string_of_int bucket) ])
+              (result.E.latency *. 1e6);
             { bucket; graph = g; plan; latency = result.E.latency; result }))
       buckets
   in

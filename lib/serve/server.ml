@@ -1,5 +1,6 @@
 module Metrics = Hidet_obs.Metrics
 module Trace = Hidet_obs.Trace
+module Events = Hidet_obs.Events
 
 type config = {
   batcher : Batcher.config;
@@ -54,6 +55,25 @@ let h_pad_frac =
     ~bounds:[| 0.01; 0.125; 0.25; 0.375; 0.5; 0.625; 0.75; 0.875 |]
     "serve.padding_frac"
 
+let m_deadline_miss = Metrics.counter "serve.deadline_miss"
+
+(* Per-stage latency attribution: where a completed request's budget
+   went. Queue wait is dispatch - arrival (h_wait above); assembly is
+   how long the batch's oldest member waited for co-batching; execute is
+   the batch's virtual service time. *)
+let h_assembly = Metrics.histogram ~bounds:ms_bounds "serve.assembly_ms"
+let h_exec = Metrics.histogram ~bounds:ms_bounds "serve.execute_ms"
+
+(* Lifecycle events: one atomic load when no sink is attached. *)
+let emit ?(attrs = []) ~t ~rid kind =
+  if Events.enabled () then Events.record { Events.t; rid; kind; attrs }
+
+(* Flow-arc id scheme: a request rid's arc is [2 * rid], a batch bid's
+   arc is [2 * bid + 1] — disjoint id spaces, so one trace can carry
+   both without collisions. *)
+let req_flow rid = 2 * rid
+let batch_flow bid = (2 * bid) + 1
+
 (* The event loop's mutable state. Time only moves forward, and every
    tie is broken deterministically (open-loop arrivals before closed-loop
    issues, lower client index first, lowest idle worker first). *)
@@ -93,12 +113,27 @@ let client_reissue sim client t =
 
 let admit sim (req : Loadgen.request) =
   Metrics.incr m_requests;
+  let rid = req.Loadgen.rid in
   if Queue.length sim.queue >= sim.cfg.batcher.Batcher.queue_cap then begin
     Metrics.incr m_rejected;
     record sim req (Rejected req.Loadgen.arrival);
+    emit ~t:req.Loadgen.arrival ~rid Events.Rejected
+      ~attrs:(("queue", string_of_int (Queue.length sim.queue))
+              :: Loadgen.request_attrs req);
+    Trace.span "serve.reject"
+      ~attrs:(fun () -> ("rid", string_of_int rid) :: Loadgen.request_attrs req)
+      (fun _ -> Trace.flow ~id:(req_flow rid) ~dir:Trace.Flow_end "serve.req");
     client_reissue sim req.Loadgen.client req.Loadgen.arrival
   end
-  else Queue.push req sim.queue
+  else begin
+    Queue.push req sim.queue;
+    emit ~t:req.Loadgen.arrival ~rid Events.Admitted
+      ~attrs:(("queue", string_of_int (Queue.length sim.queue))
+              :: Loadgen.request_attrs req);
+    Trace.span "serve.admit"
+      ~attrs:(fun () -> ("rid", string_of_int rid) :: Loadgen.request_attrs req)
+      (fun _ -> Trace.flow ~id:(req_flow rid) ~dir:Trace.Flow_start "serve.req")
+  end
 
 (* Pull every arrival due at or before [sim.now], in time order; open-loop
    and closed-loop sources never coexist so cross-source ties are moot. *)
@@ -149,6 +184,13 @@ let rec shed_hopeless sim =
     ignore (Queue.pop sim.queue);
     Metrics.incr m_shed;
     record sim r (Shed sim.now);
+    emit ~t:sim.now ~rid:r.Loadgen.rid Events.Shed
+      ~attrs:[ ("deadline", Printf.sprintf "%g" r.Loadgen.deadline) ];
+    Trace.span "serve.shed"
+      ~attrs:(fun () ->
+        ("rid", string_of_int r.Loadgen.rid) :: Loadgen.request_attrs r)
+      (fun _ ->
+        Trace.flow ~id:(req_flow r.Loadgen.rid) ~dir:Trace.Flow_end "serve.req");
     client_reissue sim r.Loadgen.client sim.now;
     shed_hopeless sim
   | _ -> ()
@@ -158,6 +200,7 @@ let complete_due sim =
     match sim.inflight with
     | (t, b) :: rest when t <= sim.now ->
       sim.inflight <- rest;
+      Metrics.observe h_exec ((t -. b.Pool.dispatch) *. 1e3);
       List.iter
         (fun (r : Loadgen.request) ->
           Metrics.incr m_completed;
@@ -172,6 +215,31 @@ let complete_due sim =
                  completion = t;
                  bucket = b.Pool.bucket;
                });
+          let miss = t > r.Loadgen.deadline in
+          emit ~t ~rid:r.Loadgen.rid Events.Completed
+            ~attrs:
+              [
+                ("bid", string_of_int b.Pool.bid);
+                ("miss", if miss then "1" else "0");
+              ];
+          Trace.span "serve.complete"
+            ~attrs:(fun () ->
+              [
+                ("rid", string_of_int r.Loadgen.rid);
+                ("bid", string_of_int b.Pool.bid);
+                ("miss", if miss then "1" else "0");
+              ])
+            (fun _ ->
+              Trace.flow ~id:(req_flow r.Loadgen.rid) ~dir:Trace.Flow_step
+                "serve.req");
+          if miss then begin
+            Metrics.incr m_deadline_miss;
+            (* The event above is already in the flight ring, so the
+               frozen dump carries this request's full timeline. *)
+            ignore
+              (Events.flight_trip ~reason:"deadline_miss" ~rid:r.Loadgen.rid ~t
+                 ())
+          end;
           client_reissue sim r.Loadgen.client t)
         b.Pool.members;
       go ()
@@ -210,7 +278,7 @@ let rec dispatch_ready sim =
     with
     | Batcher.Wait_event -> ()
     | Batcher.Wait_until t -> sim.timer <- t
-    | Batcher.Dispatch k ->
+    | Batcher.Dispatch k as decision ->
       let k = min k (Queue.length sim.queue) in
       let members = take k sim.queue in
       let bucket = Batcher.bucket_for sim.cfg.batcher k in
@@ -239,6 +307,39 @@ let rec dispatch_ready sim =
       Metrics.observe h_batch (float_of_int k);
       Metrics.observe h_pad_frac
         (float_of_int (Pool.padded_rows b) /. float_of_int bucket);
+      Metrics.observe h_assembly ((sim.now -. oldest) *. 1e3);
+      if Events.enabled () then
+        List.iter
+          (fun (r : Loadgen.request) ->
+            let rid = r.Loadgen.rid in
+            emit ~t:sim.now ~rid Events.Batched
+              ~attrs:
+                [
+                  ("bid", string_of_int b.Pool.bid);
+                  ("bucket", string_of_int bucket);
+                ];
+            emit ~t:sim.now ~rid Events.Dispatched
+              ~attrs:
+                [ ("bid", string_of_int b.Pool.bid); ("worker", string_of_int w) ])
+          members;
+      Trace.span "serve.dispatch"
+        ~attrs:(fun () ->
+          [
+            ("bid", string_of_int b.Pool.bid);
+            ("bucket", string_of_int bucket);
+            ("members", string_of_int k);
+            ("padded", string_of_int (Pool.padded_rows b));
+            ("worker", string_of_int w);
+            ("decision", Batcher.decision_to_string decision);
+          ])
+        (fun _ ->
+          Trace.flow ~id:(batch_flow b.Pool.bid) ~dir:Trace.Flow_start
+            "serve.batch";
+          List.iter
+            (fun (r : Loadgen.request) ->
+              Trace.flow ~id:(req_flow r.Loadgen.rid) ~dir:Trace.Flow_step
+                "serve.req")
+            members);
       dispatch_ready sim
   end
 
@@ -409,14 +510,32 @@ let stats (s : schedule) =
     e2e_p99 = percentile e2es 0.99;
   }
 
+(* Every request contributes one SLO sample at the virtual time its fate
+   was decided: completed-in-deadline is good; a late completion, a shed
+   or a reject is a budget burn. *)
+let slo_samples (s : schedule) =
+  List.map
+    (fun r ->
+      match r.outcome with
+      | Completed { completion; _ } ->
+        { Slo.t = completion; good = completion <= r.req.Loadgen.deadline }
+      | Shed t -> { Slo.t = t; good = false }
+      | Rejected t -> { Slo.t = t; good = false })
+    s.records
+
+let slo_verdict ?config ~duration s =
+  let cfg = match config with Some c -> c | None -> Slo.default ~duration in
+  Slo.evaluate cfg (slo_samples s)
+
 type report = {
   schedule : schedule;
   summary : stats;
   responses : (int * Hidet_tensor.Tensor.t) list;
   mismatches : int option;
+  slo : Slo.verdict;
 }
 
-let run ?(exec = true) ?(check = true) ?exec_workers cfg model lg =
+let run ?(exec = true) ?(check = true) ?exec_workers ?slo_config cfg model lg =
   let sched =
     simulate cfg ~latency:(fun b -> Registry.latency model b) lg
   in
@@ -427,11 +546,31 @@ let run ?(exec = true) ?(check = true) ?exec_workers cfg model lg =
     else []
   in
   let mismatches =
-    if exec && check then
-      Some (Pool.check ~seed:lg.Loadgen.seed model responses)
+    if exec && check then begin
+      (* Verified events carry the request's virtual completion time so
+         they sort into its timeline, not at wall-clock zero. *)
+      let completion_at =
+        let tbl = Hashtbl.create 256 in
+        List.iter
+          (fun r ->
+            match r.outcome with
+            | Completed { completion; _ } ->
+              Hashtbl.replace tbl r.req.Loadgen.rid completion
+            | _ -> ())
+          sched.records;
+        fun rid -> try Hashtbl.find tbl rid with Not_found -> 0.
+      in
+      Some (Pool.check ~at:completion_at ~seed:lg.Loadgen.seed model responses)
+    end
     else None
   in
-  { schedule = sched; summary = stats sched; responses; mismatches }
+  {
+    schedule = sched;
+    summary = stats sched;
+    responses;
+    mismatches;
+    slo = slo_verdict ?config:slo_config ~duration:lg.Loadgen.duration sched;
+  }
 
 let pp_report fmt r =
   let s = r.summary in
@@ -451,6 +590,7 @@ let pp_report fmt r =
   Format.fprintf fmt
     "  e2e        mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms@."
     (ms s.e2e_mean) (ms s.e2e_p50) (ms s.e2e_p95) (ms s.e2e_p99);
+  Slo.pp_verdict fmt r.slo;
   match r.mismatches with
   | None ->
     Format.fprintf fmt "  responses  %d (unverified)@."

@@ -51,10 +51,20 @@ type schedule = {
 val simulate : config -> latency:(int -> float) -> Loadgen.t -> schedule
 (** Pure virtual-time run: [latency bucket] is the service time of a full
     batch on that bucket's variant (before [service_scale]). Also bumps
-    the [serve.*] metrics (requests, rejected, shed, completed, batches,
-    padded_rows; queue-wait / e2e / batch-size / padding-fraction
-    histograms) — callers that need isolated readings should
-    [Metrics.reset] first. *)
+    the [serve.*] metrics (requests, rejected, shed, completed,
+    deadline_miss, batches, padded_rows; queue-wait / e2e / assembly /
+    execute / batch-size / padding-fraction histograms) — callers that
+    need isolated readings should [Metrics.reset] first.
+
+    When an {!Hidet_obs.Events} sink is attached, every request emits
+    its lifecycle events ([admitted]/[rejected]/[shed]/[batched]/
+    [dispatched]/[completed]) stamped with virtual time, and the first
+    deadline miss trips the flight recorder. When tracing is on, each
+    decision records a span ([serve.admit] / [serve.dispatch] /
+    [serve.complete] / [serve.shed] / [serve.reject]) carrying flow
+    points — a request rid's arc has flow id [2 * rid], a batch bid's
+    arc [2 * bid + 1] — which Perfetto renders as connected arrows from
+    the control plane into the worker-domain spans of {!Pool}. *)
 
 type stats = {
   offered : int;
@@ -82,17 +92,28 @@ val stats : schedule -> stats
 (** Exact (sorted, nearest-rank) percentiles over completed requests —
     independent of the bucketed [serve.*] histograms. *)
 
+val slo_samples : schedule -> Slo.sample list
+(** One sample per request at the virtual time its fate was decided:
+    completed within deadline is good; late, shed or rejected burns the
+    error budget. *)
+
+val slo_verdict : ?config:Slo.config -> duration:float -> schedule -> Slo.verdict
+(** Burn-rate evaluation of the schedule ({!Slo.evaluate} over
+    {!slo_samples}); [config] defaults to [Slo.default ~duration]. *)
+
 type report = {
   schedule : schedule;
   summary : stats;
   responses : (int * Hidet_tensor.Tensor.t) list;
   mismatches : int option;  (** [None] when checking was off *)
+  slo : Slo.verdict;
 }
 
 val run :
   ?exec:bool ->
   ?check:bool ->
   ?exec_workers:int ->
+  ?slo_config:Slo.config ->
   config ->
   Registry.model ->
   Loadgen.t ->
@@ -102,7 +123,8 @@ val run :
     against the bucket-1 plan ([check], default true). [exec_workers]
     controls the real executor domains (default
     [Parallel.default_workers]); it affects wall time only, never the
-    schedule. *)
+    schedule. The report carries the burn-rate verdict for the run
+    ([slo_config] defaults to [Slo.default] over the load's duration). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable SLO report: traffic, admission, batching, latency

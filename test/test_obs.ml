@@ -1,6 +1,8 @@
 (* Tests for the observability layer: span nesting and containment, the
-   Chrome trace-event export and its validator, the hand-written JSON
-   parser, always-on metrics summing exactly across domains, the tuner's
+   Chrome trace-event export (including flow arcs) and its validator, the
+   hand-written JSON parser, always-on metrics summing exactly across
+   domains, labeled instruments and the Prometheus exposition, the
+   request-lifecycle event log and flight recorder, the tuner's
    per-candidate spans and tuning-log records, and the cost of the
    instrumentation when tracing is off. *)
 
@@ -8,6 +10,8 @@ module Trace = Hidet_obs.Trace
 module Metrics = Hidet_obs.Metrics
 module Chrome = Hidet_obs.Chrome_trace
 module Json = Hidet_obs.Json
+module Events = Hidet_obs.Events
+module Prom = Hidet_obs.Prom
 module Tlog = Hidet_obs.Tuning_log
 module Tu = Hidet_sched.Tuner
 module MT = Hidet_sched.Matmul_template
@@ -20,7 +24,7 @@ let span_tuples evs =
     (function
       | Trace.Span { name; track; ts_us; dur_us; attrs } ->
         Some (name, track, ts_us, dur_us, attrs)
-      | Trace.Instant _ -> None)
+      | Trace.Instant _ | Trace.Flow _ -> None)
     evs
 
 (* --- spans ------------------------------------------------------------------ *)
@@ -375,6 +379,361 @@ let test_summary_prints_percentiles () =
       Alcotest.(check bool) (needle ^ " present") true (contains needle))
     [ "p50="; "p95="; "p99=" ]
 
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Satellite: empty histograms render as n=0 (no nan quantiles) and
+   non-empty ones print the tracked max. *)
+let test_summary_max_and_empty () =
+  let h = Metrics.histogram ~bounds:[| 1.; 2. |] "test.obs.summary_max" in
+  List.iter (Metrics.observe h) [ 0.5; 3. ];
+  let _ = Metrics.histogram ~bounds:[| 1. |] "test.obs.summary_empty" in
+  let out = Format.asprintf "%a" Hidet_obs.Summary.pp_metrics () in
+  let line name =
+    match
+      List.find_opt (fun l -> contains l name) (String.split_on_char '\n' out)
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no summary line for %s" name
+  in
+  Alcotest.(check bool) "max printed" true (contains (line "summary_max") "max=3");
+  let empty = line "summary_empty" in
+  Alcotest.(check bool) "empty histogram reports n=0" true (contains empty "n=0");
+  Alcotest.(check bool) "no nan quantiles" false (contains empty "nan")
+
+(* --- labeled metrics ---------------------------------------------------------- *)
+
+let test_labeled_names () =
+  Alcotest.(check string) "canonical form, keys sorted"
+    "serve.x{bucket=\"8\",model=\"m\"}"
+    (Metrics.labeled_name "serve.x" [ ("model", "m"); ("bucket", "8") ]);
+  Alcotest.(check string) "no labels = base name" "serve.x"
+    (Metrics.labeled_name "serve.x" []);
+  let bad labels =
+    match Metrics.labeled_name "f" labels with
+    | _ -> Alcotest.fail "invalid labels accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad [ ("le", "1") ];
+  bad [ ("a", "1"); ("a", "2") ];
+  bad [ ("9bad", "1") ];
+  bad [ ("no-dash", "1") ];
+  (* values needing escapes survive the name encoding and split back *)
+  let v = "a\"b\\c\nd" in
+  let base, labels = Metrics.split_labels (Metrics.labeled_name "f" [ ("k", v) ]) in
+  Alcotest.(check string) "base splits back" "f" base;
+  Alcotest.(check (list (pair string string))) "escaped value roundtrips"
+    [ ("k", v) ] labels;
+  Alcotest.(check (pair string (list (pair string string))))
+    "malformed suffix tolerated, no labels"
+    ("weird{", [])
+    (Metrics.split_labels "weird{")
+
+let test_labeled_instruments () =
+  let c = Metrics.counter_labeled "test.obs.lbl" [ ("m", "a"); ("b", "1") ] in
+  let c' = Metrics.counter_labeled "test.obs.lbl" [ ("b", "1"); ("m", "a") ] in
+  Metrics.incr c;
+  Metrics.incr c';
+  Alcotest.(check int) "label order canonicalizes to one instrument" 2
+    (Metrics.value c);
+  let g = Metrics.gauge_labeled "test.obs.lblg" [ ("m", "a") ] in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "labeled gauge" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram_labeled ~bounds:[| 1. |] "test.obs.lblh" [ ("m", "a") ] in
+  Metrics.observe h 0.5;
+  Alcotest.(check int) "labeled histogram" 1
+    (Metrics.hist_snapshot h).Metrics.total;
+  let names = List.map fst (Metrics.dump ()) in
+  Alcotest.(check bool) "dump stays sorted with labeled names" true
+    (List.sort compare names = names)
+
+(* --- Prometheus exposition ---------------------------------------------------- *)
+
+(* Hand-checked rendering of a tiny synthetic dump: one TYPE line per
+   family even when label variants interleave with other names in sort
+   order, cumulative buckets, +Inf == _count. *)
+let test_prom_exposition () =
+  let dump =
+    [
+      ("lat.ms",
+        Metrics.Histogram
+          {
+            Metrics.bounds = [| 1.; 10. |];
+            counts = [| 2; 1; 1 |];
+            total = 4;
+            sum = 17.5;
+            maxv = 50.;
+          });
+      ("serve.requests", Metrics.Counter 5);
+      ("serve.requests_total", Metrics.Counter 9);
+      ("serve.requests{model=\"m\"}", Metrics.Counter 3);
+      ("queue.depth", Metrics.Gauge 2.5);
+    ]
+  in
+  let text, samples = Prom.of_dump dump in
+  Alcotest.(check int) "sample count" 9 samples;
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " present") true (contains text (l ^ "\n")))
+    [
+      "# TYPE lat_ms histogram";
+      "lat_ms_bucket{le=\"1\"} 2";
+      "lat_ms_bucket{le=\"10\"} 3";
+      "lat_ms_bucket{le=\"+Inf\"} 4";
+      "lat_ms_sum 17.5";
+      "lat_ms_count 4";
+      "# TYPE serve_requests counter";
+      "serve_requests 5";
+      "serve_requests{model=\"m\"} 3";
+      "# TYPE queue_depth gauge";
+      "queue_depth 2.5";
+    ];
+  (* one TYPE line per family despite "serve.requests_total" sorting
+     between the unlabeled and labeled serve.requests variants *)
+  let type_lines =
+    List.filter
+      (fun l -> contains l "# TYPE serve_requests ")
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "family grouped under one TYPE line" 1
+    (List.length type_lines);
+  Alcotest.(check bool) "the interleaving family keeps its own TYPE" true
+    (contains text "# TYPE serve_requests_total counter\n");
+  match Prom.check text with
+  | Error m -> Alcotest.fail ("validator rejects own exposition: " ^ m)
+  | Ok n -> Alcotest.(check int) "validator counts samples" 9 n
+
+let test_prom_check_rejects () =
+  let bad name s =
+    match Prom.check s with
+    | Ok _ -> Alcotest.fail (name ^ " accepted")
+    | Error _ -> ()
+  in
+  bad "sample without TYPE" "orphan 1\n";
+  bad "duplicate sample" "# TYPE a counter\na 1\na 2\n";
+  bad "duplicate TYPE" "# TYPE a counter\n# TYPE a gauge\na 1\n";
+  bad "unquoted label value" "# TYPE a counter\na{k=v} 1\n";
+  bad "unparseable value" "# TYPE a counter\na one\n";
+  bad "histogram without buckets" "# TYPE h histogram\nh_sum 1\nh_count 1\n";
+  bad "non-cumulative buckets"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n";
+  bad "missing +Inf bucket"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0\nh_count 1\n";
+  bad "+Inf disagrees with _count"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 3\n";
+  bad "missing _sum"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+  match
+    Prom.check
+      "# TYPE h histogram\nh_bucket{le=\"1\",m=\"x\\\"y\"} 1\nh_bucket{le=\"+Inf\",m=\"x\\\"y\"} 1\nh_sum{m=\"x\\\"y\"} 0.5\nh_count{m=\"x\\\"y\"} 1\n"
+  with
+  | Ok 4 -> ()
+  | Ok n -> Alcotest.failf "escaped labels: %d samples" n
+  | Error m -> Alcotest.fail ("escaped labels rejected: " ^ m)
+
+(* --- lifecycle event log ------------------------------------------------------- *)
+
+let ev ?(attrs = []) t rid kind = { Events.t; rid; kind; attrs }
+
+let test_events_jsonl_roundtrip () =
+  let evs =
+    [
+      ev 0.1 1 Events.Admitted ~attrs:[ ("client", "0"); ("deadline", "0.8") ];
+      ev (0.1 +. 0.2) 1 Events.Batched ~attrs:[ ("bid", "0") ];
+      ev 0.4 1 Events.Dispatched ~attrs:[ ("worker", "1") ];
+      ev 0.5 1 Events.Completed ~attrs:[ ("miss", "0"); ("q", "a\"b\\c") ];
+    ]
+  in
+  match Events.parse_jsonl (Events.to_jsonl evs) with
+  | Error m -> Alcotest.fail ("roundtrip does not parse: " ^ m)
+  | Ok back ->
+    (* %.17g timestamps make even 0.1 +. 0.2 round-trip bit-exactly *)
+    Alcotest.(check bool) "events round-trip exactly" true (compare back evs = 0)
+
+let test_events_ring_accounting () =
+  let log = Events.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Events.emit log (ev (float_of_int i) i Events.Admitted)
+  done;
+  let evs = Events.events log in
+  Alcotest.(check (list int)) "last 4 retained, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Events.rid) evs);
+  Alcotest.(check int) "total counts every emit" 10 (Events.total log);
+  Alcotest.(check int) "dropped = total - retained" 6 (Events.dropped log);
+  match Events.create ~capacity:0 () with
+  | _ -> Alcotest.fail "zero capacity accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_events_sort_deterministic () =
+  let scrambled =
+    [
+      ev 0.5 1 Events.Verified;
+      ev 0.5 1 Events.Completed;
+      ev 0.5 1 Events.Executed;
+      ev 0.2 1 Events.Admitted;
+      ev 0.1 0 Events.Admitted;
+      ev 0.3 1 Events.Dispatched;
+      ev 0.3 1 Events.Batched;
+    ]
+  in
+  let sorted = Events.sort_events scrambled in
+  Alcotest.(check (list string)) "by (t, rid, lifecycle rank)"
+    [ "admitted"; "admitted"; "batched"; "dispatched"; "completed"; "executed"; "verified" ]
+    (List.map (fun e -> Events.kind_to_string e.Events.kind) sorted)
+
+let lifecheck evs = Events.check (Events.to_jsonl evs)
+
+let test_lifecycle_accepts () =
+  let good =
+    [
+      ev 0.0 0 Events.Admitted;
+      ev 0.1 0 Events.Batched ~attrs:[ ("bid", "0") ];
+      ev 0.1 0 Events.Dispatched;
+      ev 0.2 0 Events.Completed;
+      ev 0.2 0 Events.Executed;
+      ev 0.2 0 Events.Verified ~attrs:[ ("ok", "1") ];
+      ev 0.05 1 Events.Rejected;
+      ev 0.0 2 Events.Admitted;
+      ev 0.3 2 Events.Shed;
+    ]
+  in
+  match lifecheck (Events.sort_events good) with
+  | Error m -> Alcotest.fail ("well-formed log rejected: " ^ m)
+  | Ok (n, rids) ->
+    Alcotest.(check int) "events counted" 9 n;
+    Alcotest.(check int) "distinct requests counted" 3 rids
+
+let test_lifecycle_rejects () =
+  let bad name evs =
+    match lifecheck evs with
+    | Ok _ -> Alcotest.fail (name ^ " accepted")
+    | Error _ -> ()
+  in
+  bad "no terminal event" [ ev 0. 0 Events.Admitted ];
+  bad "first event not an admission decision"
+    [ ev 0. 0 Events.Batched; ev 0.1 0 Events.Completed ];
+  bad "two terminal events"
+    [
+      ev 0. 0 Events.Admitted;
+      ev 0.1 0 Events.Batched;
+      ev 0.1 0 Events.Dispatched;
+      ev 0.2 0 Events.Completed;
+      ev 0.3 0 Events.Completed;
+    ];
+  bad "rejected must be sole"
+    [ ev 0. 0 Events.Rejected; ev 0.1 0 Events.Shed ];
+  bad "shed after batching"
+    [ ev 0. 0 Events.Admitted; ev 0.1 0 Events.Batched; ev 0.2 0 Events.Shed ];
+  bad "completed without dispatch"
+    [ ev 0. 0 Events.Admitted; ev 0.1 0 Events.Completed ];
+  bad "executed before dispatch"
+    [
+      ev 0. 0 Events.Admitted;
+      ev 0.1 0 Events.Executed;
+      ev 0.2 0 Events.Batched;
+      ev 0.2 0 Events.Dispatched;
+      ev 0.3 0 Events.Completed;
+    ];
+  bad "timestamps regress within a request"
+    [
+      ev 0.5 0 Events.Admitted;
+      ev 0.1 0 Events.Batched;
+      ev 0.1 0 Events.Dispatched;
+      ev 0.2 0 Events.Completed;
+    ];
+  match Events.check "not json\n" with
+  | Ok _ -> Alcotest.fail "garbage line accepted"
+  | Error _ -> ()
+
+let test_flight_fires_once () =
+  let f = Events.Flight.create ~capacity:8 () in
+  for i = 0 to 11 do
+    Events.Flight.record f
+      (ev (float_of_int i /. 10.) (i mod 3) Events.Admitted)
+  done;
+  Alcotest.(check bool) "not fired before trigger" false (Events.Flight.fired f);
+  Alcotest.(check bool) "dump absent before trigger" true
+    (Events.Flight.dump f = None);
+  let dumps0 = Metrics.value (Metrics.counter "obs.flight_dumps") in
+  Alcotest.(check bool) "first trigger captures" true
+    (Events.Flight.trigger f ~reason:"deadline_miss" ~rid:2 ~t:1.0 ());
+  Alcotest.(check bool) "second trigger is a no-op" false
+    (Events.Flight.trigger f ~reason:"verify_mismatch" ~rid:0 ~t:2.0 ());
+  Alcotest.(check int) "exactly one dump counted" (dumps0 + 1)
+    (Metrics.value (Metrics.counter "obs.flight_dumps"));
+  match Events.Flight.dump f with
+  | None -> Alcotest.fail "no dump after firing"
+  | Some d ->
+    let j =
+      match Json.parse d with
+      | Ok j -> j
+      | Error m -> Alcotest.fail ("dump is not JSON: " ^ m)
+    in
+    let str k = Json.member k j |> Option.get |> Json.to_str in
+    let arr k = Json.member k j |> Option.get |> Json.to_arr |> Option.get in
+    Alcotest.(check (option string)) "first reason kept" (Some "deadline_miss")
+      (str "reason");
+    (* ring capacity 8 kept rids of emits 4..11: 1,2,0,1,2,0,1,2 *)
+    Alcotest.(check int) "recent = retained ring" 8 (List.length (arr "recent"));
+    Alcotest.(check int) "timeline filters the offending rid" 3
+      (List.length (arr "timeline"));
+    List.iter
+      (fun e ->
+        Alcotest.(check (option (float 0.))) "timeline entries carry rid 2"
+          (Some 2.)
+          (Json.member "rid" e |> Option.get |> Json.to_num))
+      (arr "timeline")
+
+(* The process-global sink: off by default, scoped on via with_log, and
+   feeding both the log and the armed flight recorder. *)
+let test_global_sink_scoped () =
+  Alcotest.(check bool) "sink off by default" false (Events.enabled ());
+  Events.record (ev 0. 0 Events.Admitted);
+  let log = Events.create () in
+  let x =
+    Events.with_log log (fun () ->
+        Alcotest.(check bool) "sink on inside with_log" true (Events.enabled ());
+        Events.record (ev 0.5 7 Events.Admitted);
+        17)
+  in
+  Alcotest.(check int) "with_log passes the result through" 17 x;
+  Alcotest.(check bool) "sink off after with_log" false (Events.enabled ());
+  Alcotest.(check int) "only the scoped emit landed" 1 (Events.total log);
+  Alcotest.(check bool) "untripped flight_trip reports false" false
+    (Events.flight_trip ~reason:"x" ~rid:0 ~t:0. ())
+
+(* --- flow arcs in the Chrome export -------------------------------------------- *)
+
+let test_flow_export_and_validator () =
+  let (), evs =
+    Trace.with_collector (fun () ->
+        Trace.span "ctrl" (fun _ ->
+            Trace.flow ~id:42 ~dir:Trace.Flow_start "serve.req");
+        Trace.span "work" (fun _ ->
+            Trace.flow ~id:42 ~dir:Trace.Flow_step "serve.req";
+            Trace.flow ~id:42 ~dir:Trace.Flow_end "serve.req"))
+  in
+  let s = Chrome.to_string evs in
+  (match Chrome.check s with
+  | Error m -> Alcotest.fail ("flow export rejected: " ^ m)
+  | Ok n -> Alcotest.(check int) "2 spans + 3 flow points" 5 n);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "\"ph\":\"s\""; "\"ph\":\"t\""; "\"ph\":\"f\""; "\"id\":42"; "\"bp\":\"e\"" ];
+  (* the start point must not carry the binding-point attribute *)
+  Alcotest.(check bool) "start point has no bp" false
+    (contains s "\"ph\":\"s\",\"id\":42,\"bp\"");
+  match
+    Chrome.check
+      "{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":1.0}]}"
+  with
+  | Ok _ -> Alcotest.fail "flow point without id accepted"
+  | Error m ->
+    Alcotest.(check bool) "error names the missing id" true
+      (contains m "id")
+
 (* --- tuning log TSV ------------------------------------------------------------- *)
 
 let with_temp_file f =
@@ -448,6 +807,8 @@ let () =
           Alcotest.test_case "ts/dur consistent" `Quick test_chrome_ts_consistent;
           Alcotest.test_case "validator rejects malformed" `Quick
             test_chrome_check_rejects;
+          Alcotest.test_case "flow arcs export and validate" `Quick
+            test_flow_export_and_validator;
         ] );
       ( "json",
         [
@@ -462,6 +823,35 @@ let () =
             test_quantile_overflow_honest;
           Alcotest.test_case "summary prints percentiles" `Quick
             test_summary_prints_percentiles;
+          Alcotest.test_case "summary max and empty histograms" `Quick
+            test_summary_max_and_empty;
+          Alcotest.test_case "labeled names canonical and reversible" `Quick
+            test_labeled_names;
+          Alcotest.test_case "labeled instruments" `Quick
+            test_labeled_instruments;
+        ] );
+      ( "prom",
+        [
+          Alcotest.test_case "exposition hand-checked" `Quick
+            test_prom_exposition;
+          Alcotest.test_case "validator rejects malformed" `Quick
+            test_prom_check_rejects;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_events_jsonl_roundtrip;
+          Alcotest.test_case "ring drop accounting" `Quick
+            test_events_ring_accounting;
+          Alcotest.test_case "deterministic sort order" `Quick
+            test_events_sort_deterministic;
+          Alcotest.test_case "lifecycle validator accepts" `Quick
+            test_lifecycle_accepts;
+          Alcotest.test_case "lifecycle validator rejects" `Quick
+            test_lifecycle_rejects;
+          Alcotest.test_case "flight recorder fires once" `Quick
+            test_flight_fires_once;
+          Alcotest.test_case "global sink is scoped" `Quick
+            test_global_sink_scoped;
         ] );
       ( "tuning log",
         [ Alcotest.test_case "tsv export" `Quick test_tuning_log_tsv ] );

@@ -10,8 +10,10 @@ module L = Hidet_serve.Loadgen
 module R = Hidet_serve.Registry
 module P = Hidet_serve.Pool
 module Srv = Hidet_serve.Server
+module Slo = Hidet_serve.Slo
 module HE = Hidet.Hidet_engine
 module Metrics = Hidet_obs.Metrics
+module E = Hidet_obs.Events
 module SC = Hidet_sched.Schedule_cache
 module T = Hidet_tensor.Tensor
 
@@ -200,9 +202,9 @@ let test_conservation () =
         (List.length b.P.members >= 1 && List.length b.P.members <= b.P.bucket))
     s.Srv.batches
 
-(* Satellite: same seed => identical schedules — batch compositions, shed
-   sets, timings — across repeated runs, for random configs and traffic. *)
-let prop_simulate_deterministic =
+(* Random serving scenarios — shared by the determinism property and the
+   event-log conservation property below. *)
+let sim_arb =
   let gen =
     let open QCheck.Gen in
     let profile =
@@ -255,24 +257,181 @@ let prop_simulate_deterministic =
     in
     pair cfg lg
   in
-  let arb =
-    QCheck.make gen ~print:(fun (cfg, lg) ->
-        Printf.sprintf
-          "seed=%d dur=%g dl=%g batching=%b cap=%d mw=%g workers=%d inflight=%d burst=%b %s"
-          lg.L.seed lg.L.duration lg.L.deadline cfg.Srv.batcher.B.batching
-          cfg.Srv.batcher.B.queue_cap cfg.Srv.batcher.B.max_wait
-          cfg.Srv.workers cfg.Srv.max_inflight (lg.L.burst <> None)
-          (match lg.L.profile with
-          | L.Open_loop { rps } -> Printf.sprintf "open rps=%g" rps
-          | L.Closed_loop { clients; think } ->
-            Printf.sprintf "closed clients=%d think=%g" clients think))
-  in
-  QCheck.Test.make ~name:"same seed => identical schedule" ~count:30 arb
+  QCheck.make gen ~print:(fun (cfg, lg) ->
+      Printf.sprintf
+        "seed=%d dur=%g dl=%g batching=%b cap=%d mw=%g workers=%d inflight=%d burst=%b %s"
+        lg.L.seed lg.L.duration lg.L.deadline cfg.Srv.batcher.B.batching
+        cfg.Srv.batcher.B.queue_cap cfg.Srv.batcher.B.max_wait
+        cfg.Srv.workers cfg.Srv.max_inflight (lg.L.burst <> None)
+        (match lg.L.profile with
+        | L.Open_loop { rps } -> Printf.sprintf "open rps=%g" rps
+        | L.Closed_loop { clients; think } ->
+          Printf.sprintf "closed clients=%d think=%g" clients think))
+
+let sim_latency b = 0.003 *. (1. +. (0.25 *. float_of_int b))
+
+(* Satellite: same seed => identical schedules — batch compositions, shed
+   sets, timings — across repeated runs, for random configs and traffic. *)
+let prop_simulate_deterministic =
+  QCheck.Test.make ~name:"same seed => identical schedule" ~count:30 sim_arb
     (fun (cfg, lg) ->
-      let latency b = 0.003 *. (1. +. (0.25 *. float_of_int b)) in
-      let s1 = Srv.simulate cfg ~latency lg in
-      let s2 = Srv.simulate cfg ~latency lg in
+      let s1 = Srv.simulate cfg ~latency:sim_latency lg in
+      let s2 = Srv.simulate cfg ~latency:sim_latency lg in
       compare s1 s2 = 0)
+
+(* Tentpole: whatever the scenario, the emitted lifecycle event log passes
+   the strict validator — every request's first event is an admission
+   decision, every admitted request reaches exactly one terminal event,
+   timestamps are monotone per request — and the JSONL export round-trips
+   bit-exactly through the strict JSON parser. *)
+let prop_event_log_conserves =
+  QCheck.Test.make ~name:"event log: lifecycle conservation" ~count:30 sim_arb
+    (fun (cfg, lg) ->
+      let log = E.create ~capacity:(1 lsl 16) () in
+      let s = E.with_log log (fun () -> Srv.simulate cfg ~latency:sim_latency lg) in
+      let evs = E.sort_events (E.events log) in
+      let jsonl = E.to_jsonl evs in
+      match E.check jsonl with
+      | Error m -> QCheck.Test.fail_report ("event log invalid: " ^ m)
+      | Ok (n, rids) ->
+        n = List.length evs
+        && E.dropped log = 0
+        && rids = List.length s.Srv.records
+        && (match E.parse_jsonl jsonl with
+           | Ok back -> compare back evs = 0
+           | Error _ -> false))
+
+(* The event log agrees with the schedule's stats: one Admitted per
+   admitted request, one terminal per request, and the Completed events'
+   miss flags sum to deadline_miss. *)
+let test_event_counts_match_stats () =
+  let log = E.create () in
+  let s =
+    E.with_log log (fun () ->
+        Srv.simulate
+          (scfg ~batcher:(bcfg ~queue_cap:8 ()) ())
+          ~latency:sim_latency
+          (lg ~rps:150. ~deadline:0.05 ~burst:{ L.start = 0.3; dur = 0.2; rps = 800. } ()))
+  in
+  let st = Srv.stats s in
+  let evs = E.events log in
+  let count k = List.length (List.filter (fun e -> e.E.kind = k) evs) in
+  Alcotest.(check int) "admitted events" st.Srv.admitted (count E.Admitted);
+  Alcotest.(check int) "rejected events" st.Srv.rejected (count E.Rejected);
+  Alcotest.(check int) "shed events" st.Srv.shed (count E.Shed);
+  Alcotest.(check int) "completed events" st.Srv.completed (count E.Completed);
+  Alcotest.(check int) "batched = dispatched = completed" st.Srv.completed
+    (count E.Batched);
+  Alcotest.(check int) "dispatched events" st.Srv.completed (count E.Dispatched);
+  Alcotest.(check int) "miss flags sum to deadline_miss" st.Srv.deadline_miss
+    (List.length
+       (List.filter
+          (fun e ->
+            e.E.kind = E.Completed && List.assoc_opt "miss" e.E.attrs = Some "1")
+          evs))
+
+(* Regression: the flight recorder fires exactly once on the first
+   deadline miss, even when the run misses many deadlines. Misses happen
+   when a request joins a big-bucket batch whose service time exceeds its
+   remaining slack (shedding only guards against the bucket-1 minimum). *)
+let test_flight_fires_once_on_first_miss () =
+  let fr = E.Flight.create () in
+  E.set_flight (Some fr);
+  let dumps0 = Metrics.value (Metrics.counter "obs.flight_dumps") in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> E.set_flight None)
+      (fun () ->
+        Srv.simulate
+          (scfg ~batcher:(bcfg ~queue_cap:64 ()) ())
+          ~latency:(fun b -> 0.012 *. float_of_int b)
+          (lg ~rps:200. ~duration:0.5 ~deadline:0.06 ()))
+  in
+  let st = Srv.stats s in
+  Alcotest.(check bool)
+    (Printf.sprintf "scenario produces several misses (%d)" st.Srv.deadline_miss)
+    true
+    (st.Srv.deadline_miss >= 2);
+  Alcotest.(check bool) "flight recorder fired" true (E.Flight.fired fr);
+  Alcotest.(check int) "exactly one dump" (dumps0 + 1)
+    (Metrics.value (Metrics.counter "obs.flight_dumps"));
+  (* the dump names the first miss *)
+  match E.Flight.dump fr with
+  | None -> Alcotest.fail "fired but no dump"
+  | Some d ->
+    Alcotest.(check bool) "dump records the reason" true
+      (let n = String.length d in
+       let needle = "deadline_miss" in
+       let m = String.length needle in
+       let rec go i = i + m <= n && (String.sub d i m = needle || go (i + 1)) in
+       go 0)
+
+(* --- burn-rate SLO alerts --------------------------------------------------- *)
+
+(* Hand-computed: budget 0.1, one rule (fast 1s / slow 4s, burn 2,
+   min_count 2). At t=2.0 the fast window holds a single bad sample —
+   gated by min_count. At t=2.5 the fast window (1.5, 2.5] is 2/2 bad
+   (burn 10) and the slow window (-1.5, 2.5] is 2/4 bad (burn 5): both
+   over threshold, so the rule fires there. *)
+let test_slo_hand_check () =
+  let cfg =
+    {
+      Slo.objective = 0.9;
+      min_count = 2;
+      rules = [ { Slo.rname = "r"; fast = 1.; slow = 4.; burn = 2. } ];
+    }
+  in
+  let sample t good = { Slo.t; good } in
+  let v =
+    Slo.evaluate cfg
+      [ sample 1.0 true; sample 2.5 false; sample 0.5 true; sample 2.0 false ]
+  in
+  Alcotest.(check int) "total" 4 v.Slo.total;
+  Alcotest.(check int) "bad" 2 v.Slo.bad;
+  Alcotest.(check (float 1e-9)) "miss ratio" 0.5 v.Slo.miss_ratio;
+  Alcotest.(check (float 1e-9)) "budget" 0.1 v.Slo.budget;
+  Alcotest.(check bool) "fired" true (Slo.fired v);
+  (match v.Slo.alerts with
+  | [ a ] ->
+    Alcotest.(check bool) "rule fired" true a.Slo.fired;
+    Alcotest.(check (float 1e-9)) "fires at the second bad sample" 2.5 a.Slo.at;
+    Alcotest.(check (float 1e-9)) "fast burn" 10. a.Slo.fast_burn;
+    Alcotest.(check (float 1e-9)) "slow burn" 5. a.Slo.slow_burn
+  | _ -> Alcotest.fail "one alert per rule");
+  let quiet = Slo.evaluate cfg [ sample 0.5 true; sample 1.0 true ] in
+  Alcotest.(check bool) "all-good traffic never fires" false (Slo.fired quiet);
+  (* machine-readable verdict parses and carries the alert *)
+  match Hidet_obs.Json.parse (Slo.verdict_to_json v) with
+  | Error m -> Alcotest.fail ("verdict json: " ^ m)
+  | Ok j ->
+    let open Hidet_obs.Json in
+    let alerts = member "alerts" j |> Option.get |> to_arr |> Option.get in
+    Alcotest.(check int) "one alert in json" 1 (List.length alerts);
+    Alcotest.(check (option bool)) "fired in json" (Some true)
+      (match member "fired" (List.hd alerts) with
+      | Some (Bool b) -> Some b
+      | _ -> None)
+
+(* End to end over schedules: a low-load run keeps its budget, an
+   overload run burns it and fires. *)
+let test_slo_verdict_from_schedule () =
+  let low =
+    Srv.simulate (scfg ()) ~latency:sim_latency (lg ~rps:20. ~deadline:0.5 ())
+  in
+  let v = Srv.slo_verdict ~duration:1. low in
+  Alcotest.(check int) "no bad requests at low load" 0 v.Slo.bad;
+  Alcotest.(check bool) "no alert at low load" false (Slo.fired v);
+  let over =
+    Srv.simulate
+      (scfg ~batcher:(bcfg ~queue_cap:8 ()) ())
+      ~latency:sim_latency
+      (lg ~rps:60. ~deadline:0.05
+         ~burst:{ L.start = 0.2; dur = 0.4; rps = 1500. }
+         ())
+  in
+  let v = Srv.slo_verdict ~duration:1. over in
+  Alcotest.(check bool) "overload burns the budget" true (v.Slo.bad > 0);
+  Alcotest.(check bool) "overload fires an alert" true (Slo.fired v)
 
 (* --- registry, schedule cache, real execution ------------------------------ *)
 
@@ -391,6 +550,17 @@ let () =
             test_overload_burst_sheds;
           Alcotest.test_case "outcome conservation" `Quick test_conservation;
           QCheck_alcotest.to_alcotest prop_simulate_deterministic;
+        ] );
+      ( "telemetry",
+        [
+          QCheck_alcotest.to_alcotest prop_event_log_conserves;
+          Alcotest.test_case "event counts match stats" `Quick
+            test_event_counts_match_stats;
+          Alcotest.test_case "flight fires once on first miss" `Quick
+            test_flight_fires_once_on_first_miss;
+          Alcotest.test_case "burn-rate hand check" `Quick test_slo_hand_check;
+          Alcotest.test_case "burn-rate verdict from schedules" `Quick
+            test_slo_verdict_from_schedule;
         ] );
       ( "registry",
         [
