@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke shard-smoke clean
 
 all:
 	dune build @all
@@ -110,6 +110,30 @@ obs-serve-smoke:
 	grep -q '"flight_fired": true' $(OBS_SMOKE)/overload.json
 	grep -q '"fired": true' $(OBS_SMOKE)/overload.json
 
+# Sharded-execution smoke test. Step 1: the differential fuzzer's
+# (opt-in) sharded path — every random graph/matmul case is partitioned
+# for a seed-derived cluster (1-4 devices) under every applicable
+# strategy and compared against the single-device CPU reference; shrunk
+# repros embed the shard spec (devices, strategy, describe line). Step
+# 2: a 2-device tensor-parallel quickstart matmul planned, executed, and
+# bit-verified against the single-device baseline (`compile
+# --verify-shard` exits non-zero on mismatch). Step 3: the shard bench
+# gates — tensor-parallel matmul >= 1.6x at 2 devices, pipeline > 1x on
+# the staged DAG, nonzero collective billing, and all four executed
+# equivalence points — with the report kept under _build/ so it never
+# clobbers the committed BENCH_shard.json (refresh that one with
+# `./_build/default/bench/main.exe --only shard --out BENCH_shard.json`).
+shard-smoke:
+	dune build bin/hidetc.exe bench/main.exe
+	./_build/default/bin/hidetc.exe fuzz --paths sharded --seed 42 \
+	  --cases 400 --quiet
+	./_build/default/bin/hidetc.exe export -m tiny_transformer -b 8 \
+	  -o _build/shard-smoke.hgf > /dev/null
+	./_build/default/bin/hidetc.exe compile --file _build/shard-smoke.hgf \
+	  --devices 2 --parallel tensor --verify-shard > /dev/null
+	./_build/default/bench/main.exe --only shard \
+	  --out _build/BENCH_shard.smoke.json > /dev/null
+
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
 # valid output, the differential fuzzer must run clean, the compiled
@@ -118,12 +142,13 @@ obs-serve-smoke:
 # visibly when no toolchain is present), the serving runtime must batch,
 # shed and verify correctly under load, and the serving telemetry
 # (events, flows, exposition, flight recorder, burn-rate alerts) must
-# validate end to end.
+# validate end to end, and sharded multi-device execution must match the
+# single-device baseline under each strategy's equivalence contract.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
 	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && \
 	  $(MAKE) native-smoke && $(MAKE) serve-smoke && \
-	  $(MAKE) obs-serve-smoke
+	  $(MAKE) obs-serve-smoke && $(MAKE) shard-smoke
 
 clean:
 	dune clean

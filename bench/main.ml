@@ -803,6 +803,207 @@ let bench_serve () =
   if !fail then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sharding: tensor/pipeline parallelism under the cluster cost model  *)
+(* ------------------------------------------------------------------ *)
+
+let shard_out = ref "BENCH_shard.json"
+
+let bench_shard () =
+  section
+    "bench: shard — multi-device partitioning under the interconnect cost \
+     model";
+  let module Shard = Hidet_shard.Shard in
+  let module Cluster = Hidet_gpu.Cluster in
+  (* Tensor parallelism: one large matmul whose per-device compute dwarfs
+     the collective epilogue, so splitting it should approach linear. *)
+  let tp_m = 1024 and tp_n = 1024 and tp_k = 4096 in
+  let tp_graph () =
+    let g = G.create () in
+    G.name g (Printf.sprintf "tp_matmul_%dx%dx%d" tp_m tp_n tp_k);
+    let a = G.input g [ 1; tp_m; tp_k ] in
+    let w = G.constant_rand g ~seed:21 [ tp_k; tp_n ] in
+    G.set_outputs g [ G.matmul g a w ];
+    g
+  in
+  (* Pipeline parallelism: a deep chain of equal-cost stages, batch large
+     enough to stream microbatches through. *)
+  let pp_layers = 8 and pp_b = 128 and pp_d = 1024 in
+  let staged_graph () =
+    let g = G.create () in
+    G.name g (Printf.sprintf "staged_mlp_%dx%d" pp_layers pp_d);
+    let x = G.input g [ pp_b; 32; pp_d ] in
+    let h = ref x in
+    for i = 1 to pp_layers do
+      let w = G.constant_rand g ~seed:(30 + i) [ pp_d; pp_d ] in
+      h := G.relu g (G.matmul g !h w)
+    done;
+    G.set_outputs g [ !h ];
+    g
+  in
+  let estimate ~strategy ~devices g =
+    let cl = Cluster.homogeneous ~n:devices dev in
+    Shard.estimate (Shard.plan ~strategy cl g)
+  in
+  Printf.printf "%-28s %-14s %4s %12s %12s %12s %9s\n" "graph" "strategy" "dev"
+    "compute(us)" "comm(us)" "total(us)" "speedup";
+  let row name strategy devices (e : Shard.estimate) =
+    Printf.printf "%-28s %-14s %4d %12.1f %12.1f %12.1f %8.2fx\n%!" name
+      (Shard.strategy_to_string strategy)
+      devices (us e.Shard.compute) (us e.Shard.comm) (us e.Shard.total)
+      e.Shard.speedup;
+    (name, Shard.strategy_to_string strategy, devices, e)
+  in
+  let tp_rows =
+    List.concat_map
+      (fun devices ->
+        List.map
+          (fun strategy ->
+            row "tp_matmul" strategy devices
+              (estimate ~strategy ~devices (tp_graph ())))
+          [ Shard.Tensor Shard.Gather; Shard.Tensor Shard.Reduce ])
+      [ 2; 4 ]
+  in
+  let pp_strategy = Shard.Pipeline { microbatches = 4 } in
+  let pp_rows =
+    List.map
+      (fun devices ->
+        row "staged_mlp" pp_strategy devices
+          (estimate ~strategy:pp_strategy ~devices (staged_graph ())))
+      [ 2; 4 ]
+  in
+  (* Small executed equivalence points: the cost-model rows above never
+     run; these do, and must meet each strategy's contract (bit-exact, or
+     the tensor-reduce ULP budget). *)
+  let small_mm () =
+    let g = G.create () in
+    G.name g "small_matmul_48x64x128";
+    let a = G.input g [ 4; 48; 128 ] in
+    let w = G.constant_rand g ~seed:23 [ 128; 64 ] in
+    G.set_outputs g [ G.matmul g a w ];
+    g
+  in
+  let small_mlp () =
+    let g = G.create () in
+    G.name g "small_mlp_4x32";
+    let x = G.input g [ 8; 8; 32 ] in
+    let h = ref x in
+    for i = 1 to 4 do
+      let w = G.constant_rand g ~seed:(40 + i) [ 32; 32 ] in
+      h := G.relu g (G.matmul g !h w)
+    done;
+    G.set_outputs g [ !h ];
+    g
+  in
+  let verify_point name strategy g =
+    let cl = Cluster.homogeneous ~n:2 dev in
+    let shard = Shard.plan ~strategy cl g in
+    let inputs =
+      List.mapi
+        (fun i id -> Hidet_tensor.Tensor.rand ~seed:(59 + i) (G.node_shape g id))
+        (G.input_ids g)
+    in
+    match Shard.verify shard inputs with
+    | Ok msg ->
+      Printf.printf "verify %-14s %s: %s\n%!" name
+        (Shard.strategy_to_string strategy)
+        msg;
+      (name, Shard.strategy_to_string strategy, true, msg)
+    | Error msg ->
+      Printf.printf "verify %-14s %s: FAILED %s\n%!" name
+        (Shard.strategy_to_string strategy)
+        msg;
+      (name, Shard.strategy_to_string strategy, false, msg)
+  in
+  let verifies =
+    (* let-sequenced so the progress lines print in declaration order *)
+    let v1 = verify_point "small_matmul" Shard.Data (small_mm ()) in
+    let v2 = verify_point "small_matmul" (Shard.Tensor Shard.Gather) (small_mm ()) in
+    let v3 = verify_point "small_matmul" (Shard.Tensor Shard.Reduce) (small_mm ()) in
+    let v4 =
+      verify_point "small_mlp" (Shard.Pipeline { microbatches = 4 })
+        (small_mlp ())
+    in
+    [ v1; v2; v3; v4 ]
+  in
+  let oc = open_out !shard_out in
+  let est_json (e : Shard.estimate) =
+    Printf.sprintf
+      "{\"devices\": %d, \"compute_s\": %.6e, \"comm_s\": %.6e, \"total_s\": \
+       %.6e, \"baseline_s\": %.6e, \"speedup\": %.3f}"
+      e.Shard.devices e.Shard.compute e.Shard.comm e.Shard.total
+      e.Shard.baseline e.Shard.speedup
+  in
+  Printf.fprintf oc "{\n  \"experiment\": \"shard\",\n";
+  Printf.fprintf oc
+    "  \"link\": {\"name\": \"nvlink\", \"latency_s\": %.2e, \
+     \"bandwidth_Bps\": %.3e},\n"
+    Cluster.nvlink.Cluster.latency Cluster.nvlink.Cluster.bandwidth;
+  Printf.fprintf oc "  \"sweep\": [\n";
+  let all_rows = tp_rows @ pp_rows in
+  List.iteri
+    (fun i (name, strat, devices, e) ->
+      Printf.fprintf oc
+        "    {\"graph\": \"%s\", \"strategy\": \"%s\", \"devices\": %d, \
+         \"estimate\": %s}%s\n"
+        name strat devices (est_json e)
+        (if i = List.length all_rows - 1 then "" else ","))
+    all_rows;
+  Printf.fprintf oc "  ],\n  \"verify\": [\n";
+  List.iteri
+    (fun i (name, strat, ok, msg) ->
+      Printf.fprintf oc
+        "    {\"graph\": \"%s\", \"strategy\": \"%s\", \"ok\": %b, \"detail\": \
+         %S}%s\n"
+        name strat ok msg
+        (if i = List.length verifies - 1 then "" else ","))
+    verifies;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !shard_out;
+  (* Gates (make shard-smoke and CI rely on these): *)
+  let fail = ref false in
+  let check cond msg =
+    if not cond then begin
+      Printf.eprintf "FAIL: %s\n" msg;
+      fail := true
+    end
+  in
+  let tp_speedup ~devices =
+    List.fold_left
+      (fun acc (_, _, d, (e : Shard.estimate)) ->
+        if d = devices then Float.max acc e.Shard.speedup else acc)
+      0. tp_rows
+  in
+  let s2 = tp_speedup ~devices:2 and s4 = tp_speedup ~devices:4 in
+  check (s2 >= 1.6)
+    (Printf.sprintf
+       "tensor-parallel matmul must reach >= 1.6x at 2 devices (got %.2fx)" s2);
+  check (s4 > s2)
+    (Printf.sprintf
+       "tensor-parallel speedup must keep scaling at 4 devices (%.2fx <= \
+        %.2fx)"
+       s4 s2);
+  let pp2 =
+    let _, _, _, e = List.hd pp_rows in
+    e.Shard.speedup
+  in
+  check (pp2 > 1.0)
+    (Printf.sprintf
+       "pipeline must beat single-device on the staged DAG (got %.2fx)" pp2);
+  List.iter
+    (fun (_, _, _, (e : Shard.estimate)) ->
+      check (e.Shard.comm > 0.)
+        "every multi-device plan must be billed a nonzero collective cost")
+    all_rows;
+  List.iter
+    (fun (name, strat, ok, msg) ->
+      check ok
+        (Printf.sprintf "executed equivalence must hold for %s/%s: %s" name
+           strat msg))
+    verifies;
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -869,6 +1070,7 @@ let experiments =
     ("tuning_service", tuning_service);
     ("interp", bench_interp);
     ("serve", bench_serve);
+    ("shard", bench_shard);
     ("micro", micro);
   ]
 
@@ -900,7 +1102,8 @@ let () =
     (let rec find = function
        | "--out" :: path :: _ ->
          interp_out := path;
-         serve_out := path
+         serve_out := path;
+         shard_out := path
        | _ :: rest -> find rest
        | [] -> ()
      in

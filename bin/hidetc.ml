@@ -21,6 +21,8 @@ module HE = Hidet.Hidet_engine
 module Lib = Hidet_baselines.Library_engine
 module IC = Hidet_baselines.Input_centric
 module Obs = Hidet_obs
+module Shard = Hidet_shard.Shard
+module Cluster = Hidet_gpu.Cluster
 
 let dev = Hidet_gpu.Device.rtx3090
 
@@ -211,6 +213,105 @@ let backend_arg =
 
 let set_backend backend = Hidet_sched.Compiled.set_default_backend backend
 
+(* --- multi-device sharding flags ------------------------------------------- *)
+
+let devices_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "devices"; "d" ] ~docv:"N"
+        ~doc:
+          "Shard across \\$(docv) simulated devices (NVLink-class ring \
+           interconnect). With N = 1 everything runs single-device as \
+           before; with N > 1 the graph is partitioned per $(b,--parallel) \
+           and compiled once per device under deterministic-reduction \
+           options, and host-side collectives are billed through the \
+           cluster's latency-bandwidth cost model.")
+
+let parallel_arg =
+  let doc =
+    "Partitioning strategy for $(b,--devices) > 1: $(b,data) (split the \
+     leading batch dim; bit-exact), $(b,tensor) / $(b,tensor-gather) \
+     (column-parallel over the dominant matmul, all-gather epilogue; \
+     bit-exact), $(b,tensor-reduce) (row-parallel split-k, all-reduce \
+     epilogue; ULP-bounded, not bit-exact), or $(b,pipeline) (stage the \
+     graph, stream $(b,--microbatches) microbatches; bit-exact)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("data", `Data);
+             ("tensor", `Tensor_gather);
+             ("tensor-gather", `Tensor_gather);
+             ("tensor-reduce", `Tensor_reduce);
+             ("pipeline", `Pipeline);
+           ])
+        `Data
+    & info [ "parallel"; "p" ] ~docv:"STRATEGY" ~doc)
+
+let microbatches_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "microbatches" ] ~docv:"M"
+        ~doc:
+          "Microbatches streamed through the stages under \
+           $(b,--parallel pipeline).")
+
+let strategy_of ~microbatches = function
+  | `Data -> Shard.Data
+  | `Tensor_gather -> Shard.Tensor Shard.Gather
+  | `Tensor_reduce -> Shard.Tensor Shard.Reduce
+  | `Pipeline -> Shard.Pipeline { microbatches }
+
+let report_shard shard =
+  let e = Shard.estimate shard in
+  Printf.printf "sharding:     %s\n" (Shard.describe shard);
+  Printf.printf "fragments:    %d compiled per-device plans\n"
+    (Shard.fragment_count shard);
+  Printf.printf "compute:      %.3f ms critical-path across %d devices\n"
+    (e.Shard.compute *. 1e3) e.Shard.devices;
+  Printf.printf "collectives:  %.3f ms under the %s link model\n"
+    (e.Shard.comm *. 1e3)
+    (Shard.cluster shard).Cluster.name;
+  Printf.printf "total:        %.3f ms sharded vs %.3f ms single-device\n"
+    (e.Shard.total *. 1e3)
+    (e.Shard.baseline *. 1e3);
+  Printf.printf "speedup:      %.2fx (cost model)\n" e.Shard.speedup;
+  Array.iteri
+    (fun i busy ->
+      Printf.printf "  device %d:   %.3f ms busy\n" i (busy *. 1e3))
+    e.Shard.per_device;
+  match Shard.schedule shard with
+  | [] -> ()
+  | sched ->
+    print_endline "pipeline schedule (virtual time, us):";
+    List.iter
+      (fun (s : Shard.stage_exec) ->
+        Printf.printf
+          "  stage %d  micro %d  device %d  %9.1f -> %9.1f\n" s.Shard.stage
+          s.Shard.micro s.Shard.device (s.Shard.start *. 1e6)
+          (s.Shard.finish *. 1e6))
+      sched
+
+(* Random inputs -> run sharded and single-device baseline -> compare
+   under the strategy's contract (bitwise, or the ULP budget for
+   tensor-reduce). Exits 1 on mismatch: the executable surface behind
+   [make shard-smoke]. *)
+let verify_shard shard g =
+  let inputs =
+    List.mapi
+      (fun i id ->
+        Hidet_tensor.Tensor.rand ~seed:(1009 + i) (G.node_shape g id))
+      (G.input_ids g)
+  in
+  match Shard.verify shard inputs with
+  | Ok msg ->
+    Printf.printf "shard verify: %s\n" msg
+  | Error msg ->
+    Printf.eprintf "shard verify FAILED: %s\n" msg;
+    exit 1
+
 let graph_of model file batch =
   match file with
   | Some path -> Hidet_graph.Graph_io.load path
@@ -220,10 +321,41 @@ let graph_of model file batch =
     | None -> failwith "pass --model or --file")
 
 let compile_cmd =
+  let verify_shard_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-shard" ]
+          ~doc:
+            "After shard planning ($(b,--devices) > 1), run the sharded \
+             plan and the single-device baseline on the same random inputs \
+             and compare under the strategy's equivalence contract \
+             (bit-exact, or the documented ULP budget for \
+             $(b,tensor-reduce)); exits non-zero on mismatch.")
+  in
   let run model batch engine dump_cuda breakdown file cache trace profile
-      summary tuning_log backend =
+      summary tuning_log backend devices parallel microbatches do_verify =
     set_backend backend;
     let g = graph_of model file batch in
+    if devices > 1 then begin
+      (* Sharded compile always goes through the Hidet engine (fragments
+         are tuned per device); --engine applies to single-device runs. *)
+      if engine <> "hidet" then
+        Printf.eprintf
+          "note: --devices %d shards with the hidet engine (--engine %s \
+           ignored)\n"
+          devices engine;
+      let strategy = strategy_of ~microbatches parallel in
+      let cl = Cluster.homogeneous ~n:devices dev in
+      let shard = ref None in
+      with_observability ~trace ~tuning_log ~summary (fun () ->
+          with_schedule_cache cache (fun () ->
+              shard := Some (Shard.plan ~strategy cl g)));
+      let shard = Option.get !shard in
+      report (Shard.baseline_result shard);
+      report_shard shard;
+      if do_verify then verify_shard shard g
+    end
+    else begin
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
     with_observability ~trace ~tuning_log ~summary (fun () ->
@@ -246,17 +378,24 @@ let compile_cmd =
            (fun (l, n) -> Printf.printf "  %9.1f us  %s\n" (l *. 1e6) n)
            (List.sort (fun (a, _) (b, _) -> compare b a) steps)
        | None -> prerr_endline "engine produced no executable plan");
-    if dump_cuda then
-      match r.E.plan with
-      | Some plan -> print_string (Plan.cuda_source plan)
-      | None -> prerr_endline "engine produced no executable plan"
+    (if dump_cuda then
+       match r.E.plan with
+       | Some plan -> print_string (Plan.cuda_source plan)
+       | None -> prerr_endline "engine produced no executable plan")
+    end
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile one model (or saved graph) with one engine.")
+    (Cmd.info "compile"
+       ~doc:
+         "Compile one model (or saved graph) with one engine; with \
+          $(b,--devices) N > 1, partition it across an N-device cluster \
+          per $(b,--parallel) and report the shard cost model (and \
+          optionally $(b,--verify-shard) equivalence).")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
       $ breakdown_arg $ file_arg $ cache_arg $ trace_arg $ profile_arg
-      $ summary_arg $ tuning_log_arg $ backend_arg)
+      $ summary_arg $ tuning_log_arg $ backend_arg $ devices_arg
+      $ parallel_arg $ microbatches_arg $ verify_shard_arg)
 
 let bench_cmd =
   let run model batch cache trace summary tuning_log =
@@ -741,7 +880,7 @@ let serve_cmd =
   let run model file engine buckets workers rps clients think_ms duration
       deadline_ms max_wait_ms queue_cap max_inflight scale burst seed out
       no_batching virtual_ no_check events prom flight_size flight_out cache
-      trace summary backend =
+      trace summary backend devices parallel microbatches =
     set_backend backend;
     let source =
       match (model, file) with
@@ -808,19 +947,29 @@ let serve_cmd =
       (fun () ->
         with_observability ~trace ~tuning_log:None ~summary (fun () ->
             with_schedule_cache cache (fun () ->
+                let cluster =
+                  if devices > 1 then Some (Cluster.homogeneous ~n:devices dev)
+                  else None
+                in
                 let m =
-                  S.Registry.load ~engine:(module Eng) ~device:dev
+                  S.Registry.load ?cluster
+                    ~parallel:(strategy_of ~microbatches parallel)
+                    ~engine:(module Eng) ~device:dev
                     ~buckets:cfg.S.Server.batcher.S.Batcher.buckets source
                 in
                 Printf.printf
                   "serving %s with %s: %d plan variants (buckets %s), %d workers\n%!"
-                  m.S.Registry.name engine
+                  m.S.Registry.name m.S.Registry.engine
                   (List.length m.S.Registry.variants)
                   (String.concat ","
                      (List.map
                         (fun v -> string_of_int v.S.Registry.bucket)
                         m.S.Registry.variants))
                   workers;
+                (match m.S.Registry.sharding with
+                | Some s ->
+                  Printf.printf "sharding %d devices: %s\n%!" devices s
+                | None -> ());
                 report :=
                   Some
                     (S.Server.run ~exec:(not virtual_) ~check:(not no_check)
@@ -894,7 +1043,8 @@ let serve_cmd =
       $ deadline_ms_arg $ max_wait_ms_arg $ queue_cap_arg $ max_inflight_arg
       $ scale_arg $ burst_arg $ seed_arg $ out_arg $ no_batching_arg
       $ virtual_arg $ no_check_arg $ events_arg $ prom_arg $ flight_size_arg
-      $ flight_out_arg $ cache_arg $ trace_arg $ summary_arg $ backend_arg)
+      $ flight_out_arg $ cache_arg $ trace_arg $ summary_arg $ backend_arg
+      $ devices_arg $ parallel_arg $ microbatches_arg)
 
 let () =
   let info =

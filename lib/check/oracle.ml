@@ -12,12 +12,23 @@ module Fuse = Hidet_fusion.Fuse
 module LS = Hidet_baselines.Loop_sched
 module HE = Hidet.Hidet_engine
 module Plan = Hidet_runtime.Plan
+module Shard = Hidet_shard.Shard
+module Cluster = Hidet_gpu.Cluster
 
-type path = Rule | Template | Fused | Baseline | Compiled_backend | Native
+type path =
+  | Rule
+  | Template
+  | Fused
+  | Baseline
+  | Compiled_backend
+  | Native
+  | Sharded
 
-(* [Native] is opt-in (`--paths native`), not part of the default sweep: it
-   pays an ocamlopt+dynlink per distinct kernel, which would dominate the
-   quick fuzz smoke. *)
+(* [Native] and [Sharded] are opt-in (`--paths native` / `--paths
+   sharded`), not part of the default sweep: the former pays an
+   ocamlopt+dynlink per distinct kernel, the latter compiles one plan per
+   device per applicable partitioning — either would dominate the quick
+   fuzz smoke. *)
 let all_paths = [ Rule; Template; Fused; Baseline; Compiled_backend ]
 
 let path_to_string = function
@@ -27,6 +38,7 @@ let path_to_string = function
   | Baseline -> "baseline"
   | Compiled_backend -> "compiled"
   | Native -> "native"
+  | Sharded -> "sharded"
 
 let path_of_string = function
   | "rule" -> Some Rule
@@ -35,6 +47,7 @@ let path_of_string = function
   | "baseline" -> Some Baseline
   | "compiled" -> Some Compiled_backend
   | "native" -> Some Native
+  | "sharded" -> Some Sharded
   | _ -> None
 
 type outcome = Pass of int | Skip of string | Fail of string
@@ -153,6 +166,68 @@ let native_guard f =
   | Error reason -> Skip ("native toolchain unavailable: " ^ reason)
   | Ok () -> f ()
 
+(* --- sharded execution ------------------------------------------------------ *)
+
+(* Differential shard equivalence: derive a device count (1-4) and a
+   microbatch count from the case seed, then try every partitioning
+   strategy on that cluster. Each applicable one must (a) satisfy its
+   equivalence contract against the single-device deterministic baseline
+   — bitwise for order-preserving strategies, the ULP budget for the
+   all-reduce epilogue — and (b) stay within the repo-wide graph
+   tolerance of the CPU reference. Strategies the graph does not admit
+   (batch smaller than the cluster, no sliceable matmul, ...) are
+   skipped; a case only skips outright when nothing applies. Failure
+   messages embed [Shard.describe]'s shard spec, so shrunk fuzz repros
+   pin down the exact partitioning. *)
+let sharded_check ~input_seed g inputs expect =
+  let rs = Random.State.make [| input_seed; 13 |] in
+  let devices = 1 + Random.State.int rs 4 in
+  let microbatches = 2 + Random.State.int rs 3 in
+  let cluster = Cluster.homogeneous ~n:devices Hidet_gpu.Device.rtx3090 in
+  let candidates =
+    [
+      Shard.Data;
+      Shard.Tensor Shard.Gather;
+      Shard.Tensor Shard.Reduce;
+      Shard.Pipeline { microbatches };
+    ]
+  in
+  let skips = ref [] and applied = ref 0 and failure = ref None in
+  List.iter
+    (fun strat ->
+      if !failure = None then
+        match
+          try Ok (Shard.plan ~strategy:strat cluster g)
+          with Invalid_argument e -> Error e
+        with
+        | Error e ->
+          skips := (Shard.strategy_to_string strat ^ ": " ^ e) :: !skips
+        | Ok t -> (
+          incr applied;
+          match Shard.verify t inputs with
+          | Error e -> failure := Some e
+          | Ok _ ->
+            let got =
+              List.hd (Shard.run t (List.combine (Graph.input_ids g) inputs))
+            in
+            if not (T.allclose ~rtol:1e-3 ~atol:1e-4 expect got) then
+              failure :=
+                Some
+                  (Printf.sprintf
+                     "%s: diverges from CPU reference: max |diff| = %g"
+                     (Shard.describe t)
+                     (T.max_abs_diff expect got))))
+    candidates;
+  match !failure with
+  | Some e -> Fail ("sharded: " ^ e)
+  | None ->
+    if !applied = 0 then
+      Skip
+        (Printf.sprintf "sharded (%d devices): no applicable partitioning: %s"
+           devices
+           (String.concat "; " (List.rev !skips)))
+    else Pass !applied
+
 (* --- epilogue chains -------------------------------------------------------- *)
 
 (* Fold the case's epilogue list onto a scheduled anchor, dropping epilogues
@@ -243,6 +318,7 @@ let def_paths ~input_seed spec pro epis =
     native_guard (fun () ->
         checking "native_backend"
           [ native_parity ~budget (Rule_based.schedule def) inputs expect ])
+  | Sharded -> Skip "sharded equivalence exercised by matmul/graph cases"
 
 let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
   let a = T.rand ~seed:input_seed [ batch; m; k ] in
@@ -317,6 +393,18 @@ let matmul_paths ~input_seed ~batch ~m ~n ~k ~n_cfgs pro epis =
               (MT.compile ~batch ~m ~n ~k MT.default_config)
               [ a; b ] expect;
           ])
+  | Sharded ->
+    (* Wrap the case as a one-matmul graph with a constant weight, so
+       every partitioning strategy has something to bite on: Data splits
+       the batch, Tensor slices the weight, Pipeline wants more stages
+       than this graph has nodes and skips. *)
+    let g = Graph.create () in
+    Graph.name g (Printf.sprintf "fuzz_mm_%dx%dx%dx%d" batch m n k);
+    let x = Graph.input g [ batch; m; k ] in
+    let w = Graph.constant g b in
+    let mm = Graph.matmul g x w in
+    Graph.set_outputs g [ mm ];
+    sharded_check ~input_seed g [ a ] expect
 
 let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
   let x_shape = [ n; c; h; w ] and w_shape = [ oc; c; kh; kw ] in
@@ -362,6 +450,7 @@ let conv_paths ~input_seed ~n ~c ~h ~w ~oc ~kh ~kw ~stride ~pad =
     native_guard (fun () ->
         checking "native_backend"
           [ native_parity ~budget (Rule_based.schedule (def ())) [ x; wt ] expect ])
+  | Sharded -> Skip "sharded equivalence exercised by matmul/graph cases"
 
 let graph_paths ~device ~input_seed g =
   let inputs =
@@ -394,6 +483,7 @@ let graph_paths ~device ~input_seed g =
     Skip "per-kernel backend parity exercised by def/matmul/conv cases"
   | Native ->
     Skip "per-kernel backend parity exercised by def/matmul/conv cases"
+  | Sharded -> sharded_check ~input_seed g inputs expect
 
 (* --- entry ------------------------------------------------------------------ *)
 

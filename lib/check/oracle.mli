@@ -26,13 +26,32 @@
     kernel (interpreter traps, verification failures) is a [Fail], as is a
     numeric mismatch. *)
 
-type path = Rule | Template | Fused | Baseline | Compiled_backend | Native
+type path =
+  | Rule
+  | Template
+  | Fused
+  | Baseline
+  | Compiled_backend
+  | Native
+  | Sharded
+      (** ("sharded") differential shard equivalence: wrap the case as a
+          graph (matmul and graph cases only), derive a device count
+          (1-4) and microbatch count from the case seed, and hold every
+          applicable partitioning strategy — data, tensor gather/reduce,
+          pipeline — to {!Hidet_shard.Shard.verify}'s contract against
+          the single-device deterministic baseline (bitwise, or the ULP
+          budget for the all-reduce epilogue) plus the repo-wide graph
+          tolerance against the CPU reference. Skips when no strategy
+          applies; failures embed the shard spec for reproduction. *)
 
 (** The default sweep. Excludes [Native] (opt-in via [--paths native]): it
     holds the dynlinked native backend bit-for-bit to the closure backend
     — plus the CPU reference — but pays an [ocamlopt] per distinct kernel,
     which would dominate the quick fuzz smoke. [Native] skips with the
-    probe's reason when the toolchain is unavailable. *)
+    probe's reason when the toolchain is unavailable. Also excludes
+    [Sharded] (opt-in via [--paths sharded], exercised by
+    [make shard-smoke]): it compiles one plan per device per applicable
+    strategy. *)
 val all_paths : path list
 val path_to_string : path -> string
 val path_of_string : string -> path option

@@ -15,6 +15,7 @@ type options = {
   fuse : bool;
   allow_tensor_core : bool;
   allow_double_buffer : bool;
+  deterministic_reduce : bool;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
        tensor-core path is exercised by the ablation benches and examples. *)
     allow_tensor_core = false;
     allow_double_buffer = true;
+    deterministic_reduce = false;
   }
 
 module Cache = Hidet_sched.Schedule_cache
@@ -71,7 +73,12 @@ let restrict_space options space =
   List.filter
     (fun (c : MT.config) ->
       (options.allow_tensor_core || not c.MT.use_tensor_core)
-      && (options.allow_double_buffer || c.MT.stages = 1))
+      && (options.allow_double_buffer || c.MT.stages = 1)
+      && ((not options.deterministic_reduce)
+         (* Ascending-k accumulation only: no split-k partial sums, no MMA
+            tiles, and one block_k so partial-tile zero padding is the
+            same for every workload that shares a k extent. *)
+         || (c.MT.split_k = 1 && c.MT.block_k = 8 && not c.MT.use_tensor_core)))
     space
 
 (* --- anchor scheduling ------------------------------------------------------ *)
@@ -84,8 +91,15 @@ let rows_cols shape =
    signature, or a cache entry tuned under one restriction would answer for
    another. *)
 let options_sig options =
-  Printf.sprintf "tc%b_db%b" options.allow_tensor_core
+  Printf.sprintf "tc%b_db%b%s" options.allow_tensor_core
     options.allow_double_buffer
+    (if options.deterministic_reduce then "_det" else "")
+
+(* Deterministic mode pins the row/reduction templates to one block size:
+   the combine-tree shape then depends only on the row length, never on
+   how many rows the workload happens to have (i.e. the batch), so batch-
+   sliced fragments reduce in exactly the single-device order. *)
+let det_sig options = if options.deterministic_reduce then "_det" else ""
 
 let schedule_matmul options device stats ~sa ~sb ~out_rank =
   let a_batched, batch_a, m, k =
@@ -128,30 +142,45 @@ let schedule_anchor options device stats g (anchor : G.node) =
       ~out_rank:(List.length anchor.G.shape)
   | Op.Softmax, [ s ] ->
     let rows, cols = rows_cols s in
+    let candidates =
+      if options.deterministic_reduce then [ 128 ] else block_candidates
+    in
     Option.get
       (tuned ~show:(Printf.sprintf "block=%d") stats ~device
-         ~key:(Printf.sprintf "softmax_%d_%d" rows cols)
-         ~candidates:block_candidates
+         ~key:(Printf.sprintf "softmax_%d_%d%s" rows cols (det_sig options))
+         ~candidates
          ~compile:(fun b ->
            Hidet_sched.Row_templates.softmax ~block_size:b ~rows ~cols ()))
   | Op.Layernorm { eps }, [ s; _; _ ] ->
     let rows, cols = rows_cols s in
+    let candidates =
+      if options.deterministic_reduce then [ 128 ] else block_candidates
+    in
     Option.get
       (tuned ~show:(Printf.sprintf "block=%d") stats ~device
-         ~key:(Printf.sprintf "layernorm_%d_%d" rows cols)
-         ~candidates:block_candidates
+         ~key:(Printf.sprintf "layernorm_%d_%d%s" rows cols (det_sig options))
+         ~candidates
          ~compile:(fun b ->
            Hidet_sched.Row_templates.layernorm ~block_size:b ~eps ~rows ~cols ()))
   | Op.Global_avg_pool, [ s ] ->
     let def = Op.to_def anchor.G.op [ s ] in
     let key =
-      Printf.sprintf "gap_%s" (String.concat "x" (List.map string_of_int s))
+      Printf.sprintf "gap_%s%s"
+        (String.concat "x" (List.map string_of_int s))
+        (det_sig options)
+    in
+    let candidates =
+      if options.deterministic_reduce then
+        List.filter
+          (fun (c : Hidet_sched.Reduce_template.config) -> c.block_size = 128)
+          Hidet_sched.Reduce_template.space
+      else Hidet_sched.Reduce_template.space
     in
     let compiled =
       tuned stats ~device ~key
         ~show:(fun (c : Hidet_sched.Reduce_template.config) ->
           Printf.sprintf "block=%d" c.block_size)
-        ~candidates:Hidet_sched.Reduce_template.space
+        ~candidates
         ~compile:(fun cfg ->
           Hidet_sched.Reduce_template.schedule ~config:cfg def)
     in

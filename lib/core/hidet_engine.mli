@@ -18,6 +18,19 @@ type options = {
   fuse : bool;  (** post-scheduling fusion (default true; off = ablation) *)
   allow_tensor_core : bool;  (** default true; off = ablation *)
   allow_double_buffer : bool;  (** default true; off = ablation *)
+  deterministic_reduce : bool;
+      (** Restrict tuning to reduction-order-canonical schedules (default
+          false). Matmul candidates are pinned to [split_k = 1],
+          [block_k = 8], no tensor cores — every surviving config
+          accumulates each output element in strictly ascending k order —
+          and the row/reduction templates (softmax, layernorm, global
+          pooling) are pinned to one block size, so their shared-memory
+          combine trees are shape-independent. Under this mode, two plans
+          that compute the same output element — at any batch size or
+          column slice — produce bit-identical results, which is what
+          lets the shard runtime promise bit-equality between a sharded
+          plan and its single-device oracle whenever the partitioning
+          preserves reduction extents. *)
 }
 
 val default_options : options

@@ -212,6 +212,73 @@ let lower_conv_to_gemm g =
   Graph.set_outputs g' (List.map map_id (Graph.outputs g));
   g'
 
+(* Extract a subset of compute nodes as a standalone graph. Values flowing
+   into the subset from outside (graph inputs or non-member compute nodes)
+   become Input stubs, recorded in [feeds] in first-use order; constants
+   consumed by members are recreated inside the extraction (sharing the
+   lazy thunk with the source graph, like [rebatch]). The shard planner
+   uses this to carve pipeline stages and the pre/part/post split of
+   tensor parallelism out of a single-device graph. *)
+type extraction = {
+  sub : Graph.t;
+  feeds : int list;  (* original ids bound, in order, to [sub]'s inputs *)
+  yields : int list;  (* original ids exposed, in order, as [sub]'s outputs *)
+}
+
+let extract g ~nodes ~outputs =
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      match (Graph.node g id).Graph.op with
+      | Op.Input | Op.Constant _ ->
+        invalid_arg "Passes.extract: members must be compute nodes"
+      | _ -> Hashtbl.replace members id ())
+    nodes;
+  let sub = Graph.create () in
+  Graph.name sub (Graph.get_name g ^ "_sub");
+  let remap = Hashtbl.create 16 in
+  let feeds = ref [] in
+  let feed_of id shape =
+    match Hashtbl.find_opt remap id with
+    | Some nid -> nid
+    | None ->
+      let nid = Graph.input sub shape in
+      Hashtbl.replace remap id nid;
+      feeds := id :: !feeds;
+      nid
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      if Hashtbl.mem members n.Graph.id then begin
+        let ins =
+          List.map
+            (fun p ->
+              match Hashtbl.find_opt remap p with
+              | Some nid -> nid
+              | None -> (
+                let pn = Graph.node g p in
+                match pn.Graph.op with
+                | Op.Constant { value } ->
+                  let nid = Graph.constant_lazy sub pn.Graph.shape value in
+                  Hashtbl.replace remap p nid;
+                  nid
+                | _ -> feed_of p pn.Graph.shape))
+            n.Graph.inputs
+        in
+        Hashtbl.replace remap n.Graph.id (Graph.add_op sub n.Graph.op ins)
+      end)
+    (Graph.nodes g);
+  let yields =
+    List.map
+      (fun id ->
+        if not (Hashtbl.mem members id) then
+          invalid_arg "Passes.extract: outputs must be member nodes";
+        id)
+      outputs
+  in
+  Graph.set_outputs sub (List.map (Hashtbl.find remap) yields);
+  { sub; feeds = List.rev !feeds; yields }
+
 (* Rebind the leading (batch) dimension of a graph. Used by the serving
    registry to derive batch-bucket variants of models that were not built
    through a [?batch]-parameterized builder (HGF files, tiny test models).

@@ -44,6 +44,29 @@ val group_inputs : Graph.t -> group -> int list
     (prologue-substituted) operand order of the anchor followed by extra
     epilogue operands. *)
 
+(** A subgraph carved out of a larger graph, with Input stubs standing in
+    for values produced outside it. *)
+type extraction = {
+  sub : Graph.t;  (** the standalone subgraph *)
+  feeds : int list;
+      (** original-graph node ids whose values must be bound, in order, to
+          [sub]'s inputs at run time *)
+  yields : int list;
+      (** original-graph node ids that [sub]'s outputs (same order)
+          correspond to *)
+}
+
+val extract : Graph.t -> nodes:int list -> outputs:int list -> extraction
+(** [extract g ~nodes ~outputs] rebuilds the compute nodes [nodes] (ids
+    in [g]) as a standalone graph. Member operands produced outside the
+    member set — graph inputs or non-member compute nodes — become Input
+    stubs recorded in [feeds]; constants are recreated inside the
+    extraction, sharing their lazy thunks with [g]. [outputs] (ids in
+    [g], all members) become the extraction's outputs. The shard
+    planner's pipeline-staging and tensor-parallel partition passes are
+    built on this. Raises [Invalid_argument] when a member or output id
+    is not a compute node of [g]. *)
+
 val rebatch : Graph.t -> int -> Graph.t
 (** [rebatch g b] rebuilds [g] with its leading (batch) dimension rebound
     to [b]: every input's leading dim — and every [Reshape] target's

@@ -54,6 +54,13 @@ let clear () =
       stale_count := 0)
 
 let size () = locked (fun () -> Hashtbl.length table)
+
+let keys_for_device dev =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (d, key) _ acc -> if d = dev then key :: acc else acc)
+        table [])
+  |> List.sort compare
 let hits () = locked (fun () -> !hit_count)
 let misses () = locked (fun () -> !miss_count)
 let stale () = locked (fun () -> !stale_count)

@@ -57,6 +57,12 @@ val add : device:string -> key:string -> entry -> unit
 val clear : unit -> unit
 val size : unit -> int
 
+val keys_for_device : string -> string list
+(** Sorted workload keys cached for one device name. Cache entries are
+    keyed by (device, workload), so devices with different capabilities
+    never share entries; the shard test suite uses this to assert the
+    per-device key sets stay disjoint across a heterogeneous cluster. *)
+
 val hits : unit -> int
 (** {!tune} calls served entirely from the table since the last {!clear}
     (always equal to the ["schedule_cache.hits"] metric delta). *)

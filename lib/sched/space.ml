@@ -77,7 +77,8 @@ let size () = List.length matmul
 let sample_matmul rs count =
   let all = Array.of_list matmul in
   let n = Array.length all in
-  if count >= n then Array.to_list all
+  let count = max 0 (min count n) in
+  if count = n then Array.to_list all
   else begin
     (* Partial Fisher–Yates over a copy: [count] distinct draws, order
        determined entirely by [rs], so the same seed yields the same

@@ -20,7 +20,9 @@ val matmul_with_split_k : m:int -> n:int -> Matmul_template.config list
 val sample_matmul : Random.State.t -> int -> Matmul_template.config list
 (** [sample_matmul rs count]: [count] distinct configs drawn uniformly (and
     deterministically, given [rs]) from {!matmul}; the whole space when
-    [count >= size ()]. Used by the differential fuzzer to cross-check a
+    [count >= size ()]. [count] is clamped to [0 .. size ()], so a count
+    at (or beyond, or below) the space boundary never raises and the
+    draws stay distinct. Used by the differential fuzzer to cross-check a
     manageable subset of the space per case. *)
 
 val size : unit -> int

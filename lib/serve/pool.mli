@@ -44,7 +44,11 @@ val check :
   int
 (** Re-run every response's request through the bucket-1 plan directly
     ([Plan.run1]) and compare bit-for-bit (exact float-array equality —
-    batching must not change results, only pack rows). Returns the number
+    batching must not change results, only pack rows; sharded models
+    compile everything under deterministic-reduction options, so the
+    same holds across shard groups). When some bucket runs a
+    reduction-order-changing strategy (tensor-reduce), the comparison
+    relaxes to the repo-wide graph tolerance. Returns the number
     of mismatching responses and bumps [serve.check_failures] for each.
     Also observes wall verify time into [serve.verify_ms], emits one
     [Verified] lifecycle event per response stamped [at rid] (the

@@ -6,6 +6,8 @@ module Plan = Hidet_runtime.Plan
 module Metrics = Hidet_obs.Metrics
 module Trace = Hidet_obs.Trace
 
+module Shard = Hidet_shard.Shard
+
 type source = Zoo of string | File of string | Graph of G.t
 
 type variant = {
@@ -14,6 +16,7 @@ type variant = {
   plan : Plan.t;
   latency : float;
   result : E.result;
+  shard : Shard.t option;
 }
 
 type model = {
@@ -22,6 +25,7 @@ type model = {
   input_shapes : int list list;
   variants : variant list;
   max_inflight : int;
+  sharding : string option;
 }
 
 let m_models = Metrics.counter "serve.models_loaded"
@@ -49,7 +53,8 @@ let bucket_graph source base bucket =
   | Zoo name when List.mem_assoc name M.all -> M.by_name ~batch:bucket name
   | _ -> if bucket = 1 then base else Passes.rebatch base bucket
 
-let load ?(max_inflight = max_int) ~engine ~device ~buckets source =
+let load ?(max_inflight = max_int) ?cluster ?(parallel = Shard.Data) ~engine
+    ~device ~buckets source =
   let (module Eng : E.S) = engine in
   let base = base_graph source in
   if List.length (G.outputs base) <> 1 then
@@ -72,28 +77,66 @@ let load ?(max_inflight = max_int) ~engine ~device ~buckets source =
           (fun _ ->
             let g = bucket_graph source base bucket in
             G.name g (Printf.sprintf "%s@b%d" name bucket);
-            let result = Eng.compile device g in
-            let plan =
-              match result.E.plan with
-              | Some p -> p
+            let plan, result, shard =
+              match cluster with
               | None ->
-                invalid_arg
-                  (Printf.sprintf
-                     "Registry: engine %s produced no executable plan for %s"
-                     Eng.name name)
+                let result = Eng.compile device g in
+                let plan =
+                  match result.E.plan with
+                  | Some p -> p
+                  | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Registry: engine %s produced no executable plan \
+                          for %s"
+                         Eng.name name)
+                in
+                (plan, result, None)
+              | Some cl -> (
+                (* Sharded serving: the bucket's dispatch plan is the shard
+                   plan; its latency is the cost-model total (compute +
+                   collectives). Buckets the strategy cannot partition
+                   (e.g. bucket 1 on a 2-device data-parallel cluster)
+                   fall back to the unsharded deterministic plan, which
+                   bit-matches the sharded buckets row for row. *)
+                match Shard.plan ~strategy:parallel cl g with
+                | shard ->
+                  Shard.prepare shard;
+                  ( Shard.baseline shard,
+                    Shard.baseline_result shard,
+                    Some shard )
+                | exception Invalid_argument _ ->
+                  let plan, result = Shard.compile_single cl g in
+                  Plan.prepare plan;
+                  (plan, result, None))
             in
-            Plan.prepare plan;
+            (match shard with None -> Plan.prepare plan | Some _ -> ());
+            let latency =
+              match shard with
+              | Some s -> (Shard.estimate s).Shard.total
+              | None -> result.E.latency
+            in
             Metrics.incr m_variants;
             Metrics.set_gauge
               (Metrics.gauge_labeled "serve.variant_latency_us"
                  [ ("model", name); ("bucket", string_of_int bucket) ])
-              (result.E.latency *. 1e6);
-            { bucket; graph = g; plan; latency = result.E.latency; result }))
+              (latency *. 1e6);
+            { bucket; graph = g; plan; latency; result; shard }))
       buckets
   in
   Metrics.incr m_models;
   let input_shapes = List.map (G.node_shape base) (G.input_ids base) in
-  { name; engine = Eng.name; input_shapes; variants; max_inflight }
+  let sharding =
+    List.find_map (fun v -> Option.map Shard.describe v.shard) variants
+  in
+  {
+    name;
+    engine = (match cluster with None -> Eng.name | Some _ -> Eng.name ^ "+shard");
+    input_shapes;
+    variants;
+    max_inflight;
+    sharding;
+  }
 
 let variant_exn m bucket =
   match List.find_opt (fun v -> v.bucket = bucket) m.variants with

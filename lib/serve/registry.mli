@@ -25,6 +25,9 @@ type variant = {
   plan : Hidet_runtime.Plan.t;
   latency : float;  (** predicted service time of a full batch, seconds *)
   result : Hidet_runtime.Engine.result;
+  shard : Hidet_shard.Shard.t option;
+      (** the bucket's shard plan when the model was loaded onto a
+          cluster and the strategy partitions this bucket *)
 }
 
 type model = {
@@ -33,10 +36,14 @@ type model = {
   input_shapes : int list list;  (** batch-1 input shapes, in input order *)
   variants : variant list;  (** ascending bucket; always includes bucket 1 *)
   max_inflight : int;  (** concurrency limit: batches in flight at once *)
+  sharding : string option;
+      (** [Shard.describe] of the first sharded variant, for logs *)
 }
 
 val load :
   ?max_inflight:int ->
+  ?cluster:Hidet_gpu.Cluster.t ->
+  ?parallel:Hidet_shard.Shard.strategy ->
   engine:(module Hidet_runtime.Engine.S) ->
   device:Hidet_gpu.Device.t ->
   buckets:int list ->
@@ -44,10 +51,22 @@ val load :
   model
 (** Compile every bucket variant (bucket 1 is added if missing — it is the
     checker's reference and the no-batching fallback) and prepare the
-    plans. [max_inflight] defaults to unlimited. Raises [Invalid_argument]
-    on an unknown zoo name, a multi-output graph (per-request demux slices
-    the single output's leading dim), or an engine that produces no
-    executable plan; [Failure] on an unreadable HGF file. *)
+    plans. [max_inflight] defaults to unlimited.
+
+    With [?cluster], buckets are loaded as shard groups instead: each
+    bucket gets a {!Hidet_shard.Shard.t} under [?parallel] (default
+    [Data]) whose per-device fragments the pool dispatches, and whose
+    cost-model total (compute + collectives) becomes the bucket's
+    service latency. Buckets the strategy cannot partition (e.g. bucket
+    1 on a multi-device data-parallel cluster) fall back to an unsharded
+    plan compiled under the same deterministic-reduction options, so
+    responses still bit-match across buckets. [device] is ignored when
+    [?cluster] is given.
+
+    Raises [Invalid_argument] on an unknown zoo name, a multi-output
+    graph (per-request demux slices the single output's leading dim), or
+    an engine that produces no executable plan; [Failure] on an
+    unreadable HGF file. *)
 
 val variant_exn : model -> int -> variant
 (** The variant compiled for exactly this bucket; [Invalid_argument] if

@@ -1,0 +1,131 @@
+module G = Hidet_graph.Graph
+module Op = Hidet_graph.Op
+module T = Hidet_tensor.Tensor
+
+let split_sizes ~rows ~parts =
+  if parts < 1 then invalid_arg "Batch_split.split_sizes: parts must be >= 1";
+  if rows < parts then
+    invalid_arg
+      (Printf.sprintf
+         "Batch_split.split_sizes: %d rows cannot feed %d devices" rows parts);
+  let base = rows / parts and rem = rows mod parts in
+  Array.init parts (fun i -> if i < rem then base + 1 else base)
+
+let slice_axis t ~axis ~start ~len =
+  let spec =
+    List.mapi
+      (fun i d -> if i = axis then (start, len) else (0, d))
+      (T.shape t)
+  in
+  T.slice t spec
+
+let slice_rows t ~start ~len = slice_axis t ~axis:0 ~start ~len
+
+(* Rules, per operator, for a node with at least one batch-carrying
+   ("split") operand. Operands that do not carry the batch dimension are
+   replicated whole on every device; the danger is an operator that makes
+   rows of its split operand interact, or that silently aliases a
+   replicated operand's leading dim against the batch. *)
+let node_ok g (n : G.node) ~split =
+  let is_split id = Hashtbl.mem split id in
+  let rank id = List.length (G.node_shape g id) in
+  let dim0 id = List.hd (G.node_shape g id) in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let x_rank = match n.G.inputs with x :: _ -> rank x | [] -> 0 in
+  match (n.G.op, n.G.inputs) with
+  | (Op.Input | Op.Constant _), _ -> Ok ()
+  | Op.Unary _, [ _ ] -> Ok ()
+  | Op.Binary _, [ a; b ] -> (
+    match (is_split a, is_split b) with
+    | true, true -> Ok ()
+    | (true, false | false, true) ->
+      (* The replicated side must broadcast strictly below the batch axis,
+         or its own leading dim would alias (or broadcast against) the
+         per-shard batch extent. *)
+      let s, r = if is_split a then (a, b) else (b, a) in
+      if rank r < rank s || dim0 r = 1 then Ok ()
+      else
+        err "node %%%d: binary mixes batch rows with a replicated operand"
+          n.G.id
+    | false, false -> Ok ())
+  | Op.Bias_add, [ _; b ] ->
+    if is_split b then
+      err "node %%%d: per-channel operand carries the batch" n.G.id
+    else Ok ()
+  | Op.Scale_shift, [ _; sc; sh ] ->
+    if is_split sc || is_split sh then
+      err "node %%%d: per-channel operand carries the batch" n.G.id
+    else Ok ()
+  | Op.Matmul, [ a; b ] -> (
+    match (is_split a, is_split b) with
+    | true, true ->
+      if rank a = 3 && rank b = 3 then Ok ()
+      else err "node %%%d: rank-2 matmul between batch-carrying values" n.G.id
+    | true, false ->
+      (* Split data against replicated weights: safe for [.., m, k] x
+         [k, n]. A rank-3 replicated B would alias its leading dim. *)
+      if rank b = 2 then Ok ()
+      else err "node %%%d: replicated matmul operand is batched" n.G.id
+    | false, true ->
+      if rank a = 2 && rank b = 3 then Ok ()
+      else err "node %%%d: batch-carrying matmul B must be rank 3" n.G.id
+    | false, false -> Ok ())
+  | (Op.Conv2d _ | Op.Depthwise_conv2d _), [ _; w ] ->
+    if is_split w then err "node %%%d: conv weight carries the batch" n.G.id
+    else Ok ()
+  | (Op.Pool2d _ | Op.Global_avg_pool | Op.Im2col _), [ _ ] -> Ok ()
+  | (Op.Softmax | Op.Layernorm _), _ :: rest ->
+    if x_rank < 2 then
+      err "node %%%d: last-axis reduction over the batch axis itself" n.G.id
+    else if List.exists is_split rest then
+      err "node %%%d: normalization parameters carry the batch" n.G.id
+    else Ok ()
+  | Op.Reshape _, [ _ ] ->
+    (* Row-major flattening commutes with a proportional leading-dim
+       split: a shard is a contiguous flat range of every intermediate,
+       and [Passes.rebatch] rescales (or rejects) the target's leading
+       dim. *)
+    Ok ()
+  | Op.Transpose perm, [ _ ] ->
+    if perm <> [] && List.hd perm = 0 then Ok ()
+    else err "node %%%d: transpose moves the batch axis" n.G.id
+  | Op.Concat { axis }, ins ->
+    if axis = 0 then err "node %%%d: concat along the batch axis" n.G.id
+    else if List.for_all is_split ins then Ok ()
+    else err "node %%%d: concat mixes batch and replicated operands" n.G.id
+  | Op.Embedding, [ _; table ] ->
+    if is_split table then
+      err "node %%%d: embedding table carries the batch" n.G.id
+    else Ok ()
+  | op, _ -> err "node %%%d: %s arity unsupported" n.G.id (Op.name op)
+
+let check g =
+  let split = Hashtbl.create 32 in
+  let rec go = function
+    | [] ->
+      let bad =
+        List.find_opt (fun o -> not (Hashtbl.mem split o)) (G.outputs g)
+      in
+      (match bad with
+      | Some o ->
+        Error
+          (Printf.sprintf "output %%%d does not carry the batch dimension" o)
+      | None -> if G.outputs g = [] then Error "graph has no outputs" else Ok ())
+    | (n : G.node) :: rest -> (
+      let carries =
+        match n.G.op with
+        | Op.Input -> true
+        | Op.Constant _ -> false
+        | _ -> List.exists (Hashtbl.mem split) n.G.inputs
+      in
+      if not carries then go rest
+      else
+        match node_ok g n ~split with
+        | Ok () ->
+          Hashtbl.replace split n.G.id ();
+          go rest
+        | Error _ as e -> e)
+  in
+  match G.input_ids g with
+  | [] -> Error "graph has no inputs"
+  | _ -> go (G.nodes g)

@@ -1,0 +1,30 @@
+(** Static analysis: does a graph commute with splitting its leading
+    (batch) dimension?
+
+    A graph is batch-splittable when running it on a leading-dim slice of
+    its inputs produces exactly the matching leading-dim slice of its
+    outputs — the precondition for both data parallelism and pipeline
+    microbatching. The check walks the graph tracking which values carry
+    the batch dimension (descend from an Input) and rejects any operator
+    that mixes rows — transposing the batch axis away, reducing over a
+    rank-1 batch axis (softmax), concatenating along it, or broadcasting
+    a non-batch operand against it. Operators applied to batch-free
+    (constant-derived) values are always fine: they replicate. *)
+
+val check : Hidet_graph.Graph.t -> (unit, string) result
+(** [Ok ()] when every output carries the batch dimension and every
+    operator on the batch-carrying spine is row-parallel. The verdict is
+    conservative: [Ok] guarantees slice-then-run = run-then-slice
+    (bitwise, for a fixed schedule); [Error] carries the offending node. *)
+
+val split_sizes : rows:int -> parts:int -> int array
+(** Balanced leading-dim split: [parts] sizes that sum to [rows], each
+    [>= 1], differing by at most one (ceil first). Raises
+    [Invalid_argument] when [parts < 1] or [rows < parts]. *)
+
+val slice_rows : Hidet_tensor.Tensor.t -> start:int -> len:int -> Hidet_tensor.Tensor.t
+(** Leading-dimension window of a tensor. *)
+
+val slice_axis :
+  Hidet_tensor.Tensor.t -> axis:int -> start:int -> len:int -> Hidet_tensor.Tensor.t
+(** Window along an arbitrary axis (full extent elsewhere). *)
