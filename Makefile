@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke shard-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke shard-smoke tune-smoke clean
 
 all:
 	dune build @all
@@ -134,6 +134,19 @@ shard-smoke:
 	./_build/default/bench/main.exe --only shard \
 	  --out _build/BENCH_shard.smoke.json > /dev/null
 
+# Guided-tuner smoke test: the tune bench in quick mode (the quickstart
+# matmul shape only). Its gates require the guided evolutionary search to
+# land within 5% of the exhaustive best while measuring at most 25% of
+# the widened space, and a widened-space schedule (swizzle / deep
+# pipeline) to beat the pre-widening best on a bandwidth-bound GEMM.
+# Writes its report under _build/ so it never clobbers the committed
+# full-mode BENCH_tune.json (refresh that one with
+# `./_build/default/bench/main.exe --only tune`).
+tune-smoke:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only tune --quick \
+	  --out _build/BENCH_tune.smoke.json
+
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
 # valid output, the differential fuzzer must run clean, the compiled
@@ -142,13 +155,16 @@ shard-smoke:
 # visibly when no toolchain is present), the serving runtime must batch,
 # shed and verify correctly under load, and the serving telemetry
 # (events, flows, exposition, flight recorder, burn-rate alerts) must
-# validate end to end, and sharded multi-device execution must match the
-# single-device baseline under each strategy's equivalence contract.
+# validate end to end, sharded multi-device execution must match the
+# single-device baseline under each strategy's equivalence contract, and
+# the guided tuner must match exhaustive quality within its measurement
+# budget.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
 	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && \
 	  $(MAKE) native-smoke && $(MAKE) serve-smoke && \
-	  $(MAKE) obs-serve-smoke && $(MAKE) shard-smoke
+	  $(MAKE) obs-serve-smoke && $(MAKE) shard-smoke && \
+	  $(MAKE) tune-smoke
 
 clean:
 	dune clean

@@ -108,7 +108,7 @@ let fig7 () =
     (resnet_convs ());
   Printf.printf
     "(paper: input-centric spaces reach 1e4..1e8 per layer; Hidet's\n\
-    \ hardware-centric space stays under ~200 for every input size)\n"
+    \ hardware-centric space stays under ~500 for every input size)\n"
 
 let fig13 () =
   section "Figure 13: end-to-end inference latency, batch 1 (ms)";
@@ -1004,6 +1004,140 @@ let bench_shard () =
   if !fail then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Guided search vs the exhaustive oracle on the widened space         *)
+(* ------------------------------------------------------------------ *)
+
+let tune_out = ref "BENCH_tune.json"
+
+let bench_tune () =
+  section
+    "bench: tune — guided search vs the exhaustive oracle on the widened \
+     schedule space";
+  let module Se = Hidet_sched.Search in
+  let module Space = Hidet_sched.Space in
+  let quick = !interp_quick in
+  (* The interp quickstart matmul plus two Table 1 GEMMs. *)
+  let shapes =
+    if quick then [ (123, 77, 45) ]
+    else [ (123, 77, 45); (1024, 1024, 1024); (512, 512, 4096) ]
+  in
+  let tune ?search ~m ~n ~k candidates =
+    match
+      Tu.tune ?search ~device:dev ~candidates
+        ~compile:(fun cfg -> MT.compile ~m ~n ~k cfg)
+        ()
+    with
+    | Some (cfg, _, st) -> (cfg, st)
+    | None -> failwith "bench tune: no feasible schedule"
+  in
+  Printf.printf "%-18s %6s %8s %12s %8s %12s %7s %7s\n" "shape" "cands"
+    "ex.tr" "ex.best(us)" "gu.tr" "gu.best(us)" "ratio" "frac";
+  let rows =
+    List.map
+      (fun (m, n, k) ->
+        let candidates = Space.matmul_with_split_k ~m ~n in
+        let ncand = List.length candidates in
+        let ecfg, est = tune ~m ~n ~k candidates in
+        let gcfg, gst = tune ~search:(Se.guided_matmul ()) ~m ~n ~k candidates in
+        let ratio = gst.Tu.best_latency /. est.Tu.best_latency in
+        let frac = float_of_int gst.Tu.trials /. float_of_int ncand in
+        Printf.printf "%-18s %6d %8d %12.2f %8d %12.2f %6.3fx %6.1f%%\n%!"
+          (Printf.sprintf "%dx%dx%d" m n k)
+          ncand est.Tu.trials
+          (us est.Tu.best_latency)
+          gst.Tu.trials
+          (us gst.Tu.best_latency)
+          ratio (100. *. frac);
+        (m, n, k, ncand, ecfg, est, gcfg, gst, ratio, frac))
+      shapes
+  in
+  (* The widened dimensions must pay for themselves: on a bandwidth-bound
+     GEMM (large output, tiny k) the best schedule of the full space must
+     beat the best of the pre-widening space (no swizzle, stages <= 2). *)
+  let bm, bn, bk = (2048, 2048, 64) in
+  let widened = Space.matmul_with_split_k ~m:bm ~n:bn in
+  let old_space =
+    List.filter
+      (fun (c : MT.config) -> (not c.MT.swizzle) && c.MT.stages <= 2)
+      widened
+  in
+  let wcfg, wst = tune ~m:bm ~n:bn ~k:bk widened in
+  let ocfg, ost = tune ~m:bm ~n:bn ~k:bk old_space in
+  let gain = ost.Tu.best_latency /. wst.Tu.best_latency in
+  Printf.printf
+    "widened-space gate on %dx%dx%d: old best %s (%.2f us), widened best %s \
+     (%.2f us, %.3fx)\n%!"
+    bm bn bk (MT.config_to_string ocfg)
+    (us ost.Tu.best_latency)
+    (MT.config_to_string wcfg)
+    (us wst.Tu.best_latency)
+    gain;
+  let oc = open_out !tune_out in
+  Printf.fprintf oc "{\n  \"experiment\": \"tune\",\n  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"shapes\": [\n";
+  List.iteri
+    (fun i (m, n, k, ncand, ecfg, est, gcfg, gst, ratio, frac) ->
+      Printf.fprintf oc
+        "    {\"shape\": \"%dx%dx%d\", \"candidates\": %d,\n\
+        \     \"exhaustive\": {\"trials\": %d, \"best_config\": \"%s\", \
+         \"best_latency_us\": %.3f},\n\
+        \     \"guided\": {\"trials\": %d, \"best_config\": \"%s\", \
+         \"best_latency_us\": %.3f},\n\
+        \     \"latency_ratio\": %.4f, \"measured_fraction\": %.4f}%s\n"
+        m n k ncand est.Tu.trials (MT.config_to_string ecfg)
+        (us est.Tu.best_latency)
+        gst.Tu.trials (MT.config_to_string gcfg)
+        (us gst.Tu.best_latency)
+        ratio frac
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"widened_gate\": {\"shape\": \"%dx%dx%d\",\n\
+    \    \"old_best_config\": \"%s\", \"old_best_latency_us\": %.3f,\n\
+    \    \"widened_best_config\": \"%s\", \"widened_best_latency_us\": %.3f,\n\
+    \    \"gain\": %.4f}\n"
+    bm bn bk (MT.config_to_string ocfg)
+    (us ost.Tu.best_latency)
+    (MT.config_to_string wcfg)
+    (us wst.Tu.best_latency)
+    gain;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !tune_out;
+  (* Gates (make tune-smoke and CI rely on these). *)
+  let fail = ref false in
+  let check cond msg =
+    if not cond then begin
+      Printf.eprintf "FAIL: %s\n" msg;
+      fail := true
+    end
+  in
+  List.iter
+    (fun (m, n, k, _, _, _, _, _, ratio, frac) ->
+      check (ratio <= 1.05)
+        (Printf.sprintf
+           "guided must land within 5%% of the exhaustive best on %dx%dx%d \
+            (got %.3fx)"
+           m n k ratio);
+      check (frac <= 0.25)
+        (Printf.sprintf
+           "guided must measure <= 25%% of the candidates on %dx%dx%d (got \
+            %.1f%%)"
+           m n k (100. *. frac)))
+    rows;
+  check
+    (wst.Tu.best_latency < ost.Tu.best_latency)
+    "a widened-space schedule must beat the pre-widening best on the \
+     bandwidth-bound GEMM";
+  check
+    (wcfg.MT.swizzle || wcfg.MT.stages > 2)
+    (Printf.sprintf
+       "the bandwidth-bound winner must use a widened dimension (got %s)"
+       (MT.config_to_string wcfg));
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1068,6 +1202,7 @@ let experiments =
     ("ablation_tensor_core", ablation_tensor_core);
     ("ablation_device_sweep", ablation_device_sweep);
     ("tuning_service", tuning_service);
+    ("tune", bench_tune);
     ("interp", bench_interp);
     ("serve", bench_serve);
     ("shard", bench_shard);
@@ -1103,7 +1238,8 @@ let () =
        | "--out" :: path :: _ ->
          interp_out := path;
          serve_out := path;
-         shard_out := path
+         shard_out := path;
+         tune_out := path
        | _ :: rest -> find rest
        | [] -> ()
      in

@@ -213,6 +213,46 @@ let backend_arg =
 
 let set_backend backend = Hidet_sched.Compiled.set_default_backend backend
 
+(* Sets the process-global default search mode (the engine interface is
+   generic, so the flag reaches the matmul tuner through
+   Search.for_matmul). *)
+let search_arg =
+  let doc =
+    "Schedule search strategy for the matmul space: $(b,exhaustive) \
+     (the paper's mode: measure every candidate) or $(b,guided) (seeded \
+     evolutionary search over the widened space — swizzle, split-k, deep \
+     pipelines — measuring a bounded fraction of the candidates). Guided \
+     and exhaustive results are cached under distinct keys."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("exhaustive", `Exhaustive); ("guided", `Guided) ]) `Exhaustive
+    & info [ "search" ] ~docv:"MODE" ~doc)
+
+let search_warm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "search-warm" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start the guided search's cost model from a tuning-log TSV \
+           written by $(b,--tuning-log) (measured trials whose configs \
+           parse are used as training pairs). Ignored under \
+           $(b,--search exhaustive).")
+
+let set_search mode warm =
+  Hidet_sched.Search.set_default_mode mode;
+  match warm with
+  | None -> ()
+  | Some path -> (
+    match Obs.Tuning_log.load_tsv path with
+    | Error msg -> Printf.eprintf "search warm-start: ignoring %s (%s)\n" path msg
+    | Ok trials ->
+      let pairs = Hidet_sched.Search.warm_of_trials trials in
+      Hidet_sched.Search.set_default_warm pairs;
+      Printf.printf "search warm-start: %d usable trials from %s\n"
+        (List.length pairs) path)
+
 (* --- multi-device sharding flags ------------------------------------------- *)
 
 let devices_arg =
@@ -333,8 +373,10 @@ let compile_cmd =
              $(b,tensor-reduce)); exits non-zero on mismatch.")
   in
   let run model batch engine dump_cuda breakdown file cache trace profile
-      summary tuning_log backend devices parallel microbatches do_verify =
+      summary tuning_log backend search search_warm devices parallel
+      microbatches do_verify =
     set_backend backend;
+    set_search search search_warm;
     let g = graph_of model file batch in
     if devices > 1 then begin
       (* Sharded compile always goes through the Hidet engine (fragments
@@ -394,8 +436,9 @@ let compile_cmd =
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
       $ breakdown_arg $ file_arg $ cache_arg $ trace_arg $ profile_arg
-      $ summary_arg $ tuning_log_arg $ backend_arg $ devices_arg
-      $ parallel_arg $ microbatches_arg $ verify_shard_arg)
+      $ summary_arg $ tuning_log_arg $ backend_arg $ search_arg
+      $ search_warm_arg $ devices_arg $ parallel_arg $ microbatches_arg
+      $ verify_shard_arg)
 
 let bench_cmd =
   let run model batch cache trace summary tuning_log =
@@ -880,8 +923,9 @@ let serve_cmd =
   let run model file engine buckets workers rps clients think_ms duration
       deadline_ms max_wait_ms queue_cap max_inflight scale burst seed out
       no_batching virtual_ no_check events prom flight_size flight_out cache
-      trace summary backend devices parallel microbatches =
+      trace summary backend search search_warm devices parallel microbatches =
     set_backend backend;
+    set_search search search_warm;
     let source =
       match (model, file) with
       | _, Some path -> S.Registry.File path
@@ -1044,7 +1088,8 @@ let serve_cmd =
       $ scale_arg $ burst_arg $ seed_arg $ out_arg $ no_batching_arg
       $ virtual_arg $ no_check_arg $ events_arg $ prom_arg $ flight_size_arg
       $ flight_out_arg $ cache_arg $ trace_arg $ summary_arg $ backend_arg
-      $ devices_arg $ parallel_arg $ microbatches_arg)
+      $ search_arg $ search_warm_arg $ devices_arg $ parallel_arg
+      $ microbatches_arg)
 
 let () =
   let info =

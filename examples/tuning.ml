@@ -3,7 +3,7 @@
 
    - the input-centric (AutoTVM-style) space size depends on the divisor
      structure of the layer's extents and explodes to millions of points;
-   - the hardware-centric space has ~200 points regardless of input size,
+   - the hardware-centric space has ~450 points regardless of input size,
      enumerates exhaustively, and still finds a faster schedule because it
      can pick non-divisor tiles and pipelined (double-buffered) kernels.
 

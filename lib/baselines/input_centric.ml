@@ -219,6 +219,9 @@ let generic_tune ?(key = "") ?(show = fun _ -> "") ~strategy ~budget ~device
               | `Infeasible -> Tuning_log.Infeasible
               | `Measured -> Tuning_log.Measured);
             latency = lat;
+            (* Input-centric tuners sample their space exhaustively within
+               a budget; there is no guided proposer to attribute. *)
+            proposer = Tuning_log.Exhaustive;
           };
       Option.map snd r
     end

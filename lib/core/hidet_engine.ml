@@ -52,11 +52,12 @@ let hidet_seconds_per_trial = Hidet_sched.Tuner.seconds_per_trial /. 4.
 
 (* The tuning service: the process-global schedule cache in front of the
    parallel exhaustive tuner. Winners are re-instantiated per call site. *)
-let tuned ?show (stats : tuning_stats) ~device ~key ~candidates ~compile =
+let tuned ?show ?search (stats : tuning_stats) ~device ~key ~candidates
+    ~compile =
   let t0 = Unix.gettimeofday () in
   let r =
     Cache.tune ~seconds_per_trial:hidet_seconds_per_trial ~engine:"hidet"
-      ?show ~device ~key ~candidates ~compile ()
+      ?show ?search ~device ~key ~candidates ~compile ()
   in
   stats.tuner_wall <- stats.tuner_wall +. (Unix.gettimeofday () -. t0);
   (if not (Hashtbl.mem stats.billed key) then (
@@ -120,8 +121,14 @@ let schedule_matmul options device stats ~sa ~sb ~out_rank =
       k (options_sig options)
   in
   let space = restrict_space options (Hidet_sched.Space.matmul_with_split_k ~m ~n) in
+  (* Matmul spaces are the only ones big enough for guided search to pay;
+     the row/reduce spaces (a handful of block sizes) stay exhaustive. The
+     process-global default mode is how `hidetc --search` reaches through
+     the generic engine interface. *)
+  let search = Hidet_sched.Search.for_matmul () in
   let compiled =
-    tuned ~show:MT.config_to_string stats ~device ~key ~candidates:space
+    tuned ~show:MT.config_to_string ~search stats ~device ~key
+      ~candidates:space
       ~compile:(fun cfg -> MT.compile ~batch ~a_batched ~b_batched ~m ~n ~k cfg)
   in
   match compiled with

@@ -15,6 +15,7 @@ type t = {
   kernel_launch_overhead : float;
   sync_latency : float;
   saturation_threads_per_sm : int;
+  l2_reuse_window : int;
 }
 
 let rtx3090 =
@@ -36,6 +37,9 @@ let rtx3090 =
     kernel_launch_overhead = 4.0e-6;
     sync_latency = 30.0e-9;
     saturation_threads_per_sm = 512;
+    (* 6 MB L2: roughly 8 concurrently resident blocks' operand panels
+       coexist before eviction. *)
+    l2_reuse_window = 8;
   }
 
 let a100 =
@@ -56,6 +60,8 @@ let a100 =
     kernel_launch_overhead = 4.0e-6;
     sync_latency = 30.0e-9;
     saturation_threads_per_sm = 512;
+    (* 40 MB L2 keeps a wider neighborhood of blocks' panels resident. *)
+    l2_reuse_window = 16;
   }
 
 let fp32_flops d = d.fp32_tflops *. 1e12

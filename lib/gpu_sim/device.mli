@@ -22,6 +22,11 @@ type t = {
   sync_latency : float;  (** seconds per __syncthreads per block *)
   saturation_threads_per_sm : int;
       (** resident threads needed to reach peak issue rate *)
+  l2_reuse_window : int;
+      (** how many consecutively launched blocks share the L2 working set;
+          scales with L2 capacity. {!Traffic.block_reuse} measures operand
+          overlap across this window, which is what thread-block swizzling
+          improves (§3.1's block-index remap). *)
 }
 
 val rtx3090 : t

@@ -74,8 +74,18 @@ let kernel (d : Device.t) (k : Kernel.t) =
         c.global_ld_transactions *. 4. /. c.global_load_bytes
       else 1.
     in
+    (* L2 locality: load traffic shared by a window of consecutively
+       launched blocks (bounded by what is actually co-resident) is fetched
+       from DRAM once, not once per block. Swizzled launch orders shrink
+       the window's union working set and show up here. *)
+    let l2_reuse =
+      if c.global_load_bytes > 0. then
+        Traffic.block_reuse ~window:(min d.l2_reuse_window active_blocks) k
+      else 1.
+    in
     let bytes_block =
-      ((c.global_load_bytes *. Float.max 1. ld_eff) +. c.global_store_bytes)
+      ((c.global_load_bytes *. Float.max 1. ld_eff /. l2_reuse)
+      +. c.global_store_bytes)
       *. float_of_int k.block_dim
     in
     (* Bandwidth share per block, capped by what one SM's LSUs can pull and
@@ -123,10 +133,15 @@ let kernel (d : Device.t) (k : Kernel.t) =
     let sync_time = c.syncs *. d.sync_latency in
     (* Pipelined kernels overlap memory and compute; the barrier at each
        stage boundary still exposes a residue of the shorter phase, smaller
-       for deeper pipelines (3-stage multistage vs double buffering). *)
+       for deeper pipelines: double buffering still stalls on every other
+       tile's latency, 3 stages hide most of it, 4 stages nearly all (at
+       the price of the extra shared-memory stage, which the occupancy
+       limits above already charge). *)
     let block_time =
       if pipelined then
-        let residue = if stages >= 3 then 0.05 else 0.15 in
+        let residue =
+          if stages >= 4 then 0.02 else if stages >= 3 then 0.05 else 0.15
+        in
         Float.max mem_time compute_time
         +. (residue *. Float.min mem_time compute_time)
         +. sync_time

@@ -9,10 +9,13 @@
     - Waves: blocks are dispatched in waves of [num_sms * blocks_per_sm]; a
       partially filled final wave costs a full wave (wave quantization).
     - Per-block time: memory time (bandwidth shared among active blocks,
-      degraded by poor coalescing and low thread counts) and compute time
-      (CUDA-core + tensor-core + shared-memory throughput). With a validated
-      pipelined main loop (stages >= 2) the two overlap:
-      [max(mem, compute)]; otherwise they serialize: [mem + compute].
+      degraded by poor coalescing and low thread counts, and discounted by
+      the {!Traffic.block_reuse} L2-locality factor over the device's
+      [l2_reuse_window]) and compute time (CUDA-core + tensor-core +
+      shared-memory throughput). With a validated pipelined main loop
+      (stages >= 2) the two overlap: [max(mem, compute)] plus a residue of
+      the shorter phase that shrinks with pipeline depth (2 / 3 / 4+
+      stages); otherwise they serialize: [mem + compute].
     - Fixed costs: kernel launch overhead and per-barrier latency.
 
     The model is calibrated to RTX 3090 peaks; absolute values are plausible

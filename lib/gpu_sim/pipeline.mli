@@ -11,7 +11,10 @@
 
     {!Perf_model} only grants overlap credit when this check passes, so a
     scheduler cannot obtain double-buffering speedups by merely setting the
-    flag. *)
+    flag. The pattern is depth-independent: 2-stage double buffering and
+    the 3/4-stage circular-buffer pipelines all validate through the same
+    prefetch → compute → stage subsequence, and {!Perf_model} scales the
+    residual stall with the validated depth. *)
 
 val has_overlap_pattern : Hidet_ir.Stmt.t -> bool
 (** True if some loop in the statement exhibits the load → compute →

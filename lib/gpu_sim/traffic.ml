@@ -46,14 +46,14 @@ let scale s a =
 (* Numeric probe environment: [Let]-bound variables evaluate through
    [bindings]; other free variables and loads read as zero so index
    expressions can still be evaluated to estimate strides and extents. *)
-let probe_env ?(bindings = fun _ -> None) tid =
+let probe_env ?(bindings = fun _ -> None) ?(block = 0) tid =
   {
     Expr.lookup =
       (fun v ->
         match bindings v with Some value -> value | None -> Expr.V_int 0);
     load = (fun _ _ -> Expr.V_float 0.);
     thread_idx = tid;
-    block_idx = 0;
+    block_idx = block;
   }
 
 let flatten_index (b : Hidet_ir.Buffer.t) indices =
@@ -172,3 +172,119 @@ let rec stmt_counts env (s : Stmt.t) : counts =
   | Comment _ -> zero
 
 let kernel (k : Kernel.t) = stmt_counts (Hashtbl.create 16) k.body
+
+(* --- L2 block-reuse analysis -----------------------------------------------
+
+   How much of the global-load traffic of a window of consecutively
+   launched blocks is shared? Each global load site is probed once per
+   block id in the window (thread 0, loop indices at 0): the flattened
+   index it touches identifies the operand panel the block streams. A
+   site whose probe value repeats across the window (e.g. the A tile of
+   blocks in the same block-row) is served by L2 after the first block;
+   a site with [d] distinct values across a window of [w] blocks costs
+   [d/w] of its naive DRAM traffic.
+
+   This is what makes thread-block swizzle visible to the latency model:
+   under row-major launch order a window of 8 blocks spans 1 A-panel and
+   8 B-panels, while the panelized swizzle (4 block-rows per column)
+   spans 4 A-panels and 2 B-panels — less union traffic for the same
+   per-block byte count. *)
+
+let block_reuse ~window (k : Kernel.t) =
+  let w = max 1 (min window k.Kernel.grid_dim) in
+  if w = 1 then 1.
+  else begin
+    (* site id -> distinct probe values seen across the window *)
+    let distinct : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+    (* site id -> loop-scaled bytes per thread (identical on every pass) *)
+    let weights : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let unknown = ref 0 in
+    for b = 0 to w - 1 do
+      let env = Hashtbl.create 16 in
+      let bindings v = Hashtbl.find_opt env v.Var.id in
+      let penv = probe_env ~bindings ~block:b 0 in
+      (* Sites are numbered in traversal order, which is the same on every
+         pass: the walk never branches on probe values. *)
+      let site = ref 0 in
+      let record buf indices scale =
+        let id = !site in
+        incr site;
+        if not (Hashtbl.mem weights id) then
+          Hashtbl.add weights id
+            (float_of_int (Dtype.size_bytes buf.Buffer.elt) *. scale);
+        let value =
+          match Expr.eval_int penv (flatten_index buf indices) with
+          | v -> v
+          | exception _ ->
+            (* Unevaluable index: treat as distinct per block (no reuse). *)
+            incr unknown;
+            - !unknown
+        in
+        let tbl =
+          match Hashtbl.find_opt distinct id with
+          | Some t -> t
+          | None ->
+            let t = Hashtbl.create 4 in
+            Hashtbl.add distinct id t;
+            t
+        in
+        Hashtbl.replace tbl value ()
+      in
+      let rec expr scale (e : Expr.t) =
+        match e with
+        | Int _ | Float _ | Bool _ | Var _ | Thread_idx | Block_idx -> ()
+        | Binop (_, a, b') ->
+          expr scale a;
+          expr scale b'
+        | Unop (_, a) -> expr scale a
+        | Select (c, a, b') ->
+          expr scale c;
+          expr scale a;
+          expr scale b'
+        | Load (buf, indices) ->
+          List.iter (expr scale) indices;
+          if buf.Buffer.scope = Buffer.Global then record buf indices scale
+      in
+      let rec stmt scale (s : Stmt.t) =
+        match s with
+        | Seq ss -> List.iter (stmt scale) ss
+        | For { var; extent; body; _ } ->
+          let n =
+            match Expr.const_int extent with
+            | Some n -> float_of_int (max n 0)
+            | None -> (
+              try float_of_int (max (Expr.eval_int penv extent) 1)
+              with _ -> 1.)
+          in
+          expr scale extent;
+          Hashtbl.replace env var.Var.id (Expr.V_int 0);
+          stmt (scale *. n) body;
+          Hashtbl.remove env var.Var.id
+        | If { cond; then_; else_ } ->
+          expr scale cond;
+          stmt scale then_;
+          (match else_ with Some e -> stmt scale e | None -> ())
+        | Let { var; value; body } ->
+          (try Hashtbl.replace env var.Var.id (Expr.eval penv value)
+           with _ -> ());
+          expr scale value;
+          stmt scale body;
+          Hashtbl.remove env var.Var.id
+        | Store { indices; value; _ } ->
+          List.iter (expr scale) indices;
+          expr scale value
+        | Mma _ | Sync_threads | Comment _ -> ()
+      in
+      stmt 1. k.Kernel.body
+    done;
+    let naive = Hashtbl.fold (fun _ w acc -> acc +. w) weights 0. in
+    let union =
+      Hashtbl.fold
+        (fun id tbl acc ->
+          let wt = Option.value (Hashtbl.find_opt weights id) ~default:0. in
+          acc +. (wt *. float_of_int (Hashtbl.length tbl) /. float_of_int w))
+        distinct 0.
+    in
+    if naive <= 0. || union <= 0. then 1.
+    else Float.max 1. (Float.min (float_of_int w) (naive /. union))
+  end

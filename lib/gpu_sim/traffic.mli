@@ -31,3 +31,14 @@ val coalescing_stride : Hidet_ir.Expr.t -> int
 val effective_factor : int -> float
 (** Memory-traffic multiplier for a given stride: 1.0 when coalesced, up to
     8.0 for badly strided access (cache lines partially wasted). *)
+
+val block_reuse : window:int -> Hidet_ir.Kernel.t -> float
+(** L2-locality factor in [1, window]: how many times each unit of DRAM
+    traffic is shared across a window of [window] consecutively launched
+    blocks. Every global load site is probed per block id (thread 0, loop
+    indices 0); the flattened index identifies the operand panel the block
+    streams, and a panel touched by several blocks of the window is only
+    fetched from DRAM once. Sites whose index cannot be evaluated count as
+    distinct per block (conservative). This term is what distinguishes a
+    swizzled block-launch order from a row-major one: same per-block bytes,
+    smaller union working set per window. *)

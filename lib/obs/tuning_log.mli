@@ -15,6 +15,12 @@ type outcome =
   | Infeasible  (** compiled, but the device model rejected it *)
   | Rejected  (** the template refused the config; never measured *)
 
+type proposer =
+  | Exhaustive  (** the exhaustive enumeration proposed this candidate *)
+  | Seed  (** guided search: initial population member *)
+  | Mutation  (** guided search: single-field mutation of an elite *)
+  | Crossover  (** guided search: field-wise mix of two elites *)
+
 type trial = {
   engine : string;  (** "hidet", "autotvm", "ansor", ... *)
   workload : string;  (** workload signature, e.g. the schedule-cache key *)
@@ -22,9 +28,13 @@ type trial = {
   config : string;  (** printable schedule config ("" if unavailable) *)
   outcome : outcome;
   latency : float;  (** estimated seconds; [infinity] unless [Measured] *)
+  proposer : proposer;  (** which search stage proposed the candidate *)
 }
 
 val outcome_to_string : outcome -> string
+val outcome_of_string : string -> outcome option
+val proposer_to_string : proposer -> string
+val proposer_of_string : string -> proposer option
 
 val enabled : unit -> bool
 val start : unit -> unit
@@ -42,4 +52,19 @@ val trials : unit -> trial list
 
 val save_tsv : string -> trial list -> unit
 (** Tab-separated export: engine, workload, index, config, outcome,
-    latency in microseconds. One header line. *)
+    latency in microseconds, proposer. One header line. The proposer
+    column is appended after the original six so readers of the earlier
+    format keep working. *)
+
+val parse_line : string -> trial option
+(** Parse one TSV data row. Accepts both the original six-column rows
+    (proposer defaults to [Exhaustive]) and the current seven-column rows;
+    [None] for the header or a malformed row. Negative or non-finite
+    latencies read back as [infinity] (the inverse of {!save_tsv}'s [-1]
+    encoding). *)
+
+val load_tsv : string -> (trial list, string) result
+(** Read a whole TSV written by {!save_tsv} (either column count),
+    skipping the header and malformed rows; [Error] on an unreadable
+    file. Used to warm-start the guided tuner's cost model from prior
+    trials. *)

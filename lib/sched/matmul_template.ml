@@ -57,7 +57,7 @@ let check cfg =
   else if num_warps cfg < 1 || num_warps cfg > 16 then
     err "warps per block out of [1, 16]"
   else if cfg.split_k < 1 || cfg.split_k > 16 then err "split_k out of range"
-  else if cfg.stages < 1 || cfg.stages > 3 then err "stages out of [1, 3]"
+  else if cfg.stages < 1 || cfg.stages > 4 then err "stages out of [1, 4]"
   else
     let bd = block_dim cfg in
     if load_mapping ~rows:cfg.block_m ~cols:cfg.block_k ~threads:bd = None then
@@ -73,10 +73,53 @@ let check cfg =
 let config_to_string cfg =
   Printf.sprintf "b%dx%dx%d_w%dx%d%s%s%s%s" cfg.block_m cfg.block_n cfg.block_k
     cfg.warp_m cfg.warp_n
-    (match cfg.stages with 2 -> "_db" | 3 -> "_s3" | _ -> "")
+    (match cfg.stages with 2 -> "_db" | 3 -> "_s3" | 4 -> "_s4" | _ -> "")
     (if cfg.split_k > 1 then Printf.sprintf "_sk%d" cfg.split_k else "")
     (if cfg.use_tensor_core then "_tc" else "")
     (if cfg.swizzle then "_swz" else "")
+
+(* Inverse of [config_to_string], used to featurize tuning-log records when
+   warm-starting the guided search from a TSV of prior trials. *)
+let config_of_string s =
+  match String.split_on_char '_' s with
+  | b :: w :: rest -> (
+    match
+      ( Scanf.sscanf_opt b "b%dx%dx%d%!" (fun m n k -> (m, n, k)),
+        Scanf.sscanf_opt w "w%dx%d%!" (fun m n -> (m, n)) )
+    with
+    | Some (block_m, block_n, block_k), Some (warp_m, warp_n) ->
+      let cfg =
+        ref
+          {
+            block_m;
+            block_n;
+            block_k;
+            warp_m;
+            warp_n;
+            stages = 1;
+            split_k = 1;
+            use_tensor_core = false;
+            swizzle = false;
+          }
+      in
+      let ok =
+        List.for_all
+          (fun tok ->
+            match tok with
+            | "db" -> cfg := { !cfg with stages = 2 }; true
+            | "s3" -> cfg := { !cfg with stages = 3 }; true
+            | "s4" -> cfg := { !cfg with stages = 4 }; true
+            | "tc" -> cfg := { !cfg with use_tensor_core = true }; true
+            | "swz" -> cfg := { !cfg with swizzle = true }; true
+            | t -> (
+              match Scanf.sscanf_opt t "sk%d%!" (fun sk -> sk) with
+              | Some sk when sk > 1 -> cfg := { !cfg with split_k = sk }; true
+              | _ -> false))
+          rest
+      in
+      if ok then Some !cfg else None
+    | _ -> None)
+  | _ -> None
 
 let lets bindings body =
   List.fold_right (fun (v, e) acc -> Stmt.let_ v e acc) bindings body

@@ -29,9 +29,10 @@ type config = {
   warp_n : int;  (** multiple of 8 (CUDA-core) or 16 (tensor-core) *)
   stages : int;
       (** software-pipeline depth: 1 = none, 2 = double buffering (Fig. 5),
-          3 = multi-stage asynchronous prefetch (the CUTLASS-on-Ampere
+          3–4 = multi-stage asynchronous prefetch (the CUTLASS-on-Ampere
           pattern the paper's §3.1 also lists as inexpressible with
-          declarative loop-oriented primitives) *)
+          declarative loop-oriented primitives); each extra stage keeps one
+          more tile in flight in the circular shared-memory buffer *)
   split_k : int;
   use_tensor_core : bool;
   swizzle : bool;
@@ -49,6 +50,11 @@ val check : config -> (unit, string) result
     by {!Hidet_gpu.Perf_model}. *)
 
 val config_to_string : config -> string
+
+val config_of_string : string -> config option
+(** Inverse of {!config_to_string} ([None] on malformed input); round-trips
+    every config the printer can emit. Lets the guided tuner featurize
+    prior trials re-read from a {!Hidet_obs.Tuning_log} TSV. *)
 
 val num_warps : config -> int
 val block_dim : config -> int

@@ -179,9 +179,15 @@ let m_hits = Metrics.counter "schedule_cache.hits"
 let m_misses = Metrics.counter "schedule_cache.misses"
 let m_stale = Metrics.counter "schedule_cache.stale"
 
-let tune ?seconds_per_trial ?parallel ?workers ?engine ?show ~device ~key
-    ~candidates ~compile () =
+let tune ?seconds_per_trial ?parallel ?workers ?engine ?show
+    ?(search = Search.Exhaustive) ~device ~key ~candidates ~compile () =
   let device_name = device.Hidet_gpu.Device.name in
+  (* The search mode is part of the cache key: a guided run's winner is
+     only the best of the candidates it measured, so it must never answer
+     for (or be overwritten by) the exhaustive oracle. Exhaustive keeps an
+     empty suffix, so caches persisted before search modes existed stay
+     valid. *)
+  let key = key ^ Search.cache_suffix search in
   let space_size = List.length candidates in
   (* Returned operators carry the workload key so the native execution
      backend can scope its per-kernel compile memo to this workload. *)
@@ -193,7 +199,7 @@ let tune ?seconds_per_trial ?parallel ?workers ?engine ?show ~device ~key
       Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.miss";
     match
       Tuner.tune ?seconds_per_trial ?parallel ?workers ?engine ~key ?show
-        ~device ~candidates ~compile ()
+        ~search ~device ~candidates ~compile ()
     with
     | None -> None
     | Some (cand, compiled, st) ->

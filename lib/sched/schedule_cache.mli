@@ -32,6 +32,7 @@ val tune :
   ?workers:int ->
   ?engine:string ->
   ?show:('a -> string) ->
+  ?search:'a Search.t ->
   device:Hidet_gpu.Device.t ->
   key:string ->
   candidates:'a list ->
@@ -42,10 +43,15 @@ val tune :
     stored winner is re-instantiated (zero fresh trials); on a miss (or a
     stale entry) the tuner runs and its result is stored. [key] must
     identify the workload {e and} any restriction applied to [candidates]
-    (the device name is added automatically). [?engine] and [?show] are
-    forwarded to the tuner's trace spans and tuning-log records; each call
-    also bumps the ["schedule_cache.hits"/"misses"/"stale"] metrics and,
-    when tracing, drops a matching instant event. *)
+    (the device name is added automatically). [?search] (default
+    {!Search.Exhaustive}) is forwarded to the tuner {e and} folded into
+    the cache key via {!Search.cache_suffix}, so guided and exhaustive
+    results never alias — and the exhaustive suffix is empty, so caches
+    persisted before search modes existed remain valid. [?engine] and
+    [?show] are forwarded to the tuner's trace spans and tuning-log
+    records; each call also bumps the
+    ["schedule_cache.hits"/"misses"/"stale"] metrics and, when tracing,
+    drops a matching instant event. *)
 
 (** {1 Direct cache access} *)
 

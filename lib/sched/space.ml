@@ -41,8 +41,24 @@ let cartesian_configs () =
         block_ns)
     block_ms
 
+(* Canonical dedup: configs are plain scalar records, so structural equality
+   is exactly config identity. First occurrence wins, order preserved — the
+   schedule cache stores winner *indices*, so enumeration order is part of
+   the contract. *)
+let dedup configs =
+  let seen = Hashtbl.create 512 in
+  List.filter
+    (fun (c : MT.config) ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    configs
+
 (* Curation: drop degenerate aspect ratios and register-starved tiles so the
-   space stays under ~200 entries while covering the useful corners. *)
+   base space stays near the paper's ~180 entries while covering the useful
+   corners. *)
 let keep (c : MT.config) =
   let aspect = max (c.MT.block_m / c.MT.block_n) (c.MT.block_n / c.MT.block_m) in
   let threads = MT.block_dim c in
@@ -54,28 +70,52 @@ let keep (c : MT.config) =
   if c.MT.use_tensor_core then c.MT.block_k = 16 && c.MT.block_m >= 32
   else c.MT.warp_m * c.MT.warp_n >= 512 && c.MT.block_k <= 16
 
-let matmul =
-  let base =
-    List.filter (fun c -> keep c && Result.is_ok (MT.check c)) (cartesian_configs ())
-  in
-  (* A few 3-stage (CUTLASS-multistage-style) pipelines for the largest
-     tensor-core tiles, where the deeper pipeline pays for its shared
-     memory. *)
-  let multistage =
-    List.filter_map
+(* The widened dimensions (this is the space the guided tuner exists for):
+
+   - deep pipelines: 3- and 4-stage circular-buffer variants of the larger
+     double-buffered tiles, where the extra shared-memory stage can pay for
+     itself (feasibility on a concrete device is judged by the perf model's
+     occupancy limits, not here);
+   - thread-block swizzle: an L2-locality remap of the launch order for
+     every pipelined tile big enough to have operand panels worth sharing
+     ({!Hidet_gpu.Traffic.block_reuse} makes these distinguishable). *)
+let widen base =
+  let deep =
+    List.concat_map
       (fun (c : MT.config) ->
-        if c.MT.use_tensor_core && c.MT.stages = 2 && c.MT.block_m >= 64
-           && c.MT.block_n >= 64
-        then Some { c with MT.stages = 3 }
-        else None)
+        if c.MT.stages = 2 && c.MT.block_m >= 64 && c.MT.block_n >= 64 then
+          [ { c with MT.stages = 3 }; { c with MT.stages = 4 } ]
+        else [])
       base
   in
-  base @ multistage
+  let with_deep = base @ deep in
+  let swizzled =
+    List.filter_map
+      (fun (c : MT.config) ->
+        if c.MT.stages >= 2 && c.MT.block_m >= 32 && c.MT.block_n >= 32 then
+          Some { c with MT.swizzle = true }
+        else None)
+      with_deep
+  in
+  with_deep @ swizzled
 
-let size () = List.length matmul
+(* Lazily constructed and memoized: subcommands that never tune (trace
+   checking, export, log inspection) must not pay for enumerating and
+   checking the widened space at module initialization. *)
+let matmul_lazy =
+  lazy
+    (dedup
+       (widen
+          (List.filter
+             (fun c -> keep c && Result.is_ok (MT.check c))
+             (cartesian_configs ()))))
+
+let matmul () = Lazy.force matmul_lazy
+
+let size () = List.length (matmul ())
 
 let sample_matmul rs count =
-  let all = Array.of_list matmul in
+  let all = Array.of_list (matmul ()) in
   let n = Array.length all in
   let count = max 0 (min count n) in
   if count = n then Array.to_list all
@@ -93,19 +133,34 @@ let sample_matmul rs count =
     Array.to_list (Array.sub a 0 count)
   end
 
-let matmul_with_split_k ~m ~n =
-  (* When the m x n tile grid cannot fill the SMs with mid-size tiles, add
-     split-k variants of the smaller tiles (parallel k reduction). *)
+(* Split-k is a first-class dimension of the shape-aware space: factors are
+   chosen by how far the m x n tile grid is from saturating the device, and
+   applied across tile sizes and pipeline depths (not just the small-tile
+   double-buffered corner). The latency model charges the partial-sum
+   traffic and the reduction epilogue through the second kernel the
+   template emits, so these variants compete on modeled cost like any
+   other config. *)
+let split_k_factors ~m ~n =
   let tiles64 = (m + 63) / 64 * ((n + 63) / 64) in
-  if tiles64 >= 256 then matmul
-  else
-    matmul
-    @ List.concat_map
-        (fun sk ->
-          List.filter_map
-            (fun c ->
-              if c.MT.block_m <= 64 && c.MT.block_n <= 64 && c.MT.stages = 2 then
-                Some { c with MT.split_k = sk }
-              else None)
-            matmul)
-        [ 4; 8 ]
+  if tiles64 >= 256 then []
+  else if tiles64 >= 64 then [ 2; 4 ]
+  else [ 2; 4; 8 ]
+
+let matmul_with_split_k ~m ~n =
+  let base = matmul () in
+  match split_k_factors ~m ~n with
+  | [] -> base
+  | sks ->
+    dedup
+      (base
+      @ List.concat_map
+          (fun sk ->
+            List.filter_map
+              (fun (c : MT.config) ->
+                (* Swizzle targets big grids; split-k targets small ones —
+                   combining them would only pad the space. *)
+                if c.MT.stages >= 2 && not c.MT.swizzle then
+                  Some { c with MT.split_k = sk }
+                else None)
+              base)
+          sks)

@@ -1,21 +1,36 @@
-(** The hardware-centric schedule space (paper §4.3).
+(** The hardware-centric schedule space (paper §4.3), widened.
 
     Tile sizes are chosen from hardware-friendly powers of two, independent
     of the problem size — partial tiles are handled by predicated loads and
-    stores in the template. The resulting space has under 200 schedules
-    (the paper reports 180 for matmul), small enough to enumerate
-    exhaustively, versus the 10^5–10^8 candidate input-centric spaces of
+    stores in the template. The curated base space stays near the paper's
+    180 matmul schedules; the widened space adds the dimensions production
+    GEMMs live on — thread-block swizzle for L2 locality, 3/4-stage
+    software pipelines, and shape-aware split-k factors — which grows it
+    past comfortable exhaustive enumeration and is what
+    {!Hidet_sched.Search}'s guided mode exists for. Still orders of
+    magnitude below the 10^5–10^8 candidate input-centric spaces of
     AutoTVM/Ansor (their Fig. 7). *)
 
-val matmul : Matmul_template.config list
-(** The full matmul space; every element passes
-    [Matmul_template.check]. Independent of problem size. *)
+val matmul : unit -> Matmul_template.config list
+(** The full (widened, deduplicated) matmul space; every element passes
+    [Matmul_template.check]. Independent of problem size. Lazily
+    constructed on first use and memoized, so processes that never tune do
+    not pay for the enumeration; the order is deterministic and is part of
+    the schedule-cache contract (entries store winner indices). *)
 
 val matmul_with_split_k : m:int -> n:int -> Matmul_template.config list
-(** {!matmul}, extended with split-k variants when the output grid is too
-    small to saturate the device (the parallel-k-reduction optimization of
-    §6.2.4) — still a property of tile shapes versus the device, not of
-    divisibility. *)
+(** {!matmul}, extended with split-k variants of the pipelined configs when
+    the output tile grid is too small to saturate the device (the
+    parallel-k-reduction optimization of §6.2.4) — the factor set grows as
+    the grid shrinks ({!split_k_factors}), and the result carries no
+    duplicate configs. *)
+
+val split_k_factors : m:int -> n:int -> int list
+(** The split-k factors the [m x n] output grid warrants: [[]] when 64x64
+    tiles already saturate the device, up to [[2; 4; 8]] for tiny grids. *)
+
+val dedup : Matmul_template.config list -> Matmul_template.config list
+(** Canonical structural dedup, first occurrence wins, order preserved. *)
 
 val sample_matmul : Random.State.t -> int -> Matmul_template.config list
 (** [sample_matmul rs count]: [count] distinct configs drawn uniformly (and

@@ -29,9 +29,39 @@ let m_rejected = Metrics.counter "tuner.rejected"
    still a paid measurement). *)
 type outcome = Rejected | Measured of float
 
+let log_trial ~engine ~key ~show ~index ~cand ~proposer outcome =
+  if Tuning_log.enabled () then
+    Tuning_log.record
+      {
+        Tuning_log.engine;
+        workload = key;
+        index;
+        config = show cand;
+        outcome =
+          (match outcome with
+          | Rejected -> Tuning_log.Rejected
+          | Measured lat when lat < infinity -> Tuning_log.Measured
+          | Measured _ -> Tuning_log.Infeasible);
+        latency = (match outcome with Measured lat -> lat | Rejected -> infinity);
+        proposer;
+      }
+
+let trial_span ~key ~show ~index ~cand outcome =
+  let csp = Trace.enter "trial" in
+  Trace.add csp "workload" key;
+  Trace.add csp "index" (string_of_int index);
+  Trace.add csp "config" (show cand);
+  (match outcome with
+  | Rejected -> Trace.add csp "outcome" "rejected"
+  | Measured lat when lat < infinity ->
+    Trace.add csp "outcome" "measured";
+    Trace.add csp "latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
+  | Measured _ -> Trace.add csp "outcome" "infeasible");
+  Trace.exit csp
+
 let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
     ?workers ?(engine = "hidet") ?(key = "") ?(show = fun _ -> "")
-    ~device ~candidates ~compile () =
+    ?(search = Search.Exhaustive) ~device ~candidates ~compile () =
   let t0 = Unix.gettimeofday () in
   let cands = Array.of_list candidates in
   let w =
@@ -44,6 +74,7 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
         [
           ("engine", engine);
           ("workload", key);
+          ("search", Search.name search);
           ("candidates", string_of_int (Array.length cands));
         ]
       "tune"
@@ -57,62 +88,72 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
       Metrics.incr m_trials;
       Measured (Compiled.latency device compiled)
   in
-  (* Whether each candidate gets its own trace span / tuning-log record is
-     decided once per tune call, so the untraced path stays a bare
-     compile+measure. *)
-  let observed = Trace.enabled () || Tuning_log.enabled () in
-  let outcomes =
-    if not observed then Parallel.map ~workers:w measure cands
-    else
-      Parallel.map ~workers:w
-        (fun (i, cand) ->
-          let csp = Trace.enter "trial" in
-          let outcome = measure cand in
-          if Trace.enabled () then begin
-            Trace.add csp "workload" key;
-            Trace.add csp "index" (string_of_int i);
-            Trace.add csp "config" (show cand);
-            (match outcome with
-            | Rejected -> Trace.add csp "outcome" "rejected"
-            | Measured lat when lat < infinity ->
-              Trace.add csp "outcome" "measured";
-              Trace.add csp "latency_us" (Printf.sprintf "%.3f" (lat *. 1e6))
-            | Measured _ -> Trace.add csp "outcome" "infeasible")
-          end;
-          Trace.exit csp;
-          if Tuning_log.enabled () then
-            Tuning_log.record
-              {
-                Tuning_log.engine;
-                workload = key;
-                index = i;
-                config = show cand;
-                outcome =
-                  (match outcome with
-                  | Rejected -> Tuning_log.Rejected
-                  | Measured lat when lat < infinity -> Tuning_log.Measured
-                  | Measured _ -> Tuning_log.Infeasible);
-                latency =
-                  (match outcome with Measured lat -> lat | Rejected -> infinity);
-              };
-          outcome)
-        (Array.mapi (fun i c -> (i, c)) cands)
-  in
-  (* Deterministic merge: scan in candidate order and replace only on a
-     strictly lower latency, so ties break toward the lowest index and the
-     parallel and sequential paths always select the same config. *)
   let trials = ref 0 and rejected = ref 0 in
   let best = ref None in
-  Array.iteri
-    (fun i -> function
-      | Rejected -> incr rejected
-      | Measured lat ->
-        incr trials;
-        if lat < infinity then
-          match !best with
-          | Some (b, _) when b <= lat -> ()
-          | _ -> best := Some (lat, i))
-    outcomes;
+  (match Search.start search ~candidates:cands with
+  | None ->
+    (* Exhaustive: measure every candidate. Whether each candidate gets its
+       own trace span / tuning-log record is decided once per tune call, so
+       the untraced path stays a bare compile+measure. *)
+    let observed = Trace.enabled () || Tuning_log.enabled () in
+    let outcomes =
+      if not observed then Parallel.map ~workers:w measure cands
+      else
+        Parallel.map ~workers:w
+          (fun (i, cand) ->
+            let outcome = measure cand in
+            if Trace.enabled () then trial_span ~key ~show ~index:i ~cand outcome;
+            log_trial ~engine ~key ~show ~index:i ~cand
+              ~proposer:Tuning_log.Exhaustive outcome;
+            outcome)
+          (Array.mapi (fun i c -> (i, c)) cands)
+    in
+    (* Deterministic merge: scan in candidate order and replace only on a
+       strictly lower latency, so ties break toward the lowest index and the
+       parallel and sequential paths always select the same config. *)
+    Array.iteri
+      (fun i -> function
+        | Rejected -> incr rejected
+        | Measured lat ->
+          incr trials;
+          if lat < infinity then
+            match !best with
+            | Some (b, _) when b <= lat -> ()
+            | _ -> best := Some (lat, i))
+      outcomes
+  | Some run ->
+    (* Guided: the search proposes generations of candidate indices; each
+       generation is measured (possibly across domains) and merged — and
+       observed, logged and traced — in batch order, so the whole trial
+       sequence is a function of the seed alone. *)
+    let finished = ref false in
+    while not !finished do
+      match Search.next_batch run with
+      | [] -> finished := true
+      | batch ->
+        let barr = Array.of_list batch in
+        let outcomes =
+          Parallel.map ~workers:w (fun (i, _) -> measure cands.(i)) barr
+        in
+        Array.iteri
+          (fun bi outcome ->
+            let i, proposer = barr.(bi) in
+            let cand = cands.(i) in
+            (match outcome with
+            | Rejected -> incr rejected
+            | Measured lat ->
+              incr trials;
+              if lat < infinity then
+                match !best with
+                | Some (b, _) when b <= lat -> ()
+                | _ -> best := Some (lat, i));
+            Search.observe run ~index:i
+              ~latency:
+                (match outcome with Measured l -> l | Rejected -> infinity);
+            if Trace.enabled () then trial_span ~key ~show ~index:i ~cand outcome;
+            log_trial ~engine ~key ~show ~index:i ~cand ~proposer outcome)
+          outcomes
+    done);
   let wall = Unix.gettimeofday () -. t0 in
   Trace.add sp "trials" (string_of_int !trials);
   Trace.add sp "rejected" (string_of_int !rejected);
@@ -141,8 +182,8 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
     !best
 
 let tune_matmul ~device ?(batch = 1) ?(a_batched = true) ?(b_batched = false)
-    ?parallel ~m ~n ~k () =
-  tune ~device ?parallel
+    ?parallel ?search ~m ~n ~k () =
+  tune ~device ?parallel ?search
     ~key:(Printf.sprintf "matmul_%d_%d_%d_%d" batch m n k)
     ~show:Matmul_template.config_to_string
     ~candidates:(Space.matmul_with_split_k ~m ~n)

@@ -1,12 +1,15 @@
-(** Exhaustive tuning over the hardware-centric schedule space.
+(** Tuning over the hardware-centric schedule space.
 
-    Because the space is tiny (paper: 180 schedules, "simply enumerating all
-    schedules ... can be done within one minute"), Hidet needs no cost model
-    or evolutionary search: every candidate is compiled and measured; the
-    best feasible one wins. Candidates are compiled and measured in parallel
-    across OCaml domains (the paper's parallel candidate compilation), with
-    a deterministic merge so the parallel and sequential paths always select
-    the identical config.
+    The default is the paper's exhaustive mode (180 schedules, "simply
+    enumerating all schedules ... can be done within one minute"): every
+    candidate is compiled and measured; the best feasible one wins. The
+    widened space (swizzle, split-k, deep pipelines) also supports
+    {!Search.Guided}, which measures a bounded fraction of the candidates
+    via seeded evolutionary search. In both modes candidates are compiled
+    and measured in parallel across OCaml domains (the paper's parallel
+    candidate compilation), with a deterministic merge so the parallel and
+    sequential paths always select the identical config — for guided runs,
+    the whole trial sequence is a function of the search seed alone.
 
     Tuning cost accounting: real measurement on the paper's platform costs
     roughly [seconds_per_trial] per candidate (compile + benchmark); we
@@ -35,27 +38,35 @@ val tune :
   ?engine:string ->
   ?key:string ->
   ?show:('a -> string) ->
+  ?search:'a Search.t ->
   device:Hidet_gpu.Device.t ->
   candidates:'a list ->
   compile:('a -> Compiled.t) ->
   unit ->
   ('a * Compiled.t * stats) option
-(** Generic exhaustive tuner; [None] if no candidate is feasible. Ties on
-    latency break toward the lowest candidate index. [~parallel:false]
-    forces the sequential path (same result, one domain); [?workers]
-    overrides {!Parallel.default_workers}. The winning candidate is
-    re-instantiated in the calling domain, so the returned [Compiled.t]
-    does not depend on domain scheduling.
+(** Generic tuner; [None] if no candidate is feasible. Ties on latency
+    break toward the lowest candidate index (exhaustive) or the earliest
+    proposal (guided). [?search] (default {!Search.Exhaustive}) selects
+    the strategy; a guided search measures at most its budget fraction of
+    [candidates] and reports only those measurements in [stats].
+    [~parallel:false] forces the sequential path (same result, one
+    domain); [?workers] overrides {!Parallel.default_workers}. The winning
+    candidate is re-instantiated in the calling domain, so the returned
+    [Compiled.t] does not depend on domain scheduling.
 
     Observability: every call maintains the ["tuner.trials"] and
     ["tuner.rejected"] counters (incremented inside the worker domains).
     When tracing ({!Hidet_obs.Trace.enabled}) or the tuning log
     ({!Hidet_obs.Tuning_log.enabled}) is on, the call is wrapped in a
-    ["tune"] span and each candidate gets a ["trial"] span / log record
-    carrying [?engine] (default ["hidet"]), the workload signature [?key],
-    the candidate index, the printable config from [?show], the outcome
-    (measured / infeasible / rejected) and the estimated latency. With both
-    disabled, the per-candidate path is a bare compile+measure. *)
+    ["tune"] span (attributed with the search mode) and each candidate
+    gets a ["trial"] span / log record carrying [?engine] (default
+    ["hidet"]), the workload signature [?key], the candidate index, the
+    printable config from [?show], the outcome (measured / infeasible /
+    rejected), the estimated latency, and the proposer (exhaustive / seed
+    / mutation / crossover). Guided runs emit spans and records in batch
+    order from the driver, so the logged trial sequence is deterministic
+    even across domains. With both disabled, the per-candidate path is a
+    bare compile+measure. *)
 
 val tune_matmul :
   device:Hidet_gpu.Device.t ->
@@ -63,6 +74,7 @@ val tune_matmul :
   ?a_batched:bool ->
   ?b_batched:bool ->
   ?parallel:bool ->
+  ?search:Matmul_template.config Search.t ->
   m:int ->
   n:int ->
   k:int ->

@@ -437,6 +437,39 @@ let test_coalescing_stride () =
     (Traffic.coalescing_stride (Expr.mul tid (Expr.int 128)));
   Alcotest.(check int) "broadcast" 0 (Traffic.coalescing_stride (Expr.int 7))
 
+let test_block_reuse () =
+  let mk body params = Kernel.create ~name:"br" ~params ~grid_dim:64 ~block_dim:32 body in
+  (* every block streams its own disjoint slice: no cross-block reuse *)
+  let a = Buffer.create "A" [ 64 * 32 ] and c = Buffer.create "C" [ 64 * 32 ] in
+  let idx = Expr.add (Expr.mul Expr.Block_idx (Expr.int 32)) Expr.Thread_idx in
+  let disjoint = mk (Stmt.store c [ idx ] (Expr.load a [ idx ])) [ a; c ] in
+  Alcotest.(check (float 1e-9)) "disjoint slices" 1.
+    (Traffic.block_reuse ~window:8 disjoint);
+  (* every block loads the same operand: full reuse across the window *)
+  let shared_in = Buffer.create "S" [ 32 ] in
+  let shared =
+    mk
+      (Stmt.store c [ idx ] (Expr.load shared_in [ Expr.Thread_idx ]))
+      [ shared_in; c ]
+  in
+  Alcotest.(check (float 1e-9)) "block-invariant operand" 8.
+    (Traffic.block_reuse ~window:8 shared);
+  (* half the sites block-invariant, half disjoint, equal weights: the
+     window's union traffic is (1/8 + 1) / 2 of naive *)
+  let mixed =
+    mk
+      (Stmt.store c [ idx ]
+         (Expr.add
+            (Expr.load shared_in [ Expr.Thread_idx ])
+            (Expr.load a [ idx ])))
+      [ shared_in; a; c ]
+  in
+  let r = Traffic.block_reuse ~window:8 mixed in
+  Alcotest.(check bool)
+    (Printf.sprintf "mixed reuse %.3f in (1, 8)" r)
+    true
+    (r > 1.5 && r < 2.)
+
 (* --- performance model qualitative behaviour ------------------------------ *)
 
 let simple_streaming_kernel ~grid ~block ~iters =
@@ -535,6 +568,7 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_traffic_counts;
           Alcotest.test_case "coalescing stride" `Quick test_coalescing_stride;
+          Alcotest.test_case "block reuse" `Quick test_block_reuse;
         ] );
       ( "perf_model",
         [

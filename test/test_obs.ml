@@ -750,6 +750,7 @@ let test_tuning_log_tsv () =
         config = "cfg";
         outcome = Tlog.Measured;
         latency = 1.5e-6;
+        proposer = Tlog.Exhaustive;
       };
       {
         Tlog.engine = "ansor";
@@ -758,6 +759,7 @@ let test_tuning_log_tsv () =
         config = "";
         outcome = Tlog.Rejected;
         latency = infinity;
+        proposer = Tlog.Mutation;
       };
     ]
   in
@@ -773,12 +775,70 @@ let test_tuning_log_tsv () =
       let lines = List.rev !lines in
       Alcotest.(check int) "header + 2 records" 3 (List.length lines);
       Alcotest.(check string) "header"
-        "engine\tworkload\tindex\tconfig\toutcome\tlatency_us" (List.hd lines);
+        "engine\tworkload\tindex\tconfig\toutcome\tlatency_us\tproposer"
+        (List.hd lines);
       let fields l = String.split_on_char '\t' l in
-      Alcotest.(check int) "sanitized record width" 6
+      Alcotest.(check int) "sanitized record width" 7
         (List.length (fields (List.nth lines 1)));
       Alcotest.(check string) "rejected latency sentinel" "-1.000"
-        (List.nth (fields (List.nth lines 2)) 5))
+        (List.nth (fields (List.nth lines 2)) 5);
+      Alcotest.(check string) "proposer is the last column" "mutation"
+        (List.nth (fields (List.nth lines 2)) 6);
+      (* round trip: load_tsv gives back what save_tsv wrote (modulo the
+         tab sanitation in the workload) *)
+      match Tlog.load_tsv path with
+      | Error e -> Alcotest.fail ("load_tsv failed: " ^ e)
+      | Ok back ->
+        Alcotest.(check int) "both records load" 2 (List.length back);
+        let t0 = List.nth back 0 and t1 = List.nth back 1 in
+        Alcotest.(check string) "workload sanitized" "w with tabs"
+          t0.Tlog.workload;
+        Alcotest.(check bool) "latency round trips" true
+          (abs_float (t0.Tlog.latency -. 1.5e-6) < 1e-12);
+        Alcotest.(check bool) "infinity round trips" true
+          (t1.Tlog.latency = infinity);
+        Alcotest.(check bool) "proposer round trips" true
+          (t0.Tlog.proposer = Tlog.Exhaustive
+          && t1.Tlog.proposer = Tlog.Mutation))
+
+let test_tuning_log_parse_compat () =
+  (* Rows written before the proposer column existed (six fields) must
+     still parse, defaulting the proposer to Exhaustive. *)
+  (match Tlog.parse_line "hidet\tmm_64\t3\tb64x64x8_w32x32\tmeasured\t12.500" with
+  | Some t ->
+    Alcotest.(check string) "engine" "hidet" t.Tlog.engine;
+    Alcotest.(check int) "index" 3 t.Tlog.index;
+    Alcotest.(check bool) "latency us -> s" true
+      (abs_float (t.Tlog.latency -. 12.5e-6) < 1e-12);
+    Alcotest.(check bool) "proposer defaults to exhaustive" true
+      (t.Tlog.proposer = Tlog.Exhaustive)
+  | None -> Alcotest.fail "six-column row rejected");
+  (* Current seven-field rows. *)
+  (match
+     Tlog.parse_line "hidet\tmm_64\t9\tb32x32x8_w16x16\tmeasured\t7.250\tcrossover"
+   with
+  | Some t ->
+    Alcotest.(check bool) "crossover parsed" true
+      (t.Tlog.proposer = Tlog.Crossover)
+  | None -> Alcotest.fail "seven-column row rejected");
+  (* -1 sentinel reads back as infinity on both widths. *)
+  (match Tlog.parse_line "h\tw\t0\t\trejected\t-1.000" with
+  | Some t -> Alcotest.(check bool) "sentinel -> infinity" true (t.Tlog.latency = infinity)
+  | None -> Alcotest.fail "sentinel row rejected");
+  (* Malformed rows and the header are rejected, not mangled. *)
+  List.iter
+    (fun l ->
+      match Tlog.parse_line l with
+      | None -> ()
+      | Some _ -> Alcotest.failf "malformed row accepted: %S" l)
+    [
+      "engine\tworkload\tindex\tconfig\toutcome\tlatency_us\tproposer";
+      "h\tw\tnotanint\tcfg\tmeasured\t1.0";
+      "h\tw\t0\tcfg\tnot_an_outcome\t1.0";
+      "h\tw\t0\tcfg\tmeasured\t1.0\tnot_a_proposer";
+      "too\tfew";
+      "";
+    ]
 
 let () =
   Alcotest.run "hidet_obs"
@@ -854,5 +914,9 @@ let () =
             test_global_sink_scoped;
         ] );
       ( "tuning log",
-        [ Alcotest.test_case "tsv export" `Quick test_tuning_log_tsv ] );
+        [
+          Alcotest.test_case "tsv export" `Quick test_tuning_log_tsv;
+          Alcotest.test_case "parse compat (6 and 7 columns)" `Quick
+            test_tuning_log_parse_compat;
+        ] );
     ]

@@ -133,7 +133,7 @@ let tune_cached ~key candidates =
 let test_cache_miss_then_hit () =
   SC.clear ();
   let candidates =
-    List.filteri (fun i _ -> i mod 40 = 0) Space.matmul
+    List.filteri (fun i _ -> i mod 40 = 0) (Space.matmul ())
   in
   (match tune_cached ~key:"m64n64k64" candidates with
   | Some (_, _, SC.Fresh st) ->
@@ -164,9 +164,37 @@ let test_cache_miss_then_hit () =
     Alcotest.(check int) "two entries" 2 (SC.size ())
   | _ -> Alcotest.fail "distinct key must tune fresh"
 
+let test_cache_search_modes_do_not_alias () =
+  (* A guided winner must never answer for the exhaustive oracle (or vice
+     versa): the search mode is folded into the cache key. *)
+  let module Se = Hidet_sched.Search in
+  SC.clear ();
+  let candidates = List.filteri (fun i _ -> i mod 10 = 0) (Space.matmul ()) in
+  let tune ~search =
+    SC.tune ~device:dev ~key:"modes" ~search ~candidates
+      ~compile:(fun cfg -> MT.compile ~m:64 ~n:64 ~k:64 cfg)
+      ()
+  in
+  (match tune ~search:Se.Exhaustive with
+  | Some (_, _, SC.Fresh _) -> ()
+  | _ -> Alcotest.fail "exhaustive first call must be fresh");
+  (match tune ~search:(Se.guided_matmul ()) with
+  | Some (_, _, SC.Fresh _) ->
+    Alcotest.(check int) "guided gets its own entry" 2 (SC.size ())
+  | Some (_, _, SC.Hit _) ->
+    Alcotest.fail "guided call served the exhaustive entry"
+  | None -> Alcotest.fail "guided call found nothing");
+  (* Both modes now hit their own entries. *)
+  (match tune ~search:Se.Exhaustive with
+  | Some (_, _, SC.Hit _) -> ()
+  | _ -> Alcotest.fail "exhaustive re-tune should hit");
+  match tune ~search:(Se.guided_matmul ()) with
+  | Some (_, _, SC.Hit _) -> ()
+  | _ -> Alcotest.fail "guided re-tune should hit"
+
 let test_cache_stale_space_retunes () =
   SC.clear ();
-  let candidates = List.filteri (fun i _ -> i mod 50 = 0) Space.matmul in
+  let candidates = List.filteri (fun i _ -> i mod 50 = 0) (Space.matmul ()) in
   (* Entry recorded against a differently-sized space: index is meaningless,
      the service must retune and overwrite. *)
   SC.add ~device:dev.Hidet_gpu.Device.name ~key:"stale"
@@ -346,7 +374,7 @@ let test_concurrent_saves_leave_loadable_file () =
 
 let test_cache_counters_agree_on_stale () =
   SC.clear ();
-  let candidates = List.filteri (fun i _ -> i mod 50 = 0) Space.matmul in
+  let candidates = List.filteri (fun i _ -> i mod 50 = 0) (Space.matmul ()) in
   SC.add ~device:dev.Hidet_gpu.Device.name ~key:"stale_counts"
     {
       SC.best_index = 0;
@@ -422,6 +450,8 @@ let () =
       ( "schedule cache",
         [
           Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "search modes do not alias" `Quick
+            test_cache_search_modes_do_not_alias;
           Alcotest.test_case "stale space retunes" `Quick
             test_cache_stale_space_retunes;
           Alcotest.test_case "uninstantiable winner retunes" `Quick
