@@ -1,6 +1,6 @@
 # Convenience targets; CI and the tier-1 gate run `make check`.
 
-.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke shard-smoke tune-smoke clean
+.PHONY: all test check trace-smoke fuzz-smoke bench-interp-smoke native-smoke serve-smoke obs-serve-smoke shard-smoke tune-smoke fidelity-smoke clean
 
 all:
 	dune build @all
@@ -147,6 +147,21 @@ tune-smoke:
 	./_build/default/bench/main.exe --only tune --quick \
 	  --out _build/BENCH_tune.smoke.json
 
+# Cycle-fidelity smoke test: the fidelity bench in quick mode (a strided
+# sample of the schedule space on one shape). Its gates require the
+# analytic and cycle-approximate rankings to agree ordinally (Spearman
+# >= 0.35), the cycle-ranked winner to be at least as good as the
+# analytic-ranked winner under the cycle model, and at least one shape
+# where the cycle model changes the winner for a reason the analytic
+# model cannot see (coalescing, bank conflicts or caches). Writes its
+# report under _build/ so it never clobbers the committed full-mode
+# BENCH_fidelity.json (refresh that one with
+# `./_build/default/bench/main.exe --only fidelity`).
+fidelity-smoke:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only fidelity --quick \
+	  --out _build/BENCH_fidelity.smoke.json
+
 # The full gate: everything (libraries, tests, benches, examples) must
 # compile, the test suite must pass, the trace pipeline must produce
 # valid output, the differential fuzzer must run clean, the compiled
@@ -158,13 +173,15 @@ tune-smoke:
 # validate end to end, sharded multi-device execution must match the
 # single-device baseline under each strategy's equivalence contract, and
 # the guided tuner must match exhaustive quality within its measurement
-# budget.
+# budget, and the cycle-approximate fidelity model must rank-correlate
+# with the analytic model while beating it where coalescing, bank
+# conflicts or caches matter.
 check:
 	dune build @all && dune runtest && $(MAKE) trace-smoke && \
 	  $(MAKE) fuzz-smoke && $(MAKE) bench-interp-smoke && \
 	  $(MAKE) native-smoke && $(MAKE) serve-smoke && \
 	  $(MAKE) obs-serve-smoke && $(MAKE) shard-smoke && \
-	  $(MAKE) tune-smoke
+	  $(MAKE) tune-smoke && $(MAKE) fidelity-smoke
 
 clean:
 	dune clean

@@ -1138,6 +1138,214 @@ let bench_tune () =
   if !fail then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cycle-approximate fidelity vs the analytic ranking                  *)
+(* ------------------------------------------------------------------ *)
+
+let fidelity_out = ref "BENCH_fidelity.json"
+
+(* Spearman rank correlation with average ranks for ties (Pearson on the
+   rank vectors). 1.0 for degenerate inputs (n < 2 or a constant vector —
+   a constant ranking cannot contradict the other one). *)
+let spearman xs ys =
+  let n = Array.length xs in
+  if n < 2 then 1.
+  else begin
+    let ranks v =
+      let idx = Array.init n (fun i -> i) in
+      Array.sort (fun a b -> compare v.(a) v.(b)) idx;
+      let r = Array.make n 0. in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref !i in
+        while !j < n - 1 && v.(idx.(!j + 1)) = v.(idx.(!i)) do
+          incr j
+        done;
+        let avg = (float_of_int (!i + !j) /. 2.) +. 1. in
+        for t = !i to !j do
+          r.(idx.(t)) <- avg
+        done;
+        i := !j + 1
+      done;
+      r
+    in
+    let rx = ranks xs and ry = ranks ys in
+    let mean a = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let mx = mean rx and my = mean ry in
+    let num = ref 0. and dx = ref 0. and dy = ref 0. in
+    for i = 0 to n - 1 do
+      let a = rx.(i) -. mx and b = ry.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx = 0. || !dy = 0. then 1. else !num /. sqrt (!dx *. !dy)
+  end
+
+let bench_fidelity () =
+  section
+    "bench: fidelity — cycle-approximate model (coalescing, bank conflicts, \
+     caches, warp scheduler) vs the analytic ranking";
+  let module Space = Hidet_sched.Space in
+  let module Fid = Hidet_cycle.Fidelity in
+  let module PM = Hidet_gpu.Perf_model in
+  let quick = !interp_quick in
+  let shapes =
+    if quick then [ (256, 256, 256) ]
+    else
+      [ (1024, 1024, 1024); (2048, 2048, 64); (512, 512, 4096); (4096, 256, 1024) ]
+  in
+  (* The worst kernel dominates the extras attribution: for split-k plans
+     report the cycle columns of the slowest (cycle-modeled) kernel. *)
+  let extras_of (c : C.t) =
+    let pick (best : (float * Fid.extras) option) k =
+      let e, x = Fid.kernel dev k in
+      let l = if e.PM.feasible then e.PM.latency else infinity in
+      match best with Some (l0, _) when l0 >= l -> best | _ -> Some (l, x)
+    in
+    match List.fold_left pick None c.C.kernels with
+    | Some (_, x) -> x
+    | None -> failwith "bench fidelity: compiled op with no kernels"
+  in
+  let eval (m, n, k) =
+    let all = Space.matmul_with_split_k ~m ~n in
+    (* Quick mode strides the space down to <= 48 candidates — still both
+       rankings over the same configs, just fewer of them. *)
+    let candidates =
+      if not quick then all
+      else begin
+        let arr = Array.of_list all in
+        let stride = max 1 (Array.length arr / 48) in
+        List.filteri (fun i _ -> i mod stride = 0) (Array.to_list arr)
+      end
+    in
+    let measured =
+      List.filter_map
+        (fun cfg ->
+          match MT.compile ~m ~n ~k cfg with
+          | exception Invalid_argument _ -> None
+          | compiled ->
+            let la = C.latency ~fidelity:`Analytic dev compiled in
+            let lc = C.latency ~fidelity:`Cycle dev compiled in
+            if la < infinity && lc < infinity then
+              Some (cfg, compiled, la, lc)
+            else None)
+        candidates
+    in
+    if measured = [] then failwith "bench fidelity: no feasible schedule";
+    let la = Array.of_list (List.map (fun (_, _, l, _) -> l) measured) in
+    let lc = Array.of_list (List.map (fun (_, _, _, l) -> l) measured) in
+    let rho = spearman la lc in
+    let argmin v =
+      let best = ref 0 in
+      Array.iteri (fun i x -> if x < v.(!best) then best := i) v;
+      !best
+    in
+    let nth i = List.nth measured i in
+    let acfg, acomp, ala, alc = nth (argmin la) in
+    let ccfg, ccomp, cla, clc = nth (argmin lc) in
+    let ax = extras_of acomp and cx = extras_of ccomp in
+    (* When the winners differ, name the cycle-model terms (absent from the
+       analytic model) on which the cycle winner beats the analytic one. *)
+    let attribution =
+      if acfg = ccfg then ""
+      else
+        String.concat "+"
+          (List.filter_map
+             (fun (cond, name) -> if cond then Some name else None)
+             [
+               (cx.Fid.txn_per_access < ax.Fid.txn_per_access -. 1e-9,
+                "coalescing");
+               (cx.Fid.conflict_factor < ax.Fid.conflict_factor -. 1e-9,
+                "bank-conflicts");
+               (cx.Fid.l1_hit +. cx.Fid.l2_hit
+                > ax.Fid.l1_hit +. ax.Fid.l2_hit +. 1e-9,
+                "cache");
+             ])
+    in
+    ( m, n, k,
+      List.length candidates,
+      List.length measured,
+      rho, acfg, ala, alc, ccfg, cla, clc, ax, cx, attribution )
+  in
+  Printf.printf "%-14s %6s %6s %9s %12s %12s %8s %s\n" "shape" "cands" "feas"
+    "spearman" "an.best(us)" "cy.best(us)" "changed" "attribution";
+  let rows =
+    List.map
+      (fun shape ->
+        let (m, n, k, ncand, nfeas, rho, acfg, ala, _alc, ccfg, _cla, clc, _, _,
+             attribution) as row =
+          eval shape
+        in
+        Printf.printf "%-14s %6d %6d %9.3f %12.2f %12.2f %8s %s\n%!"
+          (Printf.sprintf "%dx%dx%d" m n k)
+          ncand nfeas rho (us ala) (us clc)
+          (if acfg = ccfg then "no" else "yes")
+          attribution;
+        row)
+      shapes
+  in
+  let oc = open_out !fidelity_out in
+  Printf.fprintf oc "{\n  \"experiment\": \"fidelity\",\n  \"quick\": %b,\n"
+    quick;
+  Printf.fprintf oc "  \"shapes\": [\n";
+  List.iteri
+    (fun i
+         (m, n, k, ncand, nfeas, rho, acfg, ala, alc, ccfg, cla, clc, ax, cx,
+          attribution) ->
+      Printf.fprintf oc
+        "    {\"shape\": \"%dx%dx%d\", \"candidates\": %d, \"feasible\": %d,\n\
+        \     \"spearman\": %.4f,\n\
+        \     \"analytic_winner\": {\"config\": \"%s\", \
+         \"analytic_latency_us\": %.3f, \"cycle_latency_us\": %.3f,\n\
+        \       \"txn_per_access\": %.3f, \"conflict_factor\": %.3f, \
+         \"l1_hit\": %.3f, \"l2_hit\": %.3f},\n\
+        \     \"cycle_winner\": {\"config\": \"%s\", \
+         \"analytic_latency_us\": %.3f, \"cycle_latency_us\": %.3f,\n\
+        \       \"txn_per_access\": %.3f, \"conflict_factor\": %.3f, \
+         \"l1_hit\": %.3f, \"l2_hit\": %.3f},\n\
+        \     \"winner_changed\": %b, \"attribution\": \"%s\"}%s\n"
+        m n k ncand nfeas rho (MT.config_to_string acfg) (us ala) (us alc)
+        ax.Fid.txn_per_access ax.Fid.conflict_factor ax.Fid.l1_hit
+        ax.Fid.l2_hit (MT.config_to_string ccfg) (us cla) (us clc)
+        cx.Fid.txn_per_access cx.Fid.conflict_factor cx.Fid.l1_hit
+        cx.Fid.l2_hit (acfg = ccfg |> not) attribution
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" !fidelity_out;
+  (* Gates (make fidelity-smoke and CI rely on these). *)
+  let fail = ref false in
+  let check cond msg =
+    if not cond then begin
+      Printf.eprintf "FAIL: %s\n" msg;
+      fail := true
+    end
+  in
+  List.iter
+    (fun (m, n, k, _, _, rho, _, _, alc, _, _, clc, _, _, _) ->
+      check (rho >= 0.35)
+        (Printf.sprintf
+           "analytic and cycle rankings must agree ordinally on %dx%dx%d \
+            (spearman %.3f < 0.35)"
+           m n k rho);
+      check
+        (clc <= alc +. 1e-12)
+        (Printf.sprintf
+           "the cycle-ranked winner must be at least as good as the \
+            analytic-ranked winner under the cycle model on %dx%dx%d"
+           m n k))
+    rows;
+  check
+    (List.exists
+       (fun (_, _, _, _, _, _, acfg, _, _, ccfg, _, _, _, _, attribution) ->
+         acfg <> ccfg && attribution <> "")
+       rows)
+    "at least one shape must change winners for a reason the analytic model \
+     cannot see (coalescing, bank conflicts or caches)";
+  if !fail then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1203,6 +1411,7 @@ let experiments =
     ("ablation_device_sweep", ablation_device_sweep);
     ("tuning_service", tuning_service);
     ("tune", bench_tune);
+    ("fidelity", bench_fidelity);
     ("interp", bench_interp);
     ("serve", bench_serve);
     ("shard", bench_shard);
@@ -1239,7 +1448,8 @@ let () =
          interp_out := path;
          serve_out := path;
          shard_out := path;
-         tune_out := path
+         tune_out := path;
+         fidelity_out := path
        | _ :: rest -> find rest
        | [] -> ()
      in

@@ -213,6 +213,25 @@ let backend_arg =
 
 let set_backend backend = Hidet_sched.Compiled.set_default_backend backend
 
+(* Sets the process-global default fidelity, so tuning, profiling and the
+   latency breakdown all use the chosen model. Cycle-mode tuning results
+   are cached under distinct schedule-cache keys (#cycle suffix). *)
+let fidelity_arg =
+  let doc =
+    "Latency-model fidelity: $(b,analytic) (the paper's occupancy + \
+     max(mem, compute) model, the default) or $(b,cycle) \
+     (cycle-approximate: per-warp coalesced transactions, shared-memory \
+     bank conflicts, a set-associative L1/L2 cache model and a \
+     latency-hiding warp scheduler). Cycle mode adds coalescing/conflict/\
+     cache columns to the profiler table."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("analytic", `Analytic); ("cycle", `Cycle) ]) `Analytic
+    & info [ "fidelity" ] ~docv:"MODE" ~doc)
+
+let set_fidelity fidelity = Hidet_gpu.Perf_model.set_default_fidelity fidelity
+
 (* Sets the process-global default search mode (the engine interface is
    generic, so the flag reaches the matmul tuner through
    Search.for_matmul). *)
@@ -373,10 +392,11 @@ let compile_cmd =
              $(b,tensor-reduce)); exits non-zero on mismatch.")
   in
   let run model batch engine dump_cuda breakdown file cache trace profile
-      summary tuning_log backend search search_warm devices parallel
+      summary tuning_log backend search search_warm fidelity devices parallel
       microbatches do_verify =
     set_backend backend;
     set_search search search_warm;
+    set_fidelity fidelity;
     let g = graph_of model file batch in
     if devices > 1 then begin
       (* Sharded compile always goes through the Hidet engine (fragments
@@ -437,8 +457,8 @@ let compile_cmd =
       const run $ model_opt_arg $ batch_arg $ engine_arg $ dump_cuda_arg
       $ breakdown_arg $ file_arg $ cache_arg $ trace_arg $ profile_arg
       $ summary_arg $ tuning_log_arg $ backend_arg $ search_arg
-      $ search_warm_arg $ devices_arg $ parallel_arg $ microbatches_arg
-      $ verify_shard_arg)
+      $ search_warm_arg $ fidelity_arg $ devices_arg $ parallel_arg
+      $ microbatches_arg $ verify_shard_arg)
 
 let bench_cmd =
   let run model batch cache trace summary tuning_log =
@@ -478,8 +498,9 @@ let profile_cmd =
              threads, IR statements executed and statements/sec (from the \
              sim.* observability counters).")
   in
-  let run model batch engine file cache measure backend =
+  let run model batch engine file cache measure backend fidelity =
     set_backend backend;
+    set_fidelity fidelity;
     let g = graph_of model file batch in
     let (module Eng : E.S) = List.assoc engine engines in
     let r = ref None in
@@ -505,13 +526,15 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Compile one model and print the per-kernel profiler table \
-          (analytic, nsight-style: per-kernel latency, memory/compute \
-          split, occupancy, waves, tail waste, resources, bottleneck). \
-          With --measure, also run the plan on the simulator and report \
-          measured throughput per step.")
+          (nsight-style: per-kernel latency, memory/compute split, \
+          occupancy, waves, tail waste, resources, bottleneck; with \
+          $(b,--fidelity cycle) also coalesced transactions per access, \
+          bank-conflict factor and L1/L2 hit rates). With --measure, also \
+          run the plan on the simulator and report measured throughput per \
+          step.")
     Term.(
       const run $ model_opt_arg $ batch_arg $ engine_arg $ file_arg
-      $ cache_arg $ measure_arg $ backend_arg)
+      $ cache_arg $ measure_arg $ backend_arg $ fidelity_arg)
 
 let trace_check_cmd =
   let file_pos =

@@ -1,0 +1,52 @@
+(* Set-associative LRU cache simulation over a line-id stream.
+
+   The stream is the sampled warp's global transactions in program order
+   (Access.summary.stream). Geometry is the per-warp or per-block slice of
+   the physical cache — contention from co-resident warps/blocks is modeled
+   by shrinking capacity rather than interleaving streams, which keeps the
+   simulation deterministic and O(stream). *)
+
+type geom = { size : int; line : int; ways : int }
+
+type stats = { accesses : int; hits : int }
+
+let hit_rate s =
+  if s.accesses = 0 then 0. else float_of_int s.hits /. float_of_int s.accesses
+
+(* Returns the stats and the miss stream (in order), so L2 can replay L1's
+   misses. *)
+let simulate_through (g : geom) (stream : int array) : stats * int array =
+  let ways = max 1 g.ways in
+  let line = max 1 g.line in
+  let sets = max 1 (g.size / (line * ways)) in
+  let cache = Array.make_matrix sets ways (-1) in
+  let hits = ref 0 in
+  let misses = ref [] in
+  Array.iter
+    (fun l ->
+      let s = ((l mod sets) + sets) mod sets in
+      let set = cache.(s) in
+      let rec find i =
+        if i >= ways then -1 else if set.(i) = l then i else find (i + 1)
+      in
+      let idx = find 0 in
+      if idx >= 0 then begin
+        incr hits;
+        (* move to MRU position *)
+        for j = idx downto 1 do
+          set.(j) <- set.(j - 1)
+        done;
+        set.(0) <- l
+      end
+      else begin
+        misses := l :: !misses;
+        for j = ways - 1 downto 1 do
+          set.(j) <- set.(j - 1)
+        done;
+        set.(0) <- l
+      end)
+    stream;
+  ( { accesses = Array.length stream; hits = !hits },
+    Array.of_list (List.rev !misses) )
+
+let simulate g stream = fst (simulate_through g stream)

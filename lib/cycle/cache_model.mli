@@ -1,0 +1,16 @@
+(** Set-associative LRU cache simulation over a cache-line-id stream. *)
+
+type geom = {
+  size : int;  (** capacity in bytes (a per-warp or per-block slice) *)
+  line : int;  (** line size in bytes *)
+  ways : int;  (** associativity *)
+}
+
+type stats = { accesses : int; hits : int }
+
+val hit_rate : stats -> float
+
+val simulate : geom -> int array -> stats
+
+val simulate_through : geom -> int array -> stats * int array
+(** Also returns the miss stream in order, for feeding a next-level cache. *)

@@ -1,0 +1,127 @@
+(* Latency-hiding warp-scheduler model.
+
+   Instead of the analytic max(mem, compute) per wave, the resident warps
+   of one SM are simulated round-by-round: each warp alternates a memory
+   phase (issue the round's global transactions, wait for the last to
+   arrive) and a compute phase (CUDA/tensor cycles plus shared-memory
+   cycles, inflated by bank conflicts). Latency is hidden exactly as on
+   hardware — by switching to another resident warp — and software
+   pipelining with [stages] buffers lets one warp keep [stages - 1] rounds'
+   prefetches in flight while computing.
+
+   Contention is modeled with two shared resources: a memory pipeline whose
+   busy time per round reflects LSU issue plus the DRAM/L2 service of the
+   round's cache misses (bandwidth), and [compute_slots] SM sub-partitions
+   (warp schedulers) that serialize compute phases when more warps are
+   resident than issue ports. Warps are processed round-robin, so the
+   schedule — and therefore the whole fidelity mode — is deterministic. *)
+
+type work = {
+  iters : int;  (** main-loop rounds *)
+  mem_txn_per_iter : float;  (** global transactions per warp per round *)
+  dram_frac : float;  (** fraction of transactions missing both caches *)
+  l2_frac : float;  (** fraction served by L2 *)
+  tail_mem_txn : float;  (** prologue/epilogue transactions (loads+stores) *)
+  smem_cycles_per_iter : float;  (** conflict-inflated shared cycles *)
+  compute_cycles_per_iter : float;
+  tail_compute_cycles : float;
+  sync_cycles_per_iter : float;
+  stages : int;  (** validated pipeline depth (1 = no overlap) *)
+  warps : int;  (** resident warps on the SM (all blocks) *)
+  mem_issue_cycles : float;  (** LSU occupancy per transaction *)
+  dram_service_cycles : float;  (** bandwidth: cycles per DRAM transaction *)
+  l2_service_cycles : float;  (** cycles per L2-served transaction *)
+  l1_latency : float;
+  l2_latency : float;
+  dram_latency : float;
+}
+
+type result = {
+  cycles : float;  (** completion time of the resident warp set *)
+  mem_busy : float;  (** total memory-pipeline busy cycles *)
+  compute_busy : float;  (** total compute cycles across warps *)
+}
+
+let compute_slots = 4
+
+let simulate (w : work) : result =
+  let warps = max 1 w.warps in
+  let iters = max 1 w.iters in
+  let stages = max 1 w.stages in
+  let l1_frac = Float.max 0. (1. -. w.dram_frac -. w.l2_frac) in
+  let latency =
+    (l1_frac *. w.l1_latency)
+    +. (w.l2_frac *. w.l2_latency)
+    +. (w.dram_frac *. w.dram_latency)
+  in
+  let busy_per_txn =
+    w.mem_issue_cycles
+    +. (w.dram_frac *. w.dram_service_cycles)
+    +. (w.l2_frac *. w.l2_service_cycles)
+  in
+  let round_busy = w.mem_txn_per_iter *. busy_per_txn in
+  let round_compute =
+    w.compute_cycles_per_iter +. w.smem_cycles_per_iter
+    +. w.sync_cycles_per_iter
+  in
+  let mem_free = ref 0. in
+  let slot_free = Array.make compute_slots 0. in
+  let mem_busy = ref 0. in
+  let compute_busy = ref 0. in
+  (* Per warp: completion time of each round's compute, a sliding window of
+     [stages] entries; and the arrival time of each round's data. *)
+  let compute_end = Array.make_matrix warps (iters + 1) 0. in
+  let data_ready = Array.make_matrix warps iters 0. in
+  let take_slot t dur =
+    (* earliest-free compute sub-partition *)
+    let best = ref 0 in
+    for s = 1 to compute_slots - 1 do
+      if slot_free.(s) < slot_free.(!best) then best := s
+    done;
+    let start = Float.max t slot_free.(!best) in
+    slot_free.(!best) <- start +. dur;
+    start +. dur
+  in
+  for i = 0 to iters - 1 do
+    (* Issue phase: round-robin across warps, bandwidth-serialized. The
+       prefetch for round [i] may only issue once the buffer it overwrites
+       (round [i - stages]) has been consumed. *)
+    for wp = 0 to warps - 1 do
+      let gate = if i >= stages then compute_end.(wp).(i - stages) else 0. in
+      let issue = Float.max !mem_free gate in
+      mem_free := issue +. round_busy;
+      mem_busy := !mem_busy +. round_busy;
+      data_ready.(wp).(i) <- !mem_free +. latency
+    done;
+    (* Compute phase for round [i]: after this round's data and the
+       previous round's compute, on a free sub-partition. *)
+    for wp = 0 to warps - 1 do
+      let prev = if i = 0 then 0. else compute_end.(wp).(i - 1) in
+      let start_after = Float.max data_ready.(wp).(i) prev in
+      compute_end.(wp).(i) <- take_slot start_after round_compute;
+      compute_busy := !compute_busy +. round_compute
+    done
+  done;
+  (* Tail: epilogue loads/stores and any remaining compute, once per warp. *)
+  let tail_busy = w.tail_mem_txn *. busy_per_txn in
+  let finish = ref 0. in
+  for wp = 0 to warps - 1 do
+    let last = compute_end.(wp).(iters - 1) in
+    let done_c =
+      if w.tail_compute_cycles > 0. then
+        take_slot last w.tail_compute_cycles
+      else last
+    in
+    compute_busy := !compute_busy +. w.tail_compute_cycles;
+    let t =
+      if tail_busy > 0. then begin
+        let issue = Float.max !mem_free done_c in
+        mem_free := issue +. tail_busy;
+        mem_busy := !mem_busy +. tail_busy;
+        !mem_free +. latency
+      end
+      else done_c
+    in
+    if t > !finish then finish := t
+  done;
+  { cycles = !finish; mem_busy = !mem_busy; compute_busy = !compute_busy }

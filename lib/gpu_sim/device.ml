@@ -16,6 +16,16 @@ type t = {
   sync_latency : float;
   saturation_threads_per_sm : int;
   l2_reuse_window : int;
+  sm_clock_hz : float;
+  cache_line_bytes : int;
+  l1_size : int;
+  l1_ways : int;
+  l2_size : int;
+  l2_ways : int;
+  l1_latency_cycles : int;
+  l2_latency_cycles : int;
+  dram_latency_cycles : int;
+  smem_latency_cycles : int;
 }
 
 let rtx3090 =
@@ -40,6 +50,19 @@ let rtx3090 =
     (* 6 MB L2: roughly 8 concurrently resident blocks' operand panels
        coexist before eviction. *)
     l2_reuse_window = 8;
+    (* Cycle-fidelity parameters (GA102): unified 128 KB L1/shared per SM,
+       6 MB L2, 128-byte lines. Latencies are the usual microbenchmark
+       ballpark figures for Ampere. *)
+    sm_clock_hz = 1.70e9;
+    cache_line_bytes = 128;
+    l1_size = 128 * 1024;
+    l1_ways = 4;
+    l2_size = 6 * 1024 * 1024;
+    l2_ways = 16;
+    l1_latency_cycles = 30;
+    l2_latency_cycles = 200;
+    dram_latency_cycles = 400;
+    smem_latency_cycles = 25;
   }
 
 let a100 =
@@ -62,6 +85,16 @@ let a100 =
     saturation_threads_per_sm = 512;
     (* 40 MB L2 keeps a wider neighborhood of blocks' panels resident. *)
     l2_reuse_window = 16;
+    sm_clock_hz = 1.41e9;
+    cache_line_bytes = 128;
+    l1_size = 192 * 1024;
+    l1_ways = 4;
+    l2_size = 40 * 1024 * 1024;
+    l2_ways = 16;
+    l1_latency_cycles = 30;
+    l2_latency_cycles = 200;
+    dram_latency_cycles = 400;
+    smem_latency_cycles = 25;
   }
 
 let fp32_flops d = d.fp32_tflops *. 1e12

@@ -27,6 +27,16 @@ type t = {
           scales with L2 capacity. {!Traffic.block_reuse} measures operand
           overlap across this window, which is what thread-block swizzling
           improves (§3.1's block-index remap). *)
+  sm_clock_hz : float;  (** SM clock, converts modeled cycles to seconds *)
+  cache_line_bytes : int;  (** L1/L2 line size; coalescing granularity *)
+  l1_size : int;  (** unified L1/texture cache per SM, bytes *)
+  l1_ways : int;  (** L1 set associativity *)
+  l2_size : int;  (** device-wide L2, bytes *)
+  l2_ways : int;  (** L2 set associativity *)
+  l1_latency_cycles : int;  (** load-to-use latency on an L1 hit *)
+  l2_latency_cycles : int;  (** load-to-use latency on an L2 hit *)
+  dram_latency_cycles : int;  (** load-to-use latency on an L2 miss *)
+  smem_latency_cycles : int;  (** shared-memory load-to-use latency *)
 }
 
 val rtx3090 : t

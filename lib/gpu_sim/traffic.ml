@@ -199,6 +199,7 @@ let block_reuse ~window (k : Kernel.t) =
     (* site id -> loop-scaled bytes per thread (identical on every pass) *)
     let weights : (int, float) Hashtbl.t = Hashtbl.create 8 in
     let unknown = ref 0 in
+    let best = ref 1. in
     for b = 0 to w - 1 do
       let env = Hashtbl.create 16 in
       let bindings v = Hashtbl.find_opt env v.Var.id in
@@ -275,16 +276,23 @@ let block_reuse ~window (k : Kernel.t) =
           expr scale value
         | Mma _ | Sync_threads | Comment _ -> ()
       in
-      stmt 1. k.Kernel.body
+      stmt 1. k.Kernel.body;
+      (* A cache covering [w] blocks can always restrict itself to a
+         smaller window, so the achievable reuse is the best ratio over any
+         prefix window [b + 1 <= w] — which also makes the factor monotone
+         non-decreasing in [window] (the raw ratio can dip when one more
+         block opens a fresh operand panel, e.g. a new tile row). *)
+      let w' = float_of_int (b + 1) in
+      let naive = Hashtbl.fold (fun _ wt acc -> acc +. wt) weights 0. in
+      let union =
+        Hashtbl.fold
+          (fun id tbl acc ->
+            let wt = Option.value (Hashtbl.find_opt weights id) ~default:0. in
+            acc +. (wt *. float_of_int (Hashtbl.length tbl) /. w'))
+          distinct 0.
+      in
+      if naive > 0. && union > 0. then
+        best := Float.max !best (Float.min w' (naive /. union))
     done;
-    let naive = Hashtbl.fold (fun _ w acc -> acc +. w) weights 0. in
-    let union =
-      Hashtbl.fold
-        (fun id tbl acc ->
-          let wt = Option.value (Hashtbl.find_opt weights id) ~default:0. in
-          acc +. (wt *. float_of_int (Hashtbl.length tbl) /. float_of_int w))
-        distinct 0.
-    in
-    if naive <= 0. || union <= 0. then 1.
-    else Float.max 1. (Float.min (float_of_int w) (naive /. union))
+    !best
   end

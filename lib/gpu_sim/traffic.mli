@@ -35,7 +35,9 @@ val effective_factor : int -> float
 val block_reuse : window:int -> Hidet_ir.Kernel.t -> float
 (** L2-locality factor in [1, window]: how many times each unit of DRAM
     traffic is shared across a window of [window] consecutively launched
-    blocks. Every global load site is probed per block id (thread 0, loop
+    blocks. Monotone non-decreasing in [window]: the factor is the best
+    ratio over any prefix window (a cache covering [window] blocks can
+    always restrict itself to fewer). Every global load site is probed per block id (thread 0, loop
     indices 0); the flattened index identifies the operand panel the block
     streams, and a panel touched by several blocks of the window is only
     fetched from DRAM once. Sites whose index cannot be evaluated count as

@@ -4,6 +4,15 @@ module Perf_model = Hidet_gpu.Perf_model
 module Traffic = Hidet_gpu.Traffic
 module Kernel = Hidet_ir.Kernel
 
+(* Cycle-model columns, populated only under [`Cycle] fidelity so the
+   analytic profiler output stays byte-identical. *)
+type cycle_cols = {
+  txn_per_access : float;
+  conflict_factor : float;
+  l1_hit : float;
+  l2_hit : float;
+}
+
 type row = {
   step : int;
   op : string;
@@ -23,10 +32,27 @@ type row = {
   global_bytes : float;
   flops : float;
   note : string;
+  cycle : cycle_cols option;
 }
 
-let kernel_row device ~step ~op (k : Kernel.t) =
-  let e = Perf_model.kernel device k in
+let kernel_row ?fidelity device ~step ~op (k : Kernel.t) =
+  let fidelity =
+    match fidelity with Some f -> f | None -> Perf_model.default_fidelity ()
+  in
+  let e, cycle =
+    match fidelity with
+    | `Analytic -> (Perf_model.kernel device k, None)
+    | `Cycle ->
+      let e, x = Hidet_cycle.Fidelity.kernel device k in
+      ( e,
+        Some
+          {
+            txn_per_access = x.Hidet_cycle.Fidelity.txn_per_access;
+            conflict_factor = x.Hidet_cycle.Fidelity.conflict_factor;
+            l1_hit = x.Hidet_cycle.Fidelity.l1_hit;
+            l2_hit = x.Hidet_cycle.Fidelity.l2_hit;
+          } )
+  in
   let c = Traffic.kernel k in
   (* Wave quantization: the final wave launches [concurrent] block slots but
      only fills what is left of the grid. The idle fraction of all launched
@@ -61,14 +87,16 @@ let kernel_row device ~step ~op (k : Kernel.t) =
       *. per_thread;
     flops = c.Traffic.flops *. per_thread;
     note = e.Perf_model.note;
+    cycle;
   }
 
-let report device (plan : Plan.t) =
+let report ?fidelity device (plan : Plan.t) =
   List.concat
     (List.mapi
        (fun i (s : Plan.step) ->
          List.map
-           (kernel_row device ~step:i ~op:s.Plan.compiled.Compiled.name)
+           (kernel_row ?fidelity device ~step:i
+              ~op:s.Plan.compiled.Compiled.name)
            s.Plan.compiled.Compiled.kernels)
        plan.Plan.steps)
 
@@ -77,23 +105,58 @@ let total_latency rows = List.fold_left (fun a r -> a +. r.latency) 0. rows
 let truncate n s = if String.length s <= n then s else String.sub s 0 (n - 1) ^ "~"
 
 let pp_rows fmt rows =
-  Format.fprintf fmt "@[<v>%-4s %-26s %7s %6s %9s %8s %8s %5s %5s %6s %7s %7s %8s %5s %s@,"
-    "step" "kernel" "grid" "block" "lat(us)" "mem(us)" "cmp(us)" "pipe"
-    "occ%" "waves" "blk/SM" "waste%" "smem(B)" "regs" "bottleneck";
-  List.iter
-    (fun r ->
-      Format.fprintf fmt
-        "%-4d %-26s %7d %6d %9.1f %8.1f %8.1f %5s %5.0f %6d %7d %7.1f %8d %5d %s@,"
-        r.step (truncate 26 r.kernel) r.grid_dim r.block_dim
-        (r.latency *. 1e6) (r.mem_time *. 1e6) (r.compute_time *. 1e6)
-        (if r.pipelined then "yes" else "no")
-        (r.occupancy *. 100.) r.waves r.blocks_per_sm (r.tail_waste *. 100.)
-        r.smem_bytes r.regs_per_thread r.note)
-    rows;
-  Format.fprintf fmt "%-4s %-26s %7s %6s %9.1f@,@]" "" "total"
-    "" "" (total_latency rows *. 1e6)
+  (* The extra columns appear only when at least one row was estimated
+     under cycle fidelity; the analytic table is unchanged byte for byte. *)
+  let cycle_mode = List.exists (fun r -> r.cycle <> None) rows in
+  if cycle_mode then begin
+    Format.fprintf fmt
+      "@[<v>fidelity: cycle@,%-4s %-26s %7s %6s %9s %8s %8s %5s %5s %6s %7s %7s %8s %5s %7s %5s %5s %5s %s@,"
+      "step" "kernel" "grid" "block" "lat(us)" "mem(us)" "cmp(us)" "pipe"
+      "occ%" "waves" "blk/SM" "waste%" "smem(B)" "regs" "txn/acc" "bank"
+      "L1%" "L2%" "bottleneck";
+    List.iter
+      (fun r ->
+        let x =
+          Option.value r.cycle
+            ~default:
+              {
+                txn_per_access = 0.;
+                conflict_factor = 1.;
+                l1_hit = 0.;
+                l2_hit = 0.;
+              }
+        in
+        Format.fprintf fmt
+          "%-4d %-26s %7d %6d %9.1f %8.1f %8.1f %5s %5.0f %6d %7d %7.1f %8d %5d %7.2f %5.2f %5.0f %5.0f %s@,"
+          r.step (truncate 26 r.kernel) r.grid_dim r.block_dim
+          (r.latency *. 1e6) (r.mem_time *. 1e6) (r.compute_time *. 1e6)
+          (if r.pipelined then "yes" else "no")
+          (r.occupancy *. 100.) r.waves r.blocks_per_sm (r.tail_waste *. 100.)
+          r.smem_bytes r.regs_per_thread x.txn_per_access x.conflict_factor
+          (x.l1_hit *. 100.) (x.l2_hit *. 100.) r.note)
+      rows;
+    Format.fprintf fmt "%-4s %-26s %7s %6s %9.1f@,@]" "" "total" "" ""
+      (total_latency rows *. 1e6)
+  end
+  else begin
+    Format.fprintf fmt "@[<v>%-4s %-26s %7s %6s %9s %8s %8s %5s %5s %6s %7s %7s %8s %5s %s@,"
+      "step" "kernel" "grid" "block" "lat(us)" "mem(us)" "cmp(us)" "pipe"
+      "occ%" "waves" "blk/SM" "waste%" "smem(B)" "regs" "bottleneck";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt
+          "%-4d %-26s %7d %6d %9.1f %8.1f %8.1f %5s %5.0f %6d %7d %7.1f %8d %5d %s@,"
+          r.step (truncate 26 r.kernel) r.grid_dim r.block_dim
+          (r.latency *. 1e6) (r.mem_time *. 1e6) (r.compute_time *. 1e6)
+          (if r.pipelined then "yes" else "no")
+          (r.occupancy *. 100.) r.waves r.blocks_per_sm (r.tail_waste *. 100.)
+          r.smem_bytes r.regs_per_thread r.note)
+      rows;
+    Format.fprintf fmt "%-4s %-26s %7s %6s %9.1f@,@]" "" "total"
+      "" "" (total_latency rows *. 1e6)
+  end
 
-let pp device fmt plan = pp_rows fmt (report device plan)
+let pp ?fidelity device fmt plan = pp_rows fmt (report ?fidelity device plan)
 
 (* --- measured execution ---------------------------------------------------- *)
 

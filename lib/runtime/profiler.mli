@@ -1,9 +1,11 @@
 (** Per-kernel profiler report for a compiled plan.
 
     One row per kernel launch, nsight-compute style, derived entirely from
-    the analytic model ({!Hidet_gpu.Perf_model}) and the structural traffic
-    counts ({!Hidet_gpu.Traffic}) — no execution involved, so profiling a
-    plan is instant and deterministic.
+    the performance model ({!Hidet_gpu.Perf_model}, analytic or cycle
+    fidelity) and the structural traffic counts ({!Hidet_gpu.Traffic}) — no
+    execution involved, so profiling a plan is instant and deterministic.
+    Under [`Cycle] fidelity each row additionally carries {!cycle_cols}
+    (coalescing, bank conflicts, cache hit rates).
 
     [tail_waste] is the wave-quantization loss: the fraction of launched
     block slots the final, partially filled wave leaves idle
@@ -11,6 +13,15 @@
     cousin of the partial-tile waste the hardware-centric schedule space
     trades against — a grid that does not divide the machine pays for the
     remainder just like a tile that does not divide the tensor. *)
+
+(** Cycle-fidelity columns; present only when the row was estimated with
+    [`Cycle] fidelity, so the analytic table stays byte-identical. *)
+type cycle_cols = {
+  txn_per_access : float;  (** mean coalesced transactions per warp access *)
+  conflict_factor : float;  (** weighted mean shared-memory conflict degree *)
+  l1_hit : float;  (** 0..1 *)
+  l2_hit : float;  (** 0..1, incl. cross-block L2 reuse *)
+}
 
 type row = {
   step : int;  (** plan step index this kernel belongs to *)
@@ -31,20 +42,28 @@ type row = {
   global_bytes : float;  (** total global load+store bytes, whole grid *)
   flops : float;  (** total scalar FLOPs, whole grid *)
   note : string;  (** binding bottleneck, or the infeasibility reason *)
+  cycle : cycle_cols option;  (** [Some] iff estimated under [`Cycle] *)
 }
 
 val kernel_row :
+  ?fidelity:Hidet_gpu.Perf_model.fidelity ->
   Hidet_gpu.Device.t -> step:int -> op:string -> Hidet_ir.Kernel.t -> row
+(** [?fidelity] defaults to {!Hidet_gpu.Perf_model.default_fidelity}. *)
 
-val report : Hidet_gpu.Device.t -> Plan.t -> row list
+val report :
+  ?fidelity:Hidet_gpu.Perf_model.fidelity ->
+  Hidet_gpu.Device.t -> Plan.t -> row list
 (** One row per kernel, in launch order. *)
 
 val total_latency : row list -> float
 
 val pp_rows : Format.formatter -> row list -> unit
-(** The table, with a totals line. *)
+(** The table, with a totals line. Rows carrying cycle columns switch the
+    table to the wider cycle layout (txn/acc, bank, L1%, L2%). *)
 
-val pp : Hidet_gpu.Device.t -> Format.formatter -> Plan.t -> unit
+val pp :
+  ?fidelity:Hidet_gpu.Perf_model.fidelity ->
+  Hidet_gpu.Device.t -> Format.formatter -> Plan.t -> unit
 (** [pp device fmt plan = pp_rows fmt (report device plan)]. *)
 
 (** {1 Measured execution}

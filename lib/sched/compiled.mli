@@ -30,9 +30,11 @@ val set_default_backend : backend -> unit
 
 val default_backend : unit -> backend
 
-val latency : Hidet_gpu.Device.t -> t -> float
+val latency :
+  ?fidelity:Hidet_gpu.Perf_model.fidelity -> Hidet_gpu.Device.t -> t -> float
 (** Sum of per-kernel estimates (each includes launch overhead); [infinity]
-    if any kernel is infeasible. *)
+    if any kernel is infeasible. [?fidelity] defaults to the process-global
+    {!Hidet_gpu.Perf_model.default_fidelity}. *)
 
 val feasible : Hidet_gpu.Device.t -> t -> bool
 

@@ -180,14 +180,24 @@ let m_misses = Metrics.counter "schedule_cache.misses"
 let m_stale = Metrics.counter "schedule_cache.stale"
 
 let tune ?seconds_per_trial ?parallel ?workers ?engine ?show
-    ?(search = Search.Exhaustive) ~device ~key ~candidates ~compile () =
+    ?(search = Search.Exhaustive) ?fidelity ~device ~key ~candidates ~compile
+    () =
   let device_name = device.Hidet_gpu.Device.name in
   (* The search mode is part of the cache key: a guided run's winner is
      only the best of the candidates it measured, so it must never answer
      for (or be overwritten by) the exhaustive oracle. Exhaustive keeps an
      empty suffix, so caches persisted before search modes existed stay
-     valid. *)
-  let key = key ^ Search.cache_suffix search in
+     valid. The fidelity mode is folded in the same way (analytic = empty
+     suffix): a cycle-model winner must never answer an analytic lookup. *)
+  let fidelity =
+    match fidelity with
+    | Some f -> f
+    | None -> Hidet_gpu.Perf_model.default_fidelity ()
+  in
+  let key =
+    key ^ Search.cache_suffix search
+    ^ Hidet_gpu.Perf_model.fidelity_cache_suffix fidelity
+  in
   let space_size = List.length candidates in
   (* Returned operators carry the workload key so the native execution
      backend can scope its per-kernel compile memo to this workload. *)
@@ -199,7 +209,7 @@ let tune ?seconds_per_trial ?parallel ?workers ?engine ?show
       Trace.instant ~attrs:[ ("workload", key) ] "schedule_cache.miss";
     match
       Tuner.tune ?seconds_per_trial ?parallel ?workers ?engine ~key ?show
-        ~search ~device ~candidates ~compile ()
+        ~search ~fidelity ~device ~candidates ~compile ()
     with
     | None -> None
     | Some (cand, compiled, st) ->

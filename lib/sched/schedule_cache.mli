@@ -33,6 +33,7 @@ val tune :
   ?engine:string ->
   ?show:('a -> string) ->
   ?search:'a Search.t ->
+  ?fidelity:Hidet_gpu.Perf_model.fidelity ->
   device:Hidet_gpu.Device.t ->
   key:string ->
   candidates:'a list ->

@@ -102,15 +102,35 @@ let widen base =
 (* Lazily constructed and memoized: subcommands that never tune (trace
    checking, export, log inspection) must not pay for enumerating and
    checking the widened space at module initialization. *)
-let matmul_lazy =
-  lazy
-    (dedup
-       (widen
-          (List.filter
-             (fun c -> keep c && Result.is_ok (MT.check c))
-             (cartesian_configs ()))))
+(* Domain-safe memoization: [Lazy.force] from two domains at once raises
+   [Lazy.Undefined] (OCaml 5 lazies are not thread-safe), and tuner workers
+   plus concurrently compiling engines can both be the first caller. The
+   result is published through an [Atomic] (read without locking on the hot
+   path) and built at most once under a mutex (double-checked). *)
+let matmul_memo : MT.config list option Atomic.t = Atomic.make None
+let matmul_lock = Mutex.create ()
 
-let matmul () = Lazy.force matmul_lazy
+let build_matmul () =
+  dedup
+    (widen
+       (List.filter
+          (fun c -> keep c && Result.is_ok (MT.check c))
+          (cartesian_configs ())))
+
+let matmul () =
+  match Atomic.get matmul_memo with
+  | Some configs -> configs
+  | None ->
+    Mutex.lock matmul_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock matmul_lock)
+      (fun () ->
+        match Atomic.get matmul_memo with
+        | Some configs -> configs
+        | None ->
+          let configs = build_matmul () in
+          Atomic.set matmul_memo (Some configs);
+          configs)
 
 let size () = List.length (matmul ())
 

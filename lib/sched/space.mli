@@ -15,8 +15,10 @@ val matmul : unit -> Matmul_template.config list
 (** The full (widened, deduplicated) matmul space; every element passes
     [Matmul_template.check]. Independent of problem size. Lazily
     constructed on first use and memoized, so processes that never tune do
-    not pay for the enumeration; the order is deterministic and is part of
-    the schedule-cache contract (entries store winner indices). *)
+    not pay for the enumeration; the memo is domain-safe (first callers
+    racing from several domains all get the same list, built once); the
+    order is deterministic and is part of the schedule-cache contract
+    (entries store winner indices). *)
 
 val matmul_with_split_k : m:int -> n:int -> Matmul_template.config list
 (** {!matmul}, extended with split-k variants of the pipelined configs when

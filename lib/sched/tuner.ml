@@ -61,7 +61,7 @@ let trial_span ~key ~show ~index ~cand outcome =
 
 let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
     ?workers ?(engine = "hidet") ?(key = "") ?(show = fun _ -> "")
-    ?(search = Search.Exhaustive) ~device ~candidates ~compile () =
+    ?(search = Search.Exhaustive) ?fidelity ~device ~candidates ~compile () =
   let t0 = Unix.gettimeofday () in
   let cands = Array.of_list candidates in
   let w =
@@ -86,7 +86,7 @@ let tune ?(seconds_per_trial = default_seconds_per_trial) ?(parallel = true)
       Rejected
     | compiled ->
       Metrics.incr m_trials;
-      Measured (Compiled.latency device compiled)
+      Measured (Compiled.latency ?fidelity device compiled)
   in
   let trials = ref 0 and rejected = ref 0 in
   let best = ref None in

@@ -39,6 +39,7 @@ val tune :
   ?key:string ->
   ?show:('a -> string) ->
   ?search:'a Search.t ->
+  ?fidelity:Hidet_gpu.Perf_model.fidelity ->
   device:Hidet_gpu.Device.t ->
   candidates:'a list ->
   compile:('a -> Compiled.t) ->
@@ -49,6 +50,8 @@ val tune :
     proposal (guided). [?search] (default {!Search.Exhaustive}) selects
     the strategy; a guided search measures at most its budget fraction of
     [candidates] and reports only those measurements in [stats].
+    [?fidelity] selects the latency model each measurement uses
+    (default: the process-global {!Hidet_gpu.Perf_model.default_fidelity}).
     [~parallel:false] forces the sequential path (same result, one
     domain); [?workers] overrides {!Parallel.default_workers}. The winning
     candidate is re-instantiated in the calling domain, so the returned
